@@ -1,0 +1,31 @@
+//! # ceio-baselines — the evaluation's competitive baselines (§2.3, §6.1)
+//!
+//! * [`HostCcPolicy`] — HostCC (SIGCOMM'23): *reactive* I/O rate control.
+//!   A kernel module monitors host congestion signals (IIO buffer
+//!   occupancy) and, when congestion is detected, throttles the NIC's DMA
+//!   rate and triggers the network CCA. Its fundamental limitation is
+//!   *slow response*: the IIO signal only rises once LLC thrashing has
+//!   already saturated memory, so the misses it is meant to prevent have
+//!   already happened (Fig. 4's up-to-1.9× gap from expected).
+//! * [`ShRingPolicy`] — ShRing (OSDI'23): *fixed I/O capacity*. All flows
+//!   share one receive ring sized below the LLC, so in-flight I/O data can
+//!   never overflow the cache — but the fixed budget forces frequent CCA
+//!   triggers (and drops at the hard limit) to avoid loss, slowing the
+//!   network ingress rate, especially when newly-arrived bypass flows
+//!   consume the shared budget (Fig. 4's up-to-1.6× rate reduction).
+//! * The unmanaged legacy datapath ("Baseline" in the figures) is
+//!   `ceio_host::UnmanagedPolicy`, re-exported here for one-stop imports.
+//! * [`OraclePolicy`] — a non-deployable upper bound that steers by
+//!   ground-truth flow class; the CEIO-vs-oracle gap isolates the cost of
+//!   CEIO's behavioural inference.
+
+#![warn(missing_docs)]
+
+pub mod hostcc;
+pub mod oracle;
+pub mod shring;
+
+pub use ceio_host::UnmanagedPolicy;
+pub use hostcc::{HostCcConfig, HostCcPolicy};
+pub use oracle::OraclePolicy;
+pub use shring::{ShRingConfig, ShRingPolicy};

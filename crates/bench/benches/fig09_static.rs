@@ -1,0 +1,8 @@
+//! `cargo bench` entry point regenerating the paper's fig09 output.
+//! Runs the quick variant by default; set CEIO_BENCH_FULL=1 for the full
+//! sweep recorded in EXPERIMENTS.md.
+
+fn main() {
+    let quick = std::env::var("CEIO_BENCH_FULL").is_err();
+    println!("{}", ceio_bench::experiments::fig09::run(quick));
+}

@@ -1,0 +1,6 @@
+//! `cargo bench` entry point for the sensitivity sweeps (extension).
+
+fn main() {
+    let quick = std::env::var("CEIO_BENCH_FULL").is_err();
+    println!("{}", ceio_bench::experiments::sensitivity::run(quick));
+}

@@ -1,0 +1,123 @@
+//! `ceio-trace` — run one scenario and dump its measurement time series as
+//! CSV (for plotting the Fig. 4/10-style curves).
+//!
+//! ```text
+//! ceio-trace [--policy baseline|hostcc|shring|ceio] \
+//!            [--scenario kv|mixed|dynamic|burst]    \
+//!            [--millis N] [--out FILE]
+//! ```
+//!
+//! Columns: `t_ms, involved_mpps, bypass_gbps, llc_miss_rate`.
+
+use ceio_bench::runner::{run_one, PolicyKind};
+use ceio_bench::workloads::{self, AppKind, Transport};
+use ceio_sim::Duration;
+use std::io::Write;
+
+fn parse_args() -> (PolicyKind, String, u64, Option<String>) {
+    let mut policy = PolicyKind::Ceio;
+    let mut scenario = "kv".to_string();
+    let mut millis = 10u64;
+    let mut out = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--policy" => {
+                i += 1;
+                policy = match args.get(i).map(|s| s.as_str()) {
+                    Some("baseline") => PolicyKind::Baseline,
+                    Some("hostcc") => PolicyKind::HostCc,
+                    Some("shring") => PolicyKind::ShRing,
+                    Some("ceio") | None => PolicyKind::Ceio,
+                    Some(other) => {
+                        eprintln!("unknown policy {other}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--scenario" => {
+                i += 1;
+                scenario = args.get(i).cloned().unwrap_or_else(|| "kv".into());
+            }
+            "--millis" => {
+                i += 1;
+                millis = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(10)
+                    .max(2);
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned();
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    (policy, scenario, millis, out)
+}
+
+fn main() {
+    let (policy, scenario, millis, out) = parse_args();
+    let mut host = workloads::contended_host(Transport::Dpdk);
+    host.sample_window = Duration::micros(100);
+    let link = host.net.link_bandwidth;
+    let phase = Duration::millis((millis / 4).max(1));
+    let (scen, app) = match scenario.as_str() {
+        "kv" => (workloads::involved_flows(8, 512, link), AppKind::Kv),
+        "mixed" => (workloads::mixed_flows(4, 4, 512, link), AppKind::Mixed),
+        "dynamic" => (workloads::dynamic_distribution(phase, 3, link), AppKind::Mixed),
+        "burst" => (workloads::network_burst(phase, 3, link), AppKind::Mixed),
+        other => {
+            eprintln!("unknown scenario {other} (kv|mixed|dynamic|burst)");
+            std::process::exit(2);
+        }
+    };
+    let report = run_one(
+        host,
+        policy,
+        scen,
+        workloads::app_factory(app),
+        Duration::millis(1),
+        Duration::millis(millis),
+    );
+
+    let mut csv = String::from("t_ms,involved_mpps,bypass_gbps,llc_miss_rate\n");
+    let series = [
+        &report.involved_mpps_series,
+        &report.bypass_gbps_series,
+        &report.miss_series,
+    ];
+    let n = series.iter().map(|s| s.points.len()).min().unwrap_or(0);
+    for i in 0..n {
+        let (t, mpps) = series[0].points[i];
+        let (_, gbps) = series[1].points[i];
+        let (_, miss) = series[2].points[i];
+        csv.push_str(&format!(
+            "{:.3},{:.4},{:.4},{:.4}\n",
+            t.as_millis_f64(),
+            mpps,
+            gbps,
+            miss
+        ));
+    }
+    match out {
+        Some(path) => {
+            let mut f = std::fs::File::create(&path).expect("create output file");
+            f.write_all(csv.as_bytes()).expect("write CSV");
+            eprintln!(
+                "{}: {} samples of {} ({} scenario) written",
+                path,
+                n,
+                report.policy,
+                scenario
+            );
+        }
+        None => print!("{csv}"),
+    }
+}

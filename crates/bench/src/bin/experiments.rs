@@ -1,0 +1,34 @@
+//! `ceio-experiments` — run any (or all) of the paper's tables/figures.
+//!
+//! ```text
+//! ceio-experiments [--quick] [name ...]
+//! names: fig04 fig09 fig10 fig11 fig12 table2 table3 table4 limited ablations sensitivity
+//! ```
+
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let all = ceio_bench::experiments::all();
+    let selected: Vec<_> = if wanted.is_empty() {
+        all
+    } else {
+        all.into_iter()
+            .filter(|(name, _)| wanted.iter().any(|w| w.as_str() == *name))
+            .collect()
+    };
+    if selected.is_empty() {
+        eprintln!("no matching experiments; known: fig04 fig09 fig10 fig11 fig12 table2 table3 table4 limited ablations sensitivity");
+        std::process::exit(2);
+    }
+    for (name, f) in selected {
+        let t0 = Instant::now();
+        println!("=== {name} ({}) ===", if quick { "quick" } else { "full" });
+        let report = f(quick);
+        println!("{report}");
+        println!("[{name} took {:.1}s]\n", t0.elapsed().as_secs_f64());
+    }
+}

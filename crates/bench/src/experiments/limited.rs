@@ -1,0 +1,82 @@
+//! §6.3 "Scenarios where CEIO's benefits are limited":
+//!
+//! 1. **Low memory pressure** — 64 B packets with VxLAN decapsulation and a
+//!    small buffer footprint: everything fits in the LLC, every method
+//!    performs the same (<5% miss; the paper reports ~89 Mpps for all).
+//! 2. **Large packets** — 9000 B jumbo-frame echo: per-packet overheads
+//!    amortize, the system reaches line rate even with a ~48% miss rate,
+//!    so LLC management buys nothing.
+
+use crate::runner::{run_jobs, run_one, PolicyKind};
+use crate::table::{self, Table};
+use crate::workloads::{self, AppKind};
+use ceio_host::{HostConfig, RunReport};
+
+/// Run the limited-benefit scenarios and return the formatted report.
+pub fn run(quick: bool) -> String {
+    let spans = workloads::spans(quick);
+
+    // (1) 64 B VxLAN decap, small footprint: 2k buffers/flow = 1 MB total.
+    let mut jobs: Vec<Box<dyn FnOnce() -> RunReport + Send>> = Vec::new();
+    for kind in PolicyKind::COMPETITORS {
+        let host = HostConfig {
+            ring_entries: 2048,
+            ..HostConfig::default()
+        };
+        let link = host.net.link_bandwidth;
+        let scen = workloads::involved_flows(8, 64, link);
+        jobs.push(Box::new(move || {
+            run_one(
+                host,
+                kind,
+                scen,
+                workloads::app_factory(AppKind::Vxlan),
+                spans.warmup,
+                spans.measure,
+            )
+        }));
+    }
+    // (2) 9000 B jumbo echo at line rate.
+    for kind in PolicyKind::COMPETITORS {
+        let mut host = HostConfig {
+            ring_entries: 16384,
+            buf_bytes: 9216,
+            ..HostConfig::default()
+        };
+        host.net.mtu = 9000;
+        let link = host.net.link_bandwidth;
+        let scen = workloads::involved_flows(8, 9000, link);
+        jobs.push(Box::new(move || {
+            run_one(
+                host,
+                kind,
+                scen,
+                workloads::app_factory(AppKind::Echo),
+                spans.warmup,
+                spans.measure,
+            )
+        }));
+    }
+    let reports = run_jobs(jobs);
+
+    let mut t = Table::new(
+        "S6.3 limited-benefit scenarios — all methods converge",
+        &["scenario", "policy", "Mpps", "Gbps", "miss%", "line-rate?"],
+    );
+    let scenarios = [("64B VxLAN decap (low pressure)", 0), ("9000B jumbo echo", 4)];
+    for (label, off) in scenarios {
+        for r in &reports[off..off + 4] {
+            let line = r.total_gbps() > 0.9 * 200.0;
+            t.row(vec![
+                label.to_string(),
+                r.policy.clone(),
+                table::f(r.total_mpps(), 1),
+                table::f(r.total_gbps(), 1),
+                table::f(r.llc_miss_rate * 100.0, 1),
+                if line { "yes" } else { "no" }.to_string(),
+            ]);
+        }
+        t.separator();
+    }
+    t.render()
+}

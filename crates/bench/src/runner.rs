@@ -1,0 +1,271 @@
+//! Shared run infrastructure: uniform policy dispatch and a parallel job
+//! runner.
+//!
+//! The host machine is generic over its `IoPolicy`; experiments need to
+//! sweep policies in one loop, so [`AnyPolicy`] enum-dispatches the four
+//! competitors (plus CEIO variants) behind one concrete type. Simulations
+//! stay single-threaded and deterministic; parallelism is across
+//! independent runs only.
+
+use ceio_baselines::{HostCcConfig, HostCcPolicy, ShRingConfig, ShRingPolicy, UnmanagedPolicy};
+use ceio_core::{CeioConfig, CeioPolicy};
+use ceio_host::{
+    run_to_report, AppFactory, DrainRequest, HostConfig, HostState, IoPolicy, Machine,
+    RunReport, SteerDecision,
+};
+use ceio_net::{FlowId, Packet, Scenario};
+use ceio_sim::{Duration, Time};
+
+/// Which policy to instantiate for a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Unmanaged legacy datapath.
+    Baseline,
+    /// Reactive host congestion control.
+    HostCc,
+    /// Fixed shared receive ring.
+    ShRing,
+    /// Full CEIO.
+    Ceio,
+    /// CEIO without the fast/slow-path optimizations (Table 4 ablation).
+    CeioNoOpt,
+    /// CEIO with zero credits: every packet takes the slow path (Fig. 11).
+    CeioSlowOnly,
+}
+
+impl PolicyKind {
+    /// The four head-to-head competitors of Figs. 4/9/10 and Table 2.
+    pub const COMPETITORS: [PolicyKind; 4] = [
+        PolicyKind::Baseline,
+        PolicyKind::HostCc,
+        PolicyKind::ShRing,
+        PolicyKind::Ceio,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Baseline => "Baseline",
+            PolicyKind::HostCc => "HostCC",
+            PolicyKind::ShRing => "ShRing",
+            PolicyKind::Ceio => "CEIO",
+            PolicyKind::CeioNoOpt => "CEIO w/o opt",
+            PolicyKind::CeioSlowOnly => "CEIO slow path",
+        }
+    }
+
+    /// Instantiate the policy for a host configuration.
+    pub fn build(self, host: &HostConfig) -> AnyPolicy {
+        let ceio = CeioConfig {
+            credit_total: host.credit_total(),
+            ..CeioConfig::default()
+        };
+        match self {
+            PolicyKind::Baseline => AnyPolicy::Baseline(UnmanagedPolicy),
+            PolicyKind::HostCc => AnyPolicy::HostCc(HostCcPolicy::new(HostCcConfig::default())),
+            PolicyKind::ShRing => {
+                // ShRing sizes its ring below the DDIO partition (§2.3).
+                let entries = (host.mem.ddio_bytes / host.buf_bytes).saturating_sub(512).max(64);
+                AnyPolicy::ShRing(ShRingPolicy::new(ShRingConfig {
+                    entries,
+                    mark_threshold: entries * 7 / 8,
+                }))
+            }
+            PolicyKind::Ceio => AnyPolicy::Ceio(CeioPolicy::new(ceio)),
+            PolicyKind::CeioNoOpt => {
+                AnyPolicy::Ceio(CeioPolicy::new(ceio.without_optimizations()))
+            }
+            PolicyKind::CeioSlowOnly => AnyPolicy::Ceio(CeioPolicy::new(CeioConfig {
+                credit_total: 0,
+                ..ceio
+            })),
+        }
+    }
+}
+
+/// Uniform enum dispatch over the policies under test.
+pub enum AnyPolicy {
+    /// Unmanaged.
+    Baseline(UnmanagedPolicy),
+    /// HostCC.
+    HostCc(HostCcPolicy),
+    /// ShRing.
+    ShRing(ShRingPolicy),
+    /// CEIO (any configuration).
+    Ceio(CeioPolicy),
+}
+
+macro_rules! delegate {
+    ($self:ident, $p:ident => $e:expr) => {
+        match $self {
+            AnyPolicy::Baseline($p) => $e,
+            AnyPolicy::HostCc($p) => $e,
+            AnyPolicy::ShRing($p) => $e,
+            AnyPolicy::Ceio($p) => $e,
+        }
+    };
+}
+
+impl IoPolicy for AnyPolicy {
+    fn name(&self) -> &'static str {
+        delegate!(self, p => p.name())
+    }
+    fn on_flow_start(&mut self, st: &mut HostState, now: Time, flow: FlowId) {
+        delegate!(self, p => p.on_flow_start(st, now, flow))
+    }
+    fn on_flow_stop(&mut self, st: &mut HostState, now: Time, flow: FlowId) {
+        delegate!(self, p => p.on_flow_stop(st, now, flow))
+    }
+    fn steer(&mut self, st: &mut HostState, now: Time, pkt: &Packet) -> SteerDecision {
+        delegate!(self, p => p.steer(st, now, pkt))
+    }
+    fn on_fast_drop(&mut self, st: &mut HostState, now: Time, flow: FlowId) {
+        delegate!(self, p => p.on_fast_drop(st, now, flow))
+    }
+    fn on_batch_consumed(
+        &mut self,
+        st: &mut HostState,
+        now: Time,
+        flow: FlowId,
+        fast: u32,
+        slow: u32,
+        msgs: u32,
+    ) {
+        delegate!(self, p => p.on_batch_consumed(st, now, flow, fast, slow, msgs))
+    }
+    fn on_driver_poll(&mut self, st: &mut HostState, now: Time, flow: FlowId) -> DrainRequest {
+        delegate!(self, p => p.on_driver_poll(st, now, flow))
+    }
+    fn on_slow_arrived(&mut self, st: &mut HostState, now: Time, flow: FlowId, pkts: u32) {
+        delegate!(self, p => p.on_slow_arrived(st, now, flow, pkts))
+    }
+    fn on_controller_poll(&mut self, st: &mut HostState, now: Time) {
+        delegate!(self, p => p.on_controller_poll(st, now))
+    }
+    fn controller_interval(&self) -> Option<Duration> {
+        delegate!(self, p => p.controller_interval())
+    }
+}
+
+/// One experiment run: build the machine, warm up, measure, report.
+pub fn run_one(
+    host: HostConfig,
+    kind: PolicyKind,
+    scenario: Scenario,
+    factory: AppFactory,
+    warmup: Duration,
+    measure: Duration,
+) -> RunReport {
+    let policy = kind.build(&host);
+    let mut sim = Machine::build(host, policy, scenario, factory);
+    let mut report = run_to_report(&mut sim, warmup, measure);
+    report.policy = kind.name().to_string();
+    report
+}
+
+/// Variant of [`run_one`] returning the finished simulation for
+/// introspection (controller stats, per-flow counters).
+pub fn run_one_keep(
+    host: HostConfig,
+    kind: PolicyKind,
+    scenario: Scenario,
+    factory: AppFactory,
+    warmup: Duration,
+    measure: Duration,
+) -> (RunReport, ceio_sim::Simulation<Machine<AnyPolicy>>) {
+    let policy = kind.build(&host);
+    let mut sim = Machine::build(host, policy, scenario, factory);
+    let mut report = run_to_report(&mut sim, warmup, measure);
+    report.policy = kind.name().to_string();
+    (report, sim)
+}
+
+/// Run independent jobs in parallel (one OS thread each, results returned
+/// in job order). Each job constructs and runs its own simulation, so
+/// determinism is preserved per job.
+pub fn run_jobs<T: Send>(jobs: Vec<Box<dyn FnOnce() -> T + Send>>) -> Vec<T> {
+    let n = jobs.len();
+    let results: parking_lot::Mutex<Vec<Option<T>>> =
+        parking_lot::Mutex::new((0..n).map(|_| None).collect());
+    crossbeam::thread::scope(|scope| {
+        for (i, job) in jobs.into_iter().enumerate() {
+            let results = &results;
+            scope.spawn(move |_| {
+                let out = job();
+                results.lock()[i] = Some(out);
+            });
+        }
+    })
+    .expect("experiment thread panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every job ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceio_net::{FlowClass, FlowSpec};
+    use ceio_sim::Bandwidth;
+
+    fn tiny_scenario() -> Scenario {
+        let mut s = Scenario::new();
+        s.start_at(
+            Time::ZERO,
+            FlowSpec::new(0, FlowClass::CpuInvolved, 512, 1, Bandwidth::gbps(5)),
+        );
+        s.build()
+    }
+
+    fn echo_factory() -> AppFactory {
+        Box::new(|_| Box::new(ceio_apps::EchoApp::new()))
+    }
+
+    #[test]
+    fn all_policy_kinds_build_and_run() {
+        for kind in [
+            PolicyKind::Baseline,
+            PolicyKind::HostCc,
+            PolicyKind::ShRing,
+            PolicyKind::Ceio,
+            PolicyKind::CeioNoOpt,
+            PolicyKind::CeioSlowOnly,
+        ] {
+            let r = run_one(
+                HostConfig::default(),
+                kind,
+                tiny_scenario(),
+                echo_factory(),
+                Duration::millis(1),
+                Duration::millis(2),
+            );
+            assert_eq!(r.policy, kind.name());
+            assert!(r.involved_mpps > 0.0, "{}: no delivery", kind.name());
+        }
+    }
+
+    #[test]
+    fn slow_only_ceio_uses_slow_path_exclusively() {
+        let r = run_one(
+            HostConfig::default(),
+            PolicyKind::CeioSlowOnly,
+            tiny_scenario(),
+            echo_factory(),
+            Duration::millis(1),
+            Duration::millis(2),
+        );
+        assert!(r.slow_path_pkts > 0);
+        assert!(r.fast_path_gbps < 1e-9);
+    }
+
+    #[test]
+    fn run_jobs_preserves_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..16usize)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let out = run_jobs(jobs);
+        assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+}

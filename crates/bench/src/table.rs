@@ -1,0 +1,150 @@
+//! Plain-text table and series rendering for experiment reports.
+
+use ceio_sim::TimeSeries;
+use std::fmt::Write as _;
+
+/// A column-aligned text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Append a visual separator row.
+    pub fn separator(&mut self) -> &mut Self {
+        self.rows.push(vec![]);
+        self
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let total: usize = widths.iter().sum::<usize>() + 3 * (cols - 1);
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let hdr: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:<w$}", h, w = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", hdr.join(" | "));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            if row.is_empty() {
+                let _ = writeln!(out, "{}", "-".repeat(total));
+                continue;
+            }
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+                .collect();
+            let _ = writeln!(out, "{}", cells.join(" | "));
+        }
+        out
+    }
+}
+
+/// Format a float with the given precision.
+pub fn f(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+/// Format a ratio as the paper's "N.NNx" speedup notation.
+pub fn speedup(new: f64, old: f64) -> String {
+    if old <= 0.0 {
+        return "-".to_string();
+    }
+    format!("{:.2}x", new / old)
+}
+
+/// Format nanoseconds as microseconds with two decimals (table latency).
+pub fn us(nanos: u64) -> String {
+    format!("{:.2}", nanos as f64 / 1_000.0)
+}
+
+/// Render a time series as per-window samples, bucketed to `buckets` means
+/// (figures print a handful of points, not every window).
+pub fn series_summary(ts: &TimeSeries, buckets: usize) -> String {
+    if ts.points.is_empty() {
+        return format!("{}: (no samples)", ts.name);
+    }
+    let per = ts.points.len().div_ceil(buckets.max(1));
+    let mut parts = Vec::new();
+    for chunk in ts.points.chunks(per) {
+        let mean = chunk.iter().map(|&(_, v)| v).sum::<f64>() / chunk.len() as f64;
+        let t_end = chunk.last().expect("non-empty").0;
+        parts.push(format!("{:.1}ms:{:.2}", t_end.as_millis_f64(), mean));
+    }
+    format!("{}: [{}]", ts.name, parts.join(" "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceio_sim::Time;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["a", "long-header", "c"]);
+        t.row(vec!["x".into(), "1".into(), "2".into()]);
+        t.separator();
+        t.row(vec!["longer-cell".into(), "3".into(), "4".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("long-header"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header and data rows align on the separator positions.
+        assert_eq!(lines[1].matches('|').count(), 2);
+        assert_eq!(lines[3].matches('|').count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn speedup_notation() {
+        assert_eq!(speedup(2.0, 1.0), "2.00x");
+        assert_eq!(speedup(1.0, 0.0), "-");
+    }
+
+    #[test]
+    fn series_buckets() {
+        let mut ts = TimeSeries::new("x");
+        for i in 0..10 {
+            ts.push(Time(i * 1_000_000), i as f64);
+        }
+        let s = series_summary(&ts, 2);
+        assert!(s.starts_with("x: ["));
+        assert_eq!(s.matches(':').count(), 3); // name + 2 buckets
+    }
+}

@@ -1,0 +1,563 @@
+//! Algorithm 1: CEIO credit management.
+//!
+//! Credits are the unit of LLC admission: one credit ⇔ one I/O buffer's
+//! worth of DDIO-reachable cache. The manager maintains the paper's
+//! invariant *by construction*:
+//!
+//! ```text
+//! Σ per-flow credits + free pool + credits held by in-flight packets
+//!     == C_total                                              (Eq. 1)
+//! ```
+//!
+//! so the LLC can never be overflowed by admitted packets. The three
+//! processes of Algorithm 1:
+//!
+//! * **Assignment** (lines 1–14): when `m` new flows join `n` existing
+//!   ones, each flow's fair share becomes `C_total/(n+m)`. Existing flows
+//!   that can afford their contribution transfer it immediately; flows that
+//!   cannot give everything they have and **owe** the shortfall (ledger
+//!   `o_j^i`), recorded in the insufficient set `I`.
+//! * **Release** (lines 16–25): credits freed by consumed packets return to
+//!   their flow — unless the flow is in `I`, in which case they first repay
+//!   creditors, spread evenly (the paper's `max` in lines 21–22 is read as
+//!   `min`: a debtor cannot repay more than it owes or more than it has).
+//! * **Reclaim/grant** (§4.1 Q3): inactive flows' credits move to a free
+//!   pool and are re-granted evenly to active flows.
+
+use ceio_net::FlowId;
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Per-flow credit state.
+#[derive(Debug, Default, Clone, Serialize)]
+struct FlowCredits {
+    credits: u64,
+    /// Debts to other flows: `owed[j] = o_j^i` (this flow owes `j`).
+    owed: BTreeMap<FlowId, u64>,
+}
+
+/// Manager statistics.
+#[derive(Debug, Default, Clone, Serialize)]
+pub struct CreditStats {
+    /// Successful credit consumptions (fast-path admissions).
+    pub consumed: u64,
+    /// Denied consumptions (slow-path degradations).
+    pub denied: u64,
+    /// Credits repaid through the owed ledger.
+    pub debts_repaid: u64,
+    /// Reclaim operations (inactive-flow recycling).
+    pub reclaims: u64,
+}
+
+/// The CEIO credit manager (Algorithm 1).
+///
+/// ```
+/// use ceio_core::CreditManager;
+/// use ceio_net::FlowId;
+///
+/// // Eq. 1: 6 MB DDIO partition / 2 KB buffers.
+/// let mut cm = CreditManager::new(3072);
+///
+/// // First connection takes the whole budget (S4.1's example).
+/// cm.add_flows(&[FlowId(1)]);
+/// assert_eq!(cm.credits(FlowId(1)), 3072);
+///
+/// // A second connection splits it; packets consume and lazily release.
+/// cm.add_flows(&[FlowId(2)]);
+/// assert_eq!(cm.credits(FlowId(2)), 1536);
+/// assert!(cm.try_consume(FlowId(2)));
+/// cm.release(FlowId(2), 1);
+/// assert!(cm.conserved());
+/// ```
+#[derive(Debug)]
+pub struct CreditManager {
+    total: u64,
+    flows: HashMap<FlowId, FlowCredits>,
+    /// The insufficient set `I`: flows with outstanding debts.
+    insufficient: BTreeSet<FlowId>,
+    /// Credits not assigned to any flow (rounding residue, reclaimed,
+    /// or released by removed flows).
+    free_pool: u64,
+    /// Credits currently held by in-flight packets.
+    outstanding: u64,
+    stats: CreditStats,
+}
+
+impl CreditManager {
+    /// A manager with `total` credits, all in the free pool.
+    pub fn new(total: u64) -> CreditManager {
+        CreditManager {
+            total,
+            flows: HashMap::new(),
+            insufficient: BTreeSet::new(),
+            free_pool: total,
+            outstanding: 0,
+            stats: CreditStats::default(),
+        }
+    }
+
+    /// Configured total (Eq. 1).
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Credits currently held by in-flight packets.
+    #[inline]
+    pub fn outstanding(&self) -> u64 {
+        self.outstanding
+    }
+
+    /// Credits in the free pool.
+    #[inline]
+    pub fn free_pool(&self) -> u64 {
+        self.free_pool
+    }
+
+    /// Current credits of a flow (0 if unknown).
+    pub fn credits(&self, f: FlowId) -> u64 {
+        self.flows.get(&f).map(|c| c.credits).unwrap_or(0)
+    }
+
+    /// Whether a flow is in the insufficient set `I`.
+    pub fn in_insufficient(&self, f: FlowId) -> bool {
+        self.insufficient.contains(&f)
+    }
+
+    /// Total debt a flow owes.
+    pub fn debt_of(&self, f: FlowId) -> u64 {
+        self.flows
+            .get(&f)
+            .map(|c| c.owed.values().sum())
+            .unwrap_or(0)
+    }
+
+    /// Number of managed flows.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Read-only statistics.
+    #[inline]
+    pub fn stats(&self) -> &CreditStats {
+        &self.stats
+    }
+
+    /// Conservation check: assigned + pool + outstanding == total.
+    /// (Debug aid; cheap enough to assert in tests and controller polls.)
+    pub fn conserved(&self) -> bool {
+        let assigned: u64 = self.flows.values().map(|c| c.credits).sum();
+        assigned + self.free_pool + self.outstanding == self.total
+    }
+
+    /// Algorithm 1, assignment: admit `new` flows, redistributing credits
+    /// so each flow converges toward `C_total / (n + m)`.
+    pub fn add_flows(&mut self, new: &[FlowId]) {
+        let mut fresh: Vec<FlowId> = new
+            .iter()
+            .copied()
+            .filter(|f| !self.flows.contains_key(f))
+            .collect();
+        // Duplicates within one arrival batch would overwrite each other's
+        // allocation (leaking credits); each id joins exactly once.
+        fresh.sort_unstable();
+        fresh.dedup();
+        if fresh.is_empty() {
+            return;
+        }
+        let n = self.flows.len() as u64;
+        let m = fresh.len() as u64;
+        let c_flow = self.total / (n + m);
+
+        // Target transfer: the new flows collectively need m * c_flow.
+        // First take from the free pool, then from existing flows.
+        let mut collected = self.free_pool.min(m * c_flow);
+        self.free_pool -= collected;
+
+        if n > 0 && collected < m * c_flow {
+            let want = m * c_flow - collected;
+            // Fair contribution per existing flow (integer ceiling keeps
+            // rounding from starving new flows; surplus returns via pool).
+            let ideal = want.div_ceil(n);
+            let ids: Vec<FlowId> = {
+                let mut v: Vec<FlowId> = self.flows.keys().copied().collect();
+                v.sort_unstable();
+                v
+            };
+            for i in ids {
+                if collected >= m * c_flow {
+                    break;
+                }
+                let need = (m * c_flow - collected).min(ideal);
+                let fc = self.flows.get_mut(&i).expect("listed above");
+                if fc.credits >= need {
+                    // Line 4-6: the flow can afford its contribution.
+                    fc.credits -= need;
+                    collected += need;
+                } else {
+                    // Lines 8-14: contribute everything, owe the shortfall
+                    // to the new flows, spread evenly.
+                    let give = fc.credits;
+                    fc.credits = 0;
+                    collected += give;
+                    let shortfall = need - give;
+                    let per_new = shortfall / m;
+                    let mut rem = shortfall % m;
+                    for j in &fresh {
+                        let mut share = per_new;
+                        if rem > 0 {
+                            share += 1;
+                            rem -= 1;
+                        }
+                        if share > 0 {
+                            *fc.owed.entry(*j).or_insert(0) += share;
+                        }
+                    }
+                    if fc.owed.values().any(|&o| o > 0) {
+                        self.insufficient.insert(i);
+                    }
+                }
+            }
+        }
+
+        // Distribute what was collected evenly among the new flows; the
+        // remainder goes to the pool (conservation over exactness).
+        let per = collected / m;
+        let mut rem = collected % m;
+        for j in &fresh {
+            let mut share = per;
+            if rem > 0 {
+                share += 1;
+                rem -= 1;
+            }
+            self.flows.insert(
+                *j,
+                FlowCredits {
+                    credits: share,
+                    owed: BTreeMap::new(),
+                },
+            );
+        }
+    }
+
+    /// Remove a flow: its credits return to the pool; debts involving it
+    /// are forgiven (a promise, not credits, so conservation holds).
+    pub fn remove_flow(&mut self, f: FlowId) {
+        if let Some(fc) = self.flows.remove(&f) {
+            self.free_pool += fc.credits;
+        }
+        self.insufficient.remove(&f);
+        for (i, fc) in self.flows.iter_mut() {
+            fc.owed.remove(&f);
+            if fc.owed.is_empty() {
+                self.insufficient.remove(i);
+            }
+        }
+    }
+
+    /// Consume one credit for a packet of flow `f`. Returns `false` (and
+    /// counts a denial) when the flow has none — the slow-path trigger.
+    pub fn try_consume(&mut self, f: FlowId) -> bool {
+        match self.flows.get_mut(&f) {
+            Some(fc) if fc.credits > 0 => {
+                fc.credits -= 1;
+                self.outstanding += 1;
+                self.stats.consumed += 1;
+                true
+            }
+            _ => {
+                self.stats.denied += 1;
+                false
+            }
+        }
+    }
+
+    /// Algorithm 1, release: `gamma` credits return from consumed packets
+    /// of flow `f`. Debtors repay creditors first, evenly.
+    pub fn release(&mut self, f: FlowId, gamma: u64) {
+        let gamma = gamma.min(self.outstanding);
+        self.outstanding -= gamma;
+        let Some(fc) = self.flows.get_mut(&f) else {
+            // Flow torn down: returned credits go to the pool.
+            self.free_pool += gamma;
+            return;
+        };
+        let mut remaining = gamma;
+        if !fc.owed.is_empty() && remaining > 0 {
+            // Even spread across creditors (paper lines 19-25, max→min).
+            let creditors: Vec<FlowId> = fc.owed.keys().copied().collect();
+            let k = creditors.len() as u64;
+            let share = (remaining / k).max(1);
+            let mut payments: Vec<(FlowId, u64)> = Vec::new();
+            for j in creditors {
+                if remaining == 0 {
+                    break;
+                }
+                let owe = fc.owed[&j];
+                let pay = owe.min(share).min(remaining);
+                if pay > 0 {
+                    payments.push((j, pay));
+                    remaining -= pay;
+                    let o = fc.owed.get_mut(&j).expect("creditor listed");
+                    *o -= pay;
+                    if *o == 0 {
+                        fc.owed.remove(&j);
+                    }
+                }
+            }
+            let cleared = fc.owed.is_empty();
+            fc.credits += remaining;
+            if cleared {
+                self.insufficient.remove(&f);
+            }
+            // Deliver the payments to creditors (or pool if gone).
+            for (j, pay) in payments {
+                self.stats.debts_repaid += pay;
+                match self.flows.get_mut(&j) {
+                    Some(cj) => cj.credits += pay,
+                    None => self.free_pool += pay,
+                }
+            }
+        } else {
+            fc.credits += remaining;
+        }
+    }
+
+    /// Release `gamma` returning credits of flow `f` into the free pool
+    /// instead of back to the flow — the §4.1 Q3 reallocation applied to a
+    /// flow detected as slow-path resident (likely CPU-bypass): its
+    /// returning credits fund fast-path flows rather than re-admitting it.
+    pub fn release_to_pool(&mut self, _f: FlowId, gamma: u64) {
+        let gamma = gamma.min(self.outstanding);
+        self.outstanding -= gamma;
+        self.free_pool += gamma;
+    }
+
+    /// Reclaim all credits of an inactive flow into the free pool (§4.1
+    /// Q3). Returns the amount reclaimed.
+    pub fn reclaim(&mut self, f: FlowId) -> u64 {
+        let Some(fc) = self.flows.get_mut(&f) else {
+            return 0;
+        };
+        let taken = fc.credits;
+        fc.credits = 0;
+        self.free_pool += taken;
+        if taken > 0 {
+            self.stats.reclaims += 1;
+        }
+        taken
+    }
+
+    /// Grant up to `amount` credits from the free pool to one flow
+    /// (round-robin re-activation). Returns the amount actually granted.
+    pub fn grant(&mut self, f: FlowId, amount: u64) -> u64 {
+        let Some(fc) = self.flows.get_mut(&f) else {
+            return 0;
+        };
+        let granted = amount.min(self.free_pool);
+        fc.credits += granted;
+        self.free_pool -= granted;
+        granted
+    }
+
+    /// Grant the free pool evenly to `targets` (re-activation / active-flow
+    /// boost). The indivisible remainder stays pooled.
+    pub fn grant_evenly(&mut self, targets: &[FlowId]) {
+        let live: Vec<FlowId> = targets
+            .iter()
+            .copied()
+            .filter(|f| self.flows.contains_key(f))
+            .collect();
+        if live.is_empty() || self.free_pool == 0 {
+            return;
+        }
+        let per = self.free_pool / live.len() as u64;
+        if per == 0 {
+            return;
+        }
+        for f in &live {
+            self.flows.get_mut(f).expect("filtered").credits += per;
+            self.free_pool -= per;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<FlowId> {
+        v.iter().map(|&i| FlowId(i)).collect()
+    }
+
+    #[test]
+    fn first_flow_gets_everything() {
+        // §4.1: "when a flow f1 is established, the flow controller
+        // allocates c1 = 3000 credits to f1".
+        let mut cm = CreditManager::new(3000);
+        cm.add_flows(&ids(&[1]));
+        assert_eq!(cm.credits(FlowId(1)), 3000);
+        assert!(cm.conserved());
+    }
+
+    #[test]
+    fn even_split_on_simultaneous_arrival() {
+        let mut cm = CreditManager::new(3000);
+        cm.add_flows(&ids(&[1, 2, 3]));
+        for f in 1..=3 {
+            assert_eq!(cm.credits(FlowId(f)), 1000);
+        }
+        assert!(cm.conserved());
+    }
+
+    #[test]
+    fn rich_existing_flow_funds_newcomer() {
+        let mut cm = CreditManager::new(3000);
+        cm.add_flows(&ids(&[1]));
+        cm.add_flows(&ids(&[2]));
+        // C_flow = 1500 each.
+        assert_eq!(cm.credits(FlowId(1)), 1500);
+        assert_eq!(cm.credits(FlowId(2)), 1500);
+        assert!(!cm.in_insufficient(FlowId(1)));
+        assert!(cm.conserved());
+    }
+
+    #[test]
+    fn poor_existing_flow_owes_shortfall() {
+        let mut cm = CreditManager::new(3000);
+        cm.add_flows(&ids(&[1]));
+        // Flow 1 spends most credits on in-flight packets.
+        for _ in 0..2900 {
+            assert!(cm.try_consume(FlowId(1)));
+        }
+        assert_eq!(cm.credits(FlowId(1)), 100);
+        cm.add_flows(&ids(&[2]));
+        // Flow 1 can only give its 100; it owes the remaining 1400.
+        assert_eq!(cm.credits(FlowId(1)), 0);
+        assert_eq!(cm.credits(FlowId(2)), 100);
+        assert!(cm.in_insufficient(FlowId(1)));
+        assert_eq!(cm.debt_of(FlowId(1)), 1400);
+        assert!(cm.conserved());
+    }
+
+    #[test]
+    fn release_repays_debt_before_self() {
+        let mut cm = CreditManager::new(3000);
+        cm.add_flows(&ids(&[1]));
+        for _ in 0..2900 {
+            cm.try_consume(FlowId(1));
+        }
+        cm.add_flows(&ids(&[2]));
+        let debt = cm.debt_of(FlowId(1));
+        assert_eq!(debt, 1400);
+        // 1000 credits return: all go to the creditor.
+        cm.release(FlowId(1), 1000);
+        assert_eq!(cm.debt_of(FlowId(1)), 400);
+        assert_eq!(cm.credits(FlowId(2)), 100 + 1000);
+        assert_eq!(cm.credits(FlowId(1)), 0);
+        assert!(cm.in_insufficient(FlowId(1)));
+        // Remaining debt cleared; surplus stays with flow 1.
+        cm.release(FlowId(1), 1000);
+        assert_eq!(cm.debt_of(FlowId(1)), 0);
+        assert!(!cm.in_insufficient(FlowId(1)));
+        assert_eq!(cm.credits(FlowId(1)), 600);
+        assert!(cm.conserved());
+    }
+
+    #[test]
+    fn consume_denied_at_zero() {
+        let mut cm = CreditManager::new(2);
+        cm.add_flows(&ids(&[1]));
+        assert!(cm.try_consume(FlowId(1)));
+        assert!(cm.try_consume(FlowId(1)));
+        assert!(!cm.try_consume(FlowId(1)));
+        assert_eq!(cm.stats().denied, 1);
+        assert!(cm.conserved());
+    }
+
+    #[test]
+    fn unknown_flow_cannot_consume() {
+        let mut cm = CreditManager::new(10);
+        assert!(!cm.try_consume(FlowId(9)));
+    }
+
+    #[test]
+    fn remove_flow_returns_credits_and_forgives_debts() {
+        let mut cm = CreditManager::new(3000);
+        cm.add_flows(&ids(&[1]));
+        for _ in 0..2900 {
+            cm.try_consume(FlowId(1));
+        }
+        cm.add_flows(&ids(&[2]));
+        assert!(cm.in_insufficient(FlowId(1)));
+        // Creditor leaves: debt forgiven.
+        cm.remove_flow(FlowId(2));
+        assert!(!cm.in_insufficient(FlowId(1)));
+        assert_eq!(cm.debt_of(FlowId(1)), 0);
+        assert!(cm.conserved());
+        // Outstanding packets of flow 1 still return cleanly.
+        cm.release(FlowId(1), 2900);
+        assert!(cm.conserved());
+        assert_eq!(cm.outstanding(), 0);
+    }
+
+    #[test]
+    fn release_after_flow_removal_goes_to_pool() {
+        let mut cm = CreditManager::new(100);
+        cm.add_flows(&ids(&[1]));
+        for _ in 0..50 {
+            cm.try_consume(FlowId(1));
+        }
+        cm.remove_flow(FlowId(1));
+        cm.release(FlowId(1), 50);
+        assert_eq!(cm.free_pool(), 100);
+        assert!(cm.conserved());
+    }
+
+    #[test]
+    fn reclaim_and_grant_evenly() {
+        let mut cm = CreditManager::new(3000);
+        cm.add_flows(&ids(&[1, 2, 3]));
+        let taken = cm.reclaim(FlowId(3));
+        assert_eq!(taken, 1000);
+        assert_eq!(cm.credits(FlowId(3)), 0);
+        cm.grant_evenly(&ids(&[1, 2]));
+        assert_eq!(cm.credits(FlowId(1)), 1500);
+        assert_eq!(cm.credits(FlowId(2)), 1500);
+        assert!(cm.conserved());
+    }
+
+    #[test]
+    fn grant_ignores_unknown_targets_and_keeps_remainder() {
+        let mut cm = CreditManager::new(10);
+        cm.add_flows(&ids(&[1, 2, 3]));
+        cm.reclaim(FlowId(3)); // pool = 3 (1 rounding + 3... )
+        let pool = cm.free_pool();
+        cm.grant_evenly(&ids(&[1, 2, 99]));
+        assert!(cm.conserved());
+        assert!(cm.free_pool() <= pool);
+    }
+
+    #[test]
+    fn many_flows_integer_rounding_conserves() {
+        let mut cm = CreditManager::new(3072);
+        // Add flows in odd-sized waves to exercise rounding paths.
+        cm.add_flows(&ids(&[0, 1, 2]));
+        cm.add_flows(&ids(&[3, 4, 5, 6, 7]));
+        cm.add_flows(&(8..40).map(FlowId).collect::<Vec<_>>());
+        assert!(cm.conserved());
+        let sum: u64 = (0..40).map(|i| cm.credits(FlowId(i))).sum();
+        assert!(sum <= 3072);
+        assert!(sum > 3072 - 80, "rounding loss bounded, sum={sum}");
+    }
+
+    #[test]
+    fn readding_existing_flow_is_noop() {
+        let mut cm = CreditManager::new(100);
+        cm.add_flows(&ids(&[1]));
+        cm.add_flows(&ids(&[1]));
+        assert_eq!(cm.credits(FlowId(1)), 100);
+        assert_eq!(cm.flow_count(), 1);
+        assert!(cm.conserved());
+    }
+}

@@ -1,0 +1,445 @@
+//! The CEIO flow controller and elastic buffer manager, as an `IoPolicy`.
+//!
+//! Responsibilities, mapped to the paper:
+//!
+//! * **Steering** (§4.1, Fig. 6): on connection establishment a rule is
+//!   offloaded to the RMT engine pointing at the fast path. Each arriving
+//!   packet consumes a credit; when a flow's credits exhaust (or its host
+//!   ring has no descriptors) the rule is rewritten to divert packets into
+//!   on-NIC memory. Rule rewrites are charged to the ARM core.
+//! * **Phase exclusivity** (§4.2): while any slow-path packet exists for a
+//!   flow (parked or in fetch flight), *all* of its arrivals go to the slow
+//!   path, so fast-path packets can never overtake earlier slow-path ones.
+//!   The fast path resumes automatically once the drain finishes — the
+//!   "pause, drain, re-enable" loop of §4.1 Q2.
+//! * **Lazy credit release** (§4.1): credits return only in
+//!   `on_batch_consumed` — the driver's head-pointer advance after a batch
+//!   of messages. Polled RPC flows release continuously; huge-message
+//!   bypass flows hold credits until their write-with-immediate analogue,
+//!   which is precisely what degrades them to the slow path first.
+//! * **Controller loop** (§4.1 Q2/Q3): the ARM cores poll steering
+//!   counters, detect slow-path overload (production > consumption) and
+//!   trigger the CCA, reclaim credits from inactive flows, re-grant them to
+//!   active ones (Algorithm 1's pool), and round-robin re-activate inactive
+//!   flows as the fairness backstop.
+
+use crate::config::CeioConfig;
+use crate::credit::CreditManager;
+use ceio_host::{DrainRequest, HostState, IoPolicy, SteerDecision};
+use ceio_net::{FlowId, Packet};
+use ceio_nic::SteerAction;
+use ceio_sim::Time;
+use std::collections::HashMap;
+
+/// Per-flow controller bookkeeping.
+#[derive(Debug, Clone)]
+struct FlowCtl {
+    /// Consumption count at the previous controller poll.
+    consumed_at_last_poll: u64,
+    /// Arrival count (NIC sequence) at the previous controller poll.
+    arrivals_at_last_poll: u64,
+    /// Slow-queue length at the previous controller poll.
+    slow_len_at_last_poll: usize,
+    /// Last instant the flow showed activity (arrival or consumption).
+    last_activity: Time,
+    /// Last instant a packet of this flow arrived at the NIC. Grants and
+    /// reclaims key on arrivals: a flow draining residual backlog after
+    /// its sender went quiet must not keep attracting credits.
+    last_arrival: Time,
+    /// Whether the controller has reclaimed this flow's credits.
+    inactive: bool,
+    /// Whether the controller classifies this flow as CPU-bypass-like
+    /// (huge observed messages): its returning credits are reallocated to
+    /// small-message flows instead (§4.1 Q3, the Table 4 mechanism).
+    deprioritized: bool,
+    /// Fast-path credits consumed but not yet driver-visible: the driver
+    /// only observes completions at message boundaries (the RDMA
+    /// write-with-immediate), so releases accumulate here until one passes
+    /// (§4.1 lazy credit release).
+    pending_release: u64,
+}
+
+/// CEIO statistics beyond the credit manager's.
+#[derive(Debug, Default, Clone)]
+pub struct CeioStats {
+    /// Steering-rule rewrites (fast↔slow transitions).
+    pub rule_rewrites: u64,
+    /// CCA triggers due to slow-path overload.
+    pub cca_triggers: u64,
+    /// Inactive-flow reclaim events.
+    pub reclaims: u64,
+    /// Flows classified as bypass-like (credit reallocation events).
+    pub deprioritized_marks: u64,
+    /// Round-robin re-activations.
+    pub rr_reactivations: u64,
+}
+
+/// The CEIO policy.
+pub struct CeioPolicy {
+    cfg: CeioConfig,
+    /// The credit manager (public for experiment introspection).
+    pub credits: CreditManager,
+    ctl: HashMap<FlowId, FlowCtl>,
+    rr_order: Vec<FlowId>,
+    rr_cursor: usize,
+    next_rr: Time,
+    stats: CeioStats,
+}
+
+impl CeioPolicy {
+    /// A CEIO controller with the given configuration.
+    ///
+    /// Slow-path drain completions retire *uncached* (host machine policy:
+    /// cold-path data goes straight to DRAM), so the full Eq. 1 credit
+    /// total is available to the fast path and draining can never flush
+    /// fast-path LLC residents (§4.1 Q2).
+    pub fn new(cfg: CeioConfig) -> CeioPolicy {
+        CeioPolicy {
+            credits: CreditManager::new(cfg.credit_total),
+            ctl: HashMap::new(),
+            rr_order: Vec::new(),
+            rr_cursor: 0,
+            next_rr: Time::ZERO + cfg.rr_reactivate_interval,
+            cfg,
+            stats: CeioStats::default(),
+        }
+    }
+
+    /// Controller statistics.
+    pub fn stats(&self) -> &CeioStats {
+        &self.stats
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &CeioConfig {
+        &self.cfg
+    }
+
+    /// Rewrite a flow's steering rule if it differs, charging the ARM core.
+    fn sync_rule(&mut self, st: &mut HostState, now: Time, flow: FlowId, want: SteerAction) {
+        if st.rmt.action(&flow) != Some(want) && st.rmt.set_action(&flow, want) {
+            st.nic_arm.execute(now, st.cfg.nic.arm_table_update);
+            self.stats.rule_rewrites += 1;
+        }
+    }
+}
+
+impl IoPolicy for CeioPolicy {
+    fn name(&self) -> &'static str {
+        "CEIO"
+    }
+
+    fn on_flow_start(&mut self, st: &mut HostState, now: Time, flow: FlowId) {
+        // Connection establishment: offload the steering rule (fast path)
+        // and run Algorithm 1's assignment.
+        let queue = st
+            .flows
+            .get(&flow)
+            .map(|f| f.core)
+            .unwrap_or(flow.0 as usize);
+        st.rmt.install(flow, SteerAction::FastPath { queue });
+        st.nic_arm.execute(now, st.cfg.nic.arm_table_update);
+        self.credits.add_flows(&[flow]);
+        self.ctl.insert(
+            flow,
+            FlowCtl {
+                consumed_at_last_poll: 0,
+                arrivals_at_last_poll: 0,
+                slow_len_at_last_poll: 0,
+                last_activity: now,
+                last_arrival: now,
+                inactive: false,
+                deprioritized: false,
+                pending_release: 0,
+            },
+        );
+        self.rr_order.push(flow);
+    }
+
+    fn on_flow_stop(&mut self, st: &mut HostState, now: Time, flow: FlowId) {
+        st.rmt.remove(&flow);
+        st.nic_arm.execute(now, st.cfg.nic.arm_table_update);
+        // Assigned credits return to the pool; credits held by still
+        // in-flight packets come back through `release` as they drain, and
+        // any accumulated-but-unreleased completions flush now.
+        if let Some(c) = self.ctl.get(&flow) {
+            if c.pending_release > 0 {
+                self.credits.release_to_pool(flow, c.pending_release);
+            }
+        }
+        self.credits.remove_flow(flow);
+        self.ctl.remove(&flow);
+        self.rr_order.retain(|f| *f != flow);
+        if self.rr_cursor >= self.rr_order.len() {
+            self.rr_cursor = 0;
+        }
+    }
+
+    fn steer(&mut self, st: &mut HostState, now: Time, pkt: &Packet) -> SteerDecision {
+        let flow = pkt.flow;
+        // Count the hit on the RMT rule (the hardware datapath).
+        st.rmt.steer(&flow);
+        if let Some(c) = self.ctl.get_mut(&flow) {
+            c.last_activity = now;
+            c.last_arrival = now;
+        }
+        let (parked, slow_len, ring_free, core) = match st.flows.get(&flow) {
+            Some(f) => (
+                f.slow_queue.len() + f.slow_fetch_inflight as usize,
+                f.slow_queue.len(),
+                f.ring_free(),
+                f.core,
+            ),
+            None => return SteerDecision::Drop { loss: false },
+        };
+        // Production outrunning slow-path consumption: echo congestion to
+        // the sender's CCA, per packet, like a shallow-queue ECN marker
+        // (§4.1 Q2). Without this the elastic buffer would just absorb an
+        // unbounded standing queue.
+        let mark = slow_len > self.cfg.slow_overload_threshold;
+        // Phase exclusivity: the fast path stays paused while slow-path
+        // packets exist, preserving order across the transition (§4.2).
+        // The re-enable fires once the parked backlog is nearly drained
+        // (under half a drain batch): a strict reach-zero exit is
+        // unreachable under continuous arrivals (a new packet always lands
+        // within the last fetch's round trip), and the sequence-ordered
+        // delivery buffer bridges the few-packet overlap at no reordering
+        // cost — that is precisely the SW ring's job.
+        let exit_threshold = (self.cfg.drain_batch as usize / 2).max(1);
+        if parked > exit_threshold && self.cfg.phase_exclusivity {
+            self.sync_rule(st, now, flow, SteerAction::SlowPath);
+            return SteerDecision::SlowPath { mark };
+        }
+        if ring_free > 0 && self.credits.try_consume(flow) {
+            self.sync_rule(st, now, flow, SteerAction::FastPath { queue: core });
+            // Proactive rate control (Table 1): echo congestion while the
+            // flow's credits run low, so the sender converges to the
+            // consumption rate *before* exhaustion degrades it. The
+            // watermark adapts to the fair share so regulation engages
+            // early enough at any flow count.
+            let share = self.credits.total() / (self.ctl.len() as u64).max(1);
+            let watermark = self.cfg.credit_low_watermark.max(share / 16);
+            let low = self.credits.credits(flow) < watermark;
+            SteerDecision::FastPath { mark: low }
+        } else {
+            // Credits exhausted (or no RX descriptor): elastic buffering
+            // instead of a drop — no spurious CCA trigger (Table 1).
+            self.sync_rule(st, now, flow, SteerAction::SlowPath);
+            SteerDecision::SlowPath { mark }
+        }
+    }
+
+    fn on_fast_drop(&mut self, _st: &mut HostState, _now: Time, flow: FlowId) {
+        // The dropped packet's credit must not leak.
+        self.credits.release(flow, 1);
+    }
+
+    fn on_batch_consumed(
+        &mut self,
+        st: &mut HostState,
+        now: Time,
+        flow: FlowId,
+        fast_pkts: u32,
+        slow_pkts: u32,
+        msgs: u32,
+    ) {
+        let _ = slow_pkts;
+        // Lazy release (§4.1): credits return only when the driver sees a
+        // completion — and for RDMA-style flows that is the
+        // write-with-immediate at a *message* boundary. Consumed credits
+        // accumulate until a message tail passes through the batch, which
+        // is continuous for single-packet RPC messages and rare-and-bulky
+        // for huge transfers — exactly the asymmetry that degrades
+        // CPU-bypass flows to the slow path first. Credits of
+        // deprioritized flows are diverted to the pool (§4.1 Q3).
+        let pending = {
+            let Some(c) = self.ctl.get_mut(&flow) else {
+                // Torn-down flow: return credits straight to the pool.
+                self.credits.release_to_pool(flow, fast_pkts as u64);
+                return;
+            };
+            c.pending_release += fast_pkts as u64;
+            if msgs == 0 {
+                return;
+            }
+            std::mem::take(&mut c.pending_release)
+        };
+        if pending > 0 {
+            let divert = self.cfg.reallocate
+                && self.ctl.get(&flow).map(|c| c.deprioritized).unwrap_or(false);
+            if divert {
+                self.credits.release_to_pool(flow, pending);
+            } else {
+                self.credits.release(flow, pending);
+            }
+            st.nic_arm.execute(now, st.cfg.nic.arm_credit_op);
+        }
+        if let Some(c) = self.ctl.get_mut(&flow) {
+            c.last_activity = now;
+        }
+    }
+
+    fn on_driver_poll(&mut self, st: &mut HostState, now: Time, flow: FlowId) -> DrainRequest {
+        let Some(f) = st.flows.get(&flow) else {
+            return DrainRequest::NONE;
+        };
+        // Blocking recv() keeps a single DMA read outstanding; async_recv
+        // pipelines up to one drain batch so drained-but-unconsumed data
+        // stays within the credit reserve.
+        if !self.cfg.async_fetch && f.slow_fetch_inflight > 0 {
+            return DrainRequest::NONE;
+        }
+        // Bound the fetch pipeline at two drain batches in flight per flow
+        // (enough to cover the PCIe read round trip at line rate).
+        if f.slow_fetch_inflight >= 2 * self.cfg.drain_batch {
+            return DrainRequest::NONE;
+        }
+        let drainable = f
+            .slow_queue
+            .front()
+            .map(|sp| sp.ready_at_nic <= now)
+            .unwrap_or(false);
+        if drainable {
+            DrainRequest {
+                fetch: self.cfg.drain_batch,
+                sync: !self.cfg.async_fetch,
+            }
+        } else {
+            DrainRequest::NONE
+        }
+    }
+
+    fn on_slow_arrived(&mut self, _st: &mut HostState, now: Time, flow: FlowId, _pkts: u32) {
+        if let Some(c) = self.ctl.get_mut(&flow) {
+            c.last_activity = now;
+        }
+    }
+
+    fn on_controller_poll(&mut self, st: &mut HostState, now: Time) {
+        let ids: Vec<FlowId> = self.ctl.keys().copied().collect();
+        let mut active: Vec<FlowId> = Vec::new();
+        let mut to_mark: Vec<FlowId> = Vec::new();
+        let mut to_reclaim: Vec<FlowId> = Vec::new();
+        for flow in ids {
+            // Poll the steering counter (the hardware credit-consumption
+            // signal the controller tracks, Fig. 6).
+            let _hits = st.rmt.poll_hits(&flow);
+            st.nic_arm.execute(now, st.cfg.nic.arm_credit_op);
+            let Some(f) = st.flows.get(&flow) else {
+                continue;
+            };
+            let c = self.ctl.get_mut(&flow).expect("ctl tracks flows");
+            let consumed = f.counters.consumed_pkts;
+            let arrivals = f.nic_seq_next;
+            if consumed > c.consumed_at_last_poll || arrivals > c.arrivals_at_last_poll {
+                c.last_activity = now;
+            }
+            // Slow-path overload: production has outrun consumption — the
+            // CCA trigger of §4.1 Q2.
+            let slow_len = f.slow_queue.len();
+            if slow_len > self.cfg.slow_overload_threshold && slow_len >= c.slow_len_at_last_poll {
+                to_mark.push(flow);
+            }
+            // Message-size classification (§4.1 Q3, "network information
+            // such as message size"): flows with huge observed messages
+            // replenish credits rarely and in bulk — the CPU-bypass
+            // signature. Their credits fund small-message flows instead.
+            let est_msg_pkts = if let Some(per_msg) =
+                f.counters.consumed_pkts.checked_div(f.counters.msgs_completed)
+            {
+                per_msg
+            } else if f.counters.consumed_pkts > 2 * st.cfg.cpu.batch_size as u64 {
+                // Many packets consumed, no message boundary yet: the
+                // message is at least that large.
+                f.counters.consumed_pkts
+            } else {
+                0 // not enough evidence
+            };
+            let bypass_like = est_msg_pkts > self.cfg.bypass_msg_threshold;
+            if self.cfg.reallocate && bypass_like && !c.deprioritized {
+                c.deprioritized = true;
+                self.stats.deprioritized_marks += 1;
+                to_reclaim.push(flow);
+            } else if !bypass_like && c.deprioritized {
+                c.deprioritized = false;
+            }
+            // Level-triggered inactivity on *arrivals*: as long as the
+            // sender is quiet, every poll sweeps whatever credits have
+            // accumulated (including late lazy releases) back to the pool.
+            let arrival_idle = now.since(c.last_arrival);
+            if self.cfg.reallocate {
+                let quiet = arrival_idle > self.cfg.inactivity_timeout;
+                if quiet && !c.inactive {
+                    self.stats.reclaims += 1;
+                }
+                c.inactive = quiet;
+                if quiet {
+                    to_reclaim.push(flow);
+                }
+            }
+            if !c.inactive && !c.deprioritized {
+                active.push(flow);
+            }
+            c.consumed_at_last_poll = consumed;
+            c.arrivals_at_last_poll = arrivals;
+            c.slow_len_at_last_poll = slow_len;
+        }
+        for flow in to_mark {
+            st.mark_flow(now, flow);
+            self.stats.cca_triggers += 1;
+        }
+        if self.cfg.reallocate {
+            for flow in to_reclaim {
+                if self.credits.reclaim(flow) > 0 {
+                    st.nic_arm.execute(now, st.cfg.nic.arm_credit_op);
+                }
+            }
+            // Re-grant pooled credits to active flows (Algorithm 1's
+            // reallocation of recycled credits). Priority is relative:
+            // when every flow is deprioritized (e.g. a pure-DFS tenant),
+            // the pool goes back to all of them evenly.
+            if self.credits.free_pool() > 0 {
+                if active.is_empty() {
+                    active = self.ctl.keys().copied().collect();
+                }
+                active.sort_unstable();
+                self.credits.grant_evenly(&active);
+            }
+            // Round-robin re-activation backstop (§4.1 Q3 fairness).
+            while now >= self.next_rr {
+                self.next_rr += self.cfg.rr_reactivate_interval;
+                if self.rr_order.is_empty() {
+                    continue;
+                }
+                self.rr_cursor %= self.rr_order.len();
+                let flow = self.rr_order[self.rr_cursor];
+                self.rr_cursor = (self.rr_cursor + 1) % self.rr_order.len();
+                if let Some(c) = self.ctl.get_mut(&flow) {
+                    // Re-activate flows parked off the fast path — whether
+                    // idle (credits reclaimed) or deprioritized — so every
+                    // flow periodically regains fast-path access (§4.1 Q3
+                    // fairness). Deprioritized flows keep their probe grant
+                    // but stay classified (huge messages re-exhaust it).
+                    if c.inactive || c.deprioritized {
+                        c.inactive = false;
+                        c.last_activity = now;
+                        // A probe-sized grant: a genuinely fast-path flow
+                        // keeps recycling it (lazy release), while a
+                        // CPU-bypass flow exhausts it within one message
+                        // and returns to the slow path.
+                        let share =
+                            self.credits.total() / (self.ctl.len() as u64).max(1) / 4;
+                        self.credits.grant(flow, share.max(1));
+                        self.stats.rr_reactivations += 1;
+                        st.nic_arm.execute(now, st.cfg.nic.arm_credit_op);
+                    }
+                }
+            }
+        }
+        debug_assert!(self.credits.conserved(), "credit conservation violated");
+    }
+
+    fn controller_interval(&self) -> Option<ceio_sim::Duration> {
+        Some(self.cfg.controller_interval)
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests of CEIO's core data structures.
+//!
+//! * The credit manager conserves credits under *any* operation sequence
+//!   (Eq. 1 is only a safety bound if no credit can ever be minted or
+//!   leaked).
+//! * The software ring delivers in exact arrival order under any
+//!   interleaving of fast pushes, slow pushes, fetch completions, and
+//!   receives.
+
+use ceio_core::{CreditManager, SwRing};
+use ceio_net::FlowId;
+use proptest::prelude::*;
+
+/// Operations against the credit manager.
+#[derive(Debug, Clone)]
+enum CreditOp {
+    AddFlows(Vec<u8>),
+    Remove(u8),
+    Consume(u8, u8),
+    Release(u8, u8),
+    Reclaim(u8),
+    Grant(u8, u16),
+    GrantEvenly(Vec<u8>),
+}
+
+fn credit_op() -> impl Strategy<Value = CreditOp> {
+    prop_oneof![
+        prop::collection::vec(0u8..16, 1..4).prop_map(CreditOp::AddFlows),
+        (0u8..16).prop_map(CreditOp::Remove),
+        (0u8..16, 1u8..64).prop_map(|(f, n)| CreditOp::Consume(f, n)),
+        (0u8..16, 1u8..64).prop_map(|(f, n)| CreditOp::Release(f, n)),
+        (0u8..16).prop_map(CreditOp::Reclaim),
+        (0u8..16, 0u16..512).prop_map(|(f, n)| CreditOp::Grant(f, n)),
+        prop::collection::vec(0u8..16, 0..6).prop_map(CreditOp::GrantEvenly),
+    ]
+}
+
+proptest! {
+    /// Conservation invariant: Σ flow credits + pool + outstanding ==
+    /// total, after any sequence of operations, and no counter ever
+    /// exceeds the total.
+    #[test]
+    fn credit_manager_conserves(total in 1u64..5000, ops in prop::collection::vec(credit_op(), 1..200)) {
+        let mut cm = CreditManager::new(total);
+        for op in ops {
+            match op {
+                CreditOp::AddFlows(ids) => {
+                    let ids: Vec<FlowId> = ids.into_iter().map(|i| FlowId(i as u32)).collect();
+                    cm.add_flows(&ids);
+                }
+                CreditOp::Remove(f) => cm.remove_flow(FlowId(f as u32)),
+                CreditOp::Consume(f, n) => {
+                    for _ in 0..n {
+                        cm.try_consume(FlowId(f as u32));
+                    }
+                }
+                CreditOp::Release(f, n) => cm.release(FlowId(f as u32), n as u64),
+                CreditOp::Reclaim(f) => {
+                    cm.reclaim(FlowId(f as u32));
+                }
+                CreditOp::Grant(f, n) => {
+                    cm.grant(FlowId(f as u32), n as u64);
+                }
+                CreditOp::GrantEvenly(ids) => {
+                    let ids: Vec<FlowId> = ids.into_iter().map(|i| FlowId(i as u32)).collect();
+                    cm.grant_evenly(&ids);
+                }
+            }
+            prop_assert!(cm.conserved(), "conservation violated after an op");
+            prop_assert!(cm.outstanding() <= total);
+            prop_assert!(cm.free_pool() <= total);
+        }
+    }
+
+    /// Outstanding credits exactly track successful consumes minus
+    /// releases (clamped at zero), independent of reallocation noise.
+    #[test]
+    fn outstanding_tracks_consume_release(
+        total in 64u64..4096,
+        consumes in 0u64..256,
+        releases in 0u64..256,
+    ) {
+        let mut cm = CreditManager::new(total);
+        cm.add_flows(&[FlowId(1)]);
+        let mut ok = 0u64;
+        for _ in 0..consumes {
+            if cm.try_consume(FlowId(1)) {
+                ok += 1;
+            }
+        }
+        prop_assert_eq!(cm.outstanding(), ok);
+        cm.release(FlowId(1), releases);
+        prop_assert_eq!(cm.outstanding(), ok.saturating_sub(releases));
+        prop_assert!(cm.conserved());
+    }
+}
+
+/// Operations against the software ring.
+#[derive(Debug, Clone)]
+enum RingOp {
+    PushFast,
+    PushSlow,
+    Recv(u8),
+    CompleteFetches,
+}
+
+fn ring_op() -> impl Strategy<Value = RingOp> {
+    prop_oneof![
+        3 => Just(RingOp::PushFast),
+        2 => Just(RingOp::PushSlow),
+        3 => (1u8..64).prop_map(RingOp::Recv),
+        2 => Just(RingOp::CompleteFetches),
+    ]
+}
+
+proptest! {
+    /// In-order delivery: under any interleaving, `async_recv` hands back
+    /// items in exactly the order they were pushed, with no loss or
+    /// duplication, and everything drains once all fetches complete.
+    #[test]
+    fn swring_delivers_in_push_order(ops in prop::collection::vec(ring_op(), 1..300)) {
+        let mut ring: SwRing<u64> = SwRing::new(4096, 16);
+        let mut next = 0u64;
+        let mut delivered: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                RingOp::PushFast => {
+                    if ring.push_fast(next).is_ok() {
+                        next += 1;
+                    }
+                }
+                RingOp::PushSlow => {
+                    ring.push_slow(next);
+                    next += 1;
+                }
+                RingOp::Recv(max) => {
+                    delivered.extend(ring.async_recv(max as usize).delivered);
+                }
+                RingOp::CompleteFetches => {
+                    let inflight = ring.fetching();
+                    ring.fetch_complete(inflight);
+                }
+            }
+        }
+        // Drain: complete fetches and receive until quiescent.
+        for _ in 0..next + 8 {
+            let inflight = ring.fetching();
+            ring.fetch_complete(inflight);
+            let out = ring.async_recv(64);
+            delivered.extend(out.delivered);
+            if ring.is_empty() {
+                break;
+            }
+        }
+        prop_assert!(ring.is_empty(), "ring must drain fully");
+        prop_assert_eq!(delivered.len() as u64, next, "no loss, no duplication");
+        for (i, &v) in delivered.iter().enumerate() {
+            prop_assert_eq!(v, i as u64, "delivery out of order at {}", i);
+        }
+        prop_assert_eq!(ring.delivered(), next);
+    }
+
+    /// The fast ring's occupancy bound is never violated and push_fast
+    /// fails exactly when the bound is reached.
+    #[test]
+    fn swring_fast_capacity_enforced(cap in 1usize..64, pushes in 1usize..200) {
+        let mut ring: SwRing<usize> = SwRing::new(cap, 8);
+        let mut accepted = 0;
+        for i in 0..pushes {
+            if ring.push_fast(i).is_ok() {
+                accepted += 1;
+            }
+            prop_assert!(ring.fast_occupancy() <= cap);
+        }
+        prop_assert_eq!(accepted, pushes.min(cap));
+    }
+}

@@ -1,0 +1,24 @@
+//! # ceio-cpu — host CPU model
+//!
+//! Models the CPU side of stage ⑤ in Fig. 2: dedicated cores polling RX
+//! rings (DPDK-style, §2.3 pins one core per I/O flow) and handing payloads
+//! to applications.
+//!
+//! * [`CpuCore`] — a busy-until execution timeline per core with
+//!   busy/packet accounting. The *memory* portion of packet processing (LLC
+//!   hit vs DRAM miss) is charged by the host machine through `ceio-mem`;
+//!   the core charges only compute.
+//! * [`Application`] — the consumer interface: given a received packet,
+//!   report the compute time, copy bytes, and response bytes it generates.
+//!   `ceio-apps` implements the paper's workloads against this trait.
+//! * [`CpuParams`] — polling cadence and batch size (DPDK burst of 32).
+
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod core;
+pub mod params;
+
+pub use app::{AppWork, Application};
+pub use core::{CoreStats, CpuCore};
+pub use params::CpuParams;

@@ -1,0 +1,93 @@
+//! Whole-host configuration: one struct bundling every subsystem's
+//! parameters plus the machine-level knobs experiments sweep.
+
+use ceio_cpu::CpuParams;
+use ceio_mem::MemParams;
+use ceio_net::NetParams;
+use ceio_nic::NicParams;
+use ceio_pcie::PcieParams;
+use ceio_sim::Duration;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one simulated receive host.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HostConfig {
+    /// Memory hierarchy parameters.
+    pub mem: MemParams,
+    /// PCIe parameters.
+    pub pcie: PcieParams,
+    /// NIC parameters.
+    pub nic: NicParams,
+    /// Network parameters.
+    pub net: NetParams,
+    /// CPU parameters.
+    pub cpu: CpuParams,
+    /// I/O buffer size (§4.1 uses 2 KB for a 1500 B MTU).
+    pub buf_bytes: u64,
+    /// Per-flow host RX ring capacity (descriptors).
+    pub ring_entries: usize,
+    /// NIC-internal staging capacity for packets awaiting DMA issue
+    /// (MAC/packet buffer); overflow here is a drop.
+    pub nic_staging_bytes: u64,
+    /// Measurement window for time-series sampling.
+    pub sample_window: Duration,
+    /// Copy throughput of a core, expressed as ns per KiB copied
+    /// (≈ 20 GB/s per core at the default 50 ns/KiB).
+    pub copy_ns_per_kib: u64,
+    /// Number of host cores serving flows. `None` dedicates one core per
+    /// flow (the §2.3 setup); `Some(k)` shares `k` polling cores across all
+    /// flows round-robin (the Fig. 12 thousands-of-flows setup).
+    pub num_cores: Option<usize>,
+    /// RNG seed for the whole run.
+    pub seed: u64,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            mem: MemParams::default(),
+            pcie: PcieParams::default(),
+            nic: NicParams::default(),
+            net: NetParams::default(),
+            cpu: CpuParams::default(),
+            buf_bytes: 2048,
+            ring_entries: 1024,
+            nic_staging_bytes: 256 << 10,
+            sample_window: Duration::millis(1),
+            copy_ns_per_kib: 50,
+            num_cores: None,
+            seed: 0xCE10,
+        }
+    }
+}
+
+impl HostConfig {
+    /// The paper's credit total for this configuration (Eq. 1).
+    pub fn credit_total(&self) -> u64 {
+        self.mem.credit_total(self.buf_bytes)
+    }
+
+    /// Copy time on a core for `bytes` of memcpy.
+    pub fn copy_time(&self, bytes: u64) -> Duration {
+        Duration::nanos(bytes * self.copy_ns_per_kib / 1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_credit_total_matches_eq1() {
+        let c = HostConfig::default();
+        assert_eq!(c.credit_total(), (6 << 20) / 2048);
+    }
+
+    #[test]
+    fn copy_time_scales_linearly() {
+        let c = HostConfig::default();
+        assert_eq!(c.copy_time(1024), Duration::nanos(50));
+        assert_eq!(c.copy_time(4096), Duration::nanos(200));
+        assert_eq!(c.copy_time(0), Duration::ZERO);
+    }
+}

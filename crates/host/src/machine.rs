@@ -1,0 +1,963 @@
+//! The receive-host machine: composes all substrate models and dispatches
+//! the full packet lifecycle of Fig. 2.
+//!
+//! Event flow per packet:
+//!
+//! ```text
+//! Emit ─▶ (ingress link: serialize, ECN/drop) ─▶ NicRx
+//!   NicRx: RMT/policy steer
+//!     FastPath ─▶ [DMA credit + pacing] ─▶ HostArrive (IIO stage)
+//!                   ─▶ HostRetire (LLC/DRAM retire) ─▶ flow.ready
+//!     SlowPath ─▶ on-NIC memory ─▶ flow.slow_queue (await driver drain)
+//!     Drop     ─▶ loss feedback to DCTCP
+//!   CorePoll: driver poll hook (slow drain) + in-order batch delivery to
+//!             the app, charging memory stalls, compute, copies
+//! ```
+//!
+//! The machine is generic over the [`IoPolicy`]; the policy sees
+//! [`HostState`] (everything except itself), which keeps borrows simple and
+//! the plumbing identical across CEIO and the baselines.
+
+use crate::config::HostConfig;
+use crate::flowstate::{FlowState, ReadyPkt, SlowPkt};
+use crate::measure::{Measurements, RunReport};
+use crate::policy::{IoPolicy, SteerDecision};
+use ceio_cpu::{Application, CpuCore};
+use ceio_mem::{BufferId, MemoryController};
+use ceio_net::generator::Pacing;
+use ceio_net::ingress::IngressOutcome;
+use ceio_net::{Dctcp, FlowClass, FlowId, FlowSpec, IngressLink, Packet, Scenario, ScenarioEvent, TrafficGen};
+use ceio_nic::{ArmCore, OnboardMemory, RmtEngine, SteerAction};
+use ceio_pcie::DmaEngine;
+use ceio_sim::{Bandwidth, EventQueue, Histogram, Model, Rng, Simulation, Time};
+use std::collections::{HashMap, VecDeque};
+
+/// Machine events.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// Apply scenario event `idx`.
+    ScenarioStep(usize),
+    /// A flow's sender emits its next packet. `epoch` must match the
+    /// flow's current emission epoch (stale chains are dropped after a
+    /// demand retarget).
+    Emit {
+        /// The emitting flow.
+        flow: FlowId,
+        /// Emission-chain epoch.
+        epoch: u64,
+    },
+    /// A packet arrived at the NIC from the wire.
+    NicRx(Packet),
+    /// DMA-written data arrived at the host IIO buffer.
+    HostArrive {
+        /// The packet.
+        pkt: Packet,
+        /// Host buffer it lands in.
+        buf: BufferId,
+        /// Per-flow NIC-arrival sequence number.
+        nic_seq: u64,
+        /// Whether this data travelled the slow path.
+        via_slow: bool,
+    },
+    /// The memory controller retired the data (readable by the CPU).
+    HostRetire {
+        /// The packet.
+        pkt: Packet,
+        /// Host buffer.
+        buf: BufferId,
+        /// Sequence number.
+        nic_seq: u64,
+        /// Slow-path flag.
+        via_slow: bool,
+    },
+    /// A core polls its flow's rings.
+    CorePoll(usize),
+    /// Periodic policy controller loop.
+    ControllerPoll,
+    /// Close a measurement window.
+    Sample,
+    /// Retry pending DMA issues (pacing gap elapsed).
+    Pump,
+}
+
+/// Constructor for per-flow application consumers.
+pub type AppFactory = Box<dyn FnMut(&FlowSpec) -> Box<dyn Application>>;
+
+/// A packet waiting in NIC staging for a DMA issue slot.
+#[derive(Debug, Clone, Copy)]
+struct PendingDma {
+    pkt: Packet,
+    buf: BufferId,
+    nic_seq: u64,
+    via_slow: bool,
+}
+
+/// Everything in the machine except the policy. Policies receive
+/// `&mut HostState` in every hook.
+pub struct HostState {
+    /// Configuration of this host.
+    pub cfg: HostConfig,
+    /// Deterministic RNG (forked per flow).
+    pub rng: Rng,
+    /// All flows ever started (inactive ones retained for reporting).
+    pub flows: HashMap<FlowId, FlowState>,
+    /// Per-flow applications.
+    pub apps: HashMap<FlowId, Box<dyn Application>>,
+    app_factory: AppFactory,
+    /// The shared receiver link.
+    pub ingress: IngressLink,
+    /// The NIC's RMT steering engine (policies program it).
+    pub rmt: RmtEngine<FlowId>,
+    /// On-NIC elastic-buffer memory.
+    pub onboard: OnboardMemory,
+    /// On-NIC ARM control core (policies charge their work here).
+    pub nic_arm: ArmCore,
+    /// PCIe DMA engine and link.
+    pub dma: DmaEngine,
+    /// Host memory hierarchy.
+    pub memctrl: MemoryController,
+    /// Host CPU cores (index = core id).
+    pub cores: Vec<CpuCore>,
+    core_flows: Vec<Vec<FlowId>>,
+    core_rr: Vec<usize>,
+    flows_started: usize,
+    poll_queued: Vec<bool>,
+    nic_pending: VecDeque<PendingDma>,
+    nic_pending_bytes: u64,
+    iio_pending: VecDeque<PendingDma>,
+    pump_scheduled: bool,
+    /// NIC→host DMA pacing rate installed by policies (HostCC throttling).
+    pub dma_pace: Option<Bandwidth>,
+    dma_pace_until: Time,
+    next_buf_id: u64,
+    scenario: Vec<(Time, ScenarioEvent)>,
+    /// Live measurements.
+    pub meas: Measurements,
+    /// Packets dropped anywhere on the receive path.
+    pub dropped_total: u64,
+    /// Deliveries stalled by an ordering gap while later data was ready.
+    pub ordering_stalls: u64,
+    /// End-to-end latency of fast-path deliveries (post-warmup).
+    pub fast_latency: Histogram,
+    /// End-to-end latency of slow-path deliveries (post-warmup).
+    pub slow_latency: Histogram,
+    pacing: Pacing,
+}
+
+impl HostState {
+    /// Allocate a fresh host I/O buffer id.
+    fn alloc_buf(&mut self) -> BufferId {
+        let id = BufferId(self.next_buf_id);
+        self.next_buf_id += 1;
+        id
+    }
+
+    /// Apply ECN feedback for one delivered packet to its sender.
+    fn feedback(&mut self, now: Time, flow: FlowId, marked: bool) {
+        if let Some(f) = self.flows.get_mut(&flow) {
+            f.cca.on_feedback(now, marked);
+        }
+    }
+
+    /// Signal a receive-path loss to the sender's congestion controller.
+    pub fn signal_loss(&mut self, now: Time, flow: FlowId) {
+        if let Some(f) = self.flows.get_mut(&flow) {
+            f.cca.on_loss(now);
+        }
+    }
+
+    /// Apply a controller-initiated ECN mark to a flow (receiver-side CCA
+    /// trigger, as HostCC and CEIO's slow-path overload detection do).
+    pub fn mark_flow(&mut self, now: Time, flow: FlowId) {
+        self.feedback(now, flow, true);
+    }
+
+    /// Install or clear the NIC DMA pacing rate (HostCC's throttle knob).
+    pub fn set_dma_pace(&mut self, pace: Option<Bandwidth>) {
+        self.dma_pace = pace;
+    }
+
+    /// IIO buffer occupancy fraction (HostCC's congestion signal).
+    pub fn iio_fraction(&self) -> f64 {
+        self.memctrl.iio.occupancy_fraction()
+    }
+
+    /// Sum of host-ring outstanding entries across all flows (the ShRing
+    /// shared-capacity view).
+    pub fn total_ring_outstanding(&self) -> u64 {
+        self.flows
+            .values()
+            .map(|f| f.ring_outstanding() as u64)
+            .sum()
+    }
+
+    /// Ids of flows that are currently active (still emitting).
+    pub fn active_flow_ids(&self) -> Vec<FlowId> {
+        let mut ids: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.active)
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Slow-queue length of a flow (packets parked in on-NIC memory).
+    pub fn slow_queue_len(&self, flow: FlowId) -> usize {
+        self.flows.get(&flow).map(|f| f.slow_queue.len()).unwrap_or(0)
+    }
+
+    /// Reset all measurements at `now` (end of warmup).
+    pub fn reset_measurements(&mut self, now: Time) {
+        let s = self.memctrl.llc.stats();
+        let (h, m) = (s.hits, s.misses);
+        self.meas.reset(now, h, m);
+        self.fast_latency.clear();
+        self.slow_latency.clear();
+        self.ordering_stalls = 0;
+        self.dropped_total = 0;
+        for f in self.flows.values_mut() {
+            f.latency.clear();
+            f.counters = Default::default();
+        }
+    }
+
+    /// Build the final report for this run.
+    pub fn report(&self, now: Time, policy: &str) -> RunReport {
+        let measured = now.since(self.meas.started_at);
+        let secs = measured.as_secs_f64().max(1e-12);
+        let mut involved_latency = Histogram::new();
+        let mut bypass_latency = Histogram::new();
+        for f in self.flows.values() {
+            match f.spec.class {
+                FlowClass::CpuInvolved => involved_latency.merge(&f.latency),
+                FlowClass::CpuBypass => bypass_latency.merge(&f.latency),
+            }
+        }
+        let s = self.memctrl.llc.stats();
+        let dh = s.hits - self.meas.hits_at_start;
+        let dm = s.misses - self.meas.misses_at_start;
+        let llc_miss_rate = if dh + dm == 0 {
+            0.0
+        } else {
+            dm as f64 / (dh + dm) as f64
+        };
+        RunReport {
+            policy: policy.to_string(),
+            measured,
+            involved_mpps: self.meas.total_involved_pkts as f64 / secs / 1e6,
+            involved_gbps: self.meas.total_involved_bytes as f64 * 8.0 / secs / 1e9,
+            bypass_gbps: self.meas.total_bypass_bytes as f64 * 8.0 / secs / 1e9,
+            bypass_mpps: self.meas.total_bypass_pkts as f64 / secs / 1e6,
+            llc_miss_rate,
+            involved_latency,
+            bypass_latency,
+            dropped: self.dropped_total,
+            slow_path_pkts: self.meas.slow_path_pkts,
+            fast_path_gbps: self.meas.fast_path_bytes as f64 * 8.0 / secs / 1e9,
+            slow_path_gbps: self.meas.slow_path_bytes as f64 * 8.0 / secs / 1e9,
+            fast_latency: self.fast_latency.clone(),
+            slow_latency: self.slow_latency.clone(),
+            ordering_stalls: self.ordering_stalls,
+            involved_mpps_series: self.meas.involved_mpps.clone(),
+            bypass_gbps_series: self.meas.bypass_gbps.clone(),
+            miss_series: self.meas.miss_rate.clone(),
+        }
+    }
+}
+
+/// The machine: host state plus the policy under test.
+pub struct Machine<P: IoPolicy> {
+    /// All simulated state.
+    pub st: HostState,
+    /// The I/O management policy.
+    pub policy: P,
+}
+
+impl<P: IoPolicy> Machine<P> {
+    /// Build a machine and seed its event queue with the scenario,
+    /// controller polls, and sampling; returns a ready-to-run simulation.
+    ///
+    /// `app_factory` constructs the application consuming each flow.
+    pub fn build(
+        cfg: HostConfig,
+        policy: P,
+        scenario: Scenario,
+        app_factory: AppFactory,
+    ) -> Simulation<Machine<P>> {
+        let mut rng = Rng::seed_from_u64(cfg.seed);
+        let st = HostState {
+            rng: rng.fork(),
+            flows: HashMap::new(),
+            apps: HashMap::new(),
+            app_factory,
+            ingress: IngressLink::new(cfg.net.clone()),
+            rmt: RmtEngine::new(SteerAction::FastPath { queue: 0 }),
+            onboard: OnboardMemory::new(
+                cfg.nic.onboard_capacity,
+                cfg.nic.onboard_bandwidth,
+                cfg.nic.onboard_base_latency,
+            ),
+            nic_arm: ArmCore::new(),
+            dma: DmaEngine::new(cfg.pcie.clone()),
+            memctrl: MemoryController::new(cfg.mem.clone()),
+            cores: Vec::new(),
+            core_flows: Vec::new(),
+            core_rr: Vec::new(),
+            flows_started: 0,
+            poll_queued: Vec::new(),
+            nic_pending: VecDeque::new(),
+            nic_pending_bytes: 0,
+            iio_pending: VecDeque::new(),
+            pump_scheduled: false,
+            dma_pace: None,
+            dma_pace_until: Time::ZERO,
+            next_buf_id: 0,
+            scenario: scenario.events.clone(),
+            meas: Measurements::new(cfg.sample_window),
+            dropped_total: 0,
+            ordering_stalls: 0,
+            fast_latency: Histogram::new(),
+            slow_latency: Histogram::new(),
+            pacing: Pacing::Poisson,
+            cfg,
+        };
+        let mut sim = Simulation::new(Machine { st, policy });
+        for (idx, (at, _)) in sim.model.st.scenario.iter().enumerate() {
+            sim.queue.schedule_at(*at, Event::ScenarioStep(idx));
+        }
+        if let Some(iv) = sim.model.policy.controller_interval() {
+            sim.queue.schedule_at(Time::ZERO + iv, Event::ControllerPoll);
+        }
+        let w = sim.model.st.cfg.sample_window;
+        sim.queue.schedule_at(Time::ZERO + w, Event::Sample);
+        sim
+    }
+
+    /// Use CBR pacing instead of Poisson (latency-benchmark style runs).
+    pub fn set_cbr_pacing(&mut self) {
+        self.st.pacing = Pacing::Cbr;
+    }
+
+    fn new_core(&mut self) -> usize {
+        self.st.cores.push(CpuCore::new());
+        self.st.core_flows.push(Vec::new());
+        self.st.core_rr.push(0);
+        self.st.poll_queued.push(false);
+        self.st.cores.len() - 1
+    }
+
+    fn start_flow(&mut self, now: Time, spec: FlowSpec, queue: &mut EventQueue<Event>) {
+        let core = match self.st.cfg.num_cores {
+            // Shared-core mode: k polling cores, flows assigned round-robin.
+            Some(k) => {
+                while self.st.cores.len() < k.max(1) {
+                    self.new_core();
+                }
+                self.st.flows_started % k.max(1)
+            }
+            // Dedicated-core mode (§2.3): one core per flow, reusing cores
+            // whose flow has finished and drained.
+            None => match self.st.core_flows.iter().position(|f| f.is_empty()) {
+                Some(i) => i,
+                None => self.new_core(),
+            },
+        };
+        self.st.flows_started += 1;
+        let id = spec.id;
+        self.st.core_flows[core].push(id);
+        let gen = TrafficGen::new(
+            spec.clone(),
+            self.st.pacing,
+            self.st.rng.fork(),
+            id.0 as u64,
+        );
+        let cca = Dctcp::new(spec.demand, self.st.cfg.net.rtt);
+        let app = (self.st.app_factory)(&spec);
+        let ring_cap = self.st.cfg.ring_entries as u32;
+        self.st
+            .flows
+            .insert(id, FlowState::new(spec, cca, gen, core, ring_cap));
+        self.st.apps.insert(id, app);
+        self.policy.on_flow_start(&mut self.st, now, id);
+        queue.schedule_at(now, Event::Emit { flow: id, epoch: 0 });
+        self.schedule_poll(queue, now, core);
+    }
+
+    fn stop_flow(&mut self, now: Time, id: FlowId) {
+        // Connection teardown: undelivered backlog is freed, not processed
+        // — the application never sees data of a closed connection, and
+        // its buffers (host LLC residency, on-NIC parking) return at once.
+        if let Some(f) = self.st.flows.get_mut(&id) {
+            f.active = false;
+            let (drained, parked_bytes) = f.teardown_backlog();
+            for rp in drained {
+                self.st.memctrl.consume(rp.buf);
+            }
+            self.st.onboard.discard(parked_bytes);
+        }
+        self.policy.on_flow_stop(&mut self.st, now, id);
+    }
+
+    fn schedule_poll(&mut self, queue: &mut EventQueue<Event>, at: Time, core: usize) {
+        if !self.st.poll_queued[core] {
+            self.st.poll_queued[core] = true;
+            queue.schedule_at(at.max(queue.now()), Event::CorePoll(core));
+        }
+    }
+
+    fn on_emit(&mut self, now: Time, id: FlowId, epoch: u64, queue: &mut EventQueue<Event>) {
+        let Some(f) = self.st.flows.get_mut(&id) else {
+            return;
+        };
+        if f.emit_epoch != epoch {
+            return; // stale chain after a demand retarget
+        }
+        if !f.active || now >= f.spec.stop {
+            f.active = false;
+            return;
+        }
+        if f.cca.paused() {
+            return; // chain ends; SetDemand restarts it
+        }
+        f.cca.tick(now);
+        let mut pkt = f.gen.emit(now);
+        let rate = f.cca.rate();
+        let next = f.gen.next_emission(now, rate);
+        match self.st.ingress.offer(now, pkt.bytes) {
+            IngressOutcome::Delivered { arrival, marked } => {
+                pkt.ecn = marked;
+                pkt.arrived_nic = arrival;
+                queue.schedule_at(arrival, Event::NicRx(pkt));
+            }
+            IngressOutcome::Dropped => {
+                // Network drop, visible to the sender as loss.
+                self.st.dropped_total += 1;
+                if let Some(f) = self.st.flows.get_mut(&id) {
+                    f.counters.dropped += 1;
+                    f.accounted += 1;
+                }
+                self.st.signal_loss(now, id);
+            }
+        }
+        queue.schedule_at(next, Event::Emit { flow: id, epoch });
+    }
+
+    fn on_nic_rx(&mut self, now: Time, pkt: Packet, queue: &mut EventQueue<Event>) {
+        if !self.st.flows.contains_key(&pkt.flow) {
+            self.st.dropped_total += 1;
+            return;
+        }
+        let decision = self.policy.steer(&mut self.st, now, &pkt);
+        let fw = self.st.cfg.nic.firmware_per_packet;
+        match decision {
+            SteerDecision::FastPath { mark } => {
+                self.st.feedback(now, pkt.flow, pkt.ecn || mark);
+                let f = self.st.flows.get_mut(&pkt.flow).expect("checked above");
+                if f.ring_free() == 0 {
+                    // No RX descriptor: the NIC must drop.
+                    f.counters.dropped += 1;
+                    f.accounted += 1;
+                    self.st.dropped_total += 1;
+                    self.st.signal_loss(now, pkt.flow);
+                    self.policy.on_fast_drop(&mut self.st, now, pkt.flow);
+                    return;
+                }
+                if self.st.nic_pending_bytes + pkt.bytes > self.st.cfg.nic_staging_bytes {
+                    // NIC staging overflow while DMA is backpressured.
+                    let f = self.st.flows.get_mut(&pkt.flow).expect("checked above");
+                    f.counters.dropped += 1;
+                    f.accounted += 1;
+                    self.st.dropped_total += 1;
+                    self.st.signal_loss(now, pkt.flow);
+                    self.policy.on_fast_drop(&mut self.st, now, pkt.flow);
+                    return;
+                }
+                let f = self.st.flows.get_mut(&pkt.flow).expect("checked above");
+                f.ring_inflight += 1;
+                let nic_seq = f.take_seq();
+                let buf = self.st.alloc_buf();
+                self.st.nic_pending.push_back(PendingDma {
+                    pkt,
+                    buf,
+                    nic_seq,
+                    via_slow: false,
+                });
+                self.st.nic_pending_bytes += pkt.bytes;
+                self.pump(queue, now + fw);
+            }
+            SteerDecision::SlowPath { mark } => {
+                self.st.feedback(now, pkt.flow, pkt.ecn || mark);
+                match self.st.onboard.write(now + fw, pkt.bytes) {
+                    Some(ready_at_nic) => {
+                        let f = self.st.flows.get_mut(&pkt.flow).expect("checked above");
+                        let nic_seq = f.take_seq();
+                        f.slow_queue.push_back(SlowPkt {
+                            pkt,
+                            nic_seq,
+                            ready_at_nic,
+                        });
+                        f.counters.slow_pkts += 1;
+                    }
+                    None => {
+                        let f = self.st.flows.get_mut(&pkt.flow).expect("checked above");
+                        f.counters.dropped += 1;
+                        f.accounted += 1;
+                        self.st.dropped_total += 1;
+                        self.st.signal_loss(now, pkt.flow);
+                    }
+                }
+            }
+            SteerDecision::Drop { loss } => {
+                let f = self.st.flows.get_mut(&pkt.flow).expect("checked above");
+                f.counters.dropped += 1;
+                f.accounted += 1;
+                self.st.dropped_total += 1;
+                if loss {
+                    self.st.signal_loss(now, pkt.flow);
+                }
+            }
+        }
+    }
+
+    /// Issue as many pending DMA writes as credits and pacing allow.
+    fn pump(&mut self, queue: &mut EventQueue<Event>, now: Time) {
+        while let Some(front) = self.st.nic_pending.front() {
+            let bytes = front.pkt.bytes;
+            // Pacing gate (HostCC throttle).
+            if self.st.dma_pace.is_some() && self.st.dma_pace_until > now {
+                if !self.st.pump_scheduled {
+                    self.st.pump_scheduled = true;
+                    queue.schedule_at(self.st.dma_pace_until, Event::Pump);
+                }
+                break;
+            }
+            match self.st.dma.try_write(now, bytes) {
+                Ok(arrival) => {
+                    let pd = self.st.nic_pending.pop_front().expect("front exists");
+                    self.st.nic_pending_bytes -= bytes;
+                    if let Some(pace) = self.st.dma_pace {
+                        let gap = pace.transfer_time(bytes);
+                        self.st.dma_pace_until = self.st.dma_pace_until.max(now) + gap;
+                    }
+                    queue.schedule_at(
+                        arrival,
+                        Event::HostArrive {
+                            pkt: pd.pkt,
+                            buf: pd.buf,
+                            nic_seq: pd.nic_seq,
+                            via_slow: pd.via_slow,
+                        },
+                    );
+                }
+                Err(_) => break, // retried when a credit frees
+            }
+        }
+    }
+
+    fn on_host_arrive(
+        &mut self,
+        now: Time,
+        pkt: Packet,
+        buf: BufferId,
+        nic_seq: u64,
+        via_slow: bool,
+        queue: &mut EventQueue<Event>,
+    ) {
+        if self.st.memctrl.stage(pkt.bytes) {
+            if !via_slow {
+                self.st.dma.complete_write();
+            }
+            // Slow-path drain completions retire uncached (straight to
+            // DRAM): cold-path data must not flush fast-path LLC residents.
+            let done = if via_slow {
+                self.st.memctrl.retire_uncached(now, pkt.bytes)
+            } else {
+                self.st.memctrl.retire(now, buf, pkt.bytes).0
+            };
+            queue.schedule_at(
+                done,
+                Event::HostRetire {
+                    pkt,
+                    buf,
+                    nic_seq,
+                    via_slow,
+                },
+            );
+            self.pump(queue, now);
+        } else {
+            self.st.iio_pending.push_back(PendingDma {
+                pkt,
+                buf,
+                nic_seq,
+                via_slow,
+            });
+        }
+    }
+
+    fn on_host_retire(
+        &mut self,
+        now: Time,
+        pkt: Packet,
+        buf: BufferId,
+        nic_seq: u64,
+        via_slow: bool,
+        queue: &mut EventQueue<Event>,
+    ) {
+        self.st.memctrl.retire_done(pkt.bytes);
+
+        let mut poll_core = None;
+        if let Some(f) = self.st.flows.get_mut(&pkt.flow) {
+            if via_slow {
+                f.slow_fetch_inflight = f.slow_fetch_inflight.saturating_sub(1);
+            } else {
+                f.ring_inflight = f.ring_inflight.saturating_sub(1);
+            }
+            if f.is_stale(nic_seq) {
+                // In-flight packet of a torn-down connection: free it.
+                f.accounted += 1;
+                self.st.memctrl.consume(buf);
+            } else {
+                if !via_slow {
+                    f.ring_occupancy += 1;
+                }
+                f.ready.insert(
+                    nic_seq,
+                    ReadyPkt {
+                        pkt,
+                        buf,
+                        ready: now,
+                        via_slow,
+                    },
+                );
+                poll_core = Some(f.core);
+            }
+        } else {
+            // Flow torn down: release the buffer.
+            self.st.memctrl.consume(buf);
+        }
+        if via_slow {
+            self.policy.on_slow_arrived(&mut self.st, now, pkt.flow, 1);
+        }
+
+        // IIO space freed at retire: admit parked arrivals.
+        while let Some(front) = self.st.iio_pending.front().copied() {
+            if self.st.memctrl.stage(front.pkt.bytes) {
+                self.st.iio_pending.pop_front();
+                if !front.via_slow {
+                    self.st.dma.complete_write();
+                }
+                let done = if front.via_slow {
+                    self.st.memctrl.retire_uncached(now, front.pkt.bytes)
+                } else {
+                    self.st.memctrl.retire(now, front.buf, front.pkt.bytes).0
+                };
+                queue.schedule_at(
+                    done,
+                    Event::HostRetire {
+                        pkt: front.pkt,
+                        buf: front.buf,
+                        nic_seq: front.nic_seq,
+                        via_slow: front.via_slow,
+                    },
+                );
+            } else {
+                break;
+            }
+        }
+        self.pump(queue, now);
+        if let Some(core) = poll_core {
+            self.schedule_poll(queue, now, core);
+        }
+    }
+
+    /// Execute a slow-path fetch of up to `fetch` packets for `flow`.
+    /// Returns the host-arrival instant plus the fetched batch (the caller
+    /// schedules the `HostArrive` events), or `None` if nothing was fetched.
+    fn do_slow_fetch(&mut self, now: Time, flow: FlowId, fetch: u32) -> Option<(Time, Vec<SlowPkt>)> {
+        let f = self.st.flows.get_mut(&flow)?;
+        let mut batch: Vec<SlowPkt> = Vec::new();
+        let mut total = 0u64;
+        while batch.len() < fetch as usize {
+            match f.slow_queue.front() {
+                Some(sp) if sp.ready_at_nic <= now => {
+                    total += sp.pkt.bytes;
+                    batch.push(f.slow_queue.pop_front().expect("front exists"));
+                }
+                _ => break,
+            }
+        }
+        if batch.is_empty() {
+            return None;
+        }
+        match self.st.dma.try_read_request(now) {
+            Ok(at_nic) => {
+                let f = self.st.flows.get_mut(&flow).expect("exists");
+                f.slow_fetch_inflight += batch.len() as u32;
+                let data_ready = self.st.onboard.read(at_nic, total);
+                let at_host = self.st.dma.read_completion(data_ready, total);
+                Some((at_host, batch))
+            }
+            Err(_) => {
+                // No read credit: return the batch to the queue, in order.
+                let f = self.st.flows.get_mut(&flow).expect("exists");
+                for sp in batch.into_iter().rev() {
+                    f.slow_queue.push_front(sp);
+                }
+                None
+            }
+        }
+    }
+
+    fn on_core_poll(&mut self, now: Time, core: usize, queue: &mut EventQueue<Event>) {
+        self.st.poll_queued[core] = false;
+        // Drop finished-and-drained flows from this core's service list.
+        self.st.core_flows[core].retain(|id| {
+            self.st
+                .flows
+                .get(id)
+                .map(|f| f.active || f.has_pending_work())
+                .unwrap_or(false)
+        });
+        let served = self.st.core_flows[core].clone();
+        if served.is_empty() {
+            return;
+        }
+
+        // Round-robin across the flows this core serves; the first flow
+        // with deliverable work gets this poll's batch. Delivery always
+        // precedes new slow-path fetches: a blocking recv() returns the
+        // data that already landed before it issues (and waits on) another
+        // DMA read, otherwise a busy slow path would starve the consumer.
+        let n = served.len();
+        let start = self.st.core_rr[core] % n;
+        let mut selected: Option<(FlowId, Vec<ReadyPkt>, FlowClass)> = None;
+        let mut sync_stall: Option<Time> = None;
+        for k in 0..n {
+            let flow_id = served[(start + k) % n];
+            let batch_size = self.st.cfg.cpu.batch_size;
+            let (batch, gap_stall, class) = {
+                let f = self.st.flows.get_mut(&flow_id).expect("retained above");
+                let batch = f.take_deliverable(now, batch_size);
+                let gap_stall = batch.is_empty()
+                    && f.ready
+                        .first_key_value()
+                        .map(|(&seq, rp)| seq != f.next_deliver_seq && rp.ready <= now)
+                        .unwrap_or(false);
+                (batch, gap_stall, f.spec.class)
+            };
+            if !batch.is_empty() {
+                // async_recv() overlap: kick the next slow-path fetch
+                // while this batch is processed (§4.2).
+                let drain = self.policy.on_driver_poll(&mut self.st, now, flow_id);
+                if drain.fetch > 0 && !drain.sync {
+                    if let Some((at_host, fetched)) =
+                        self.do_slow_fetch(now, flow_id, drain.fetch)
+                    {
+                        for sp in fetched {
+                            let buf = self.st.alloc_buf();
+                            queue.schedule_at(
+                                at_host,
+                                Event::HostArrive {
+                                    pkt: sp.pkt,
+                                    buf,
+                                    nic_seq: sp.nic_seq,
+                                    via_slow: true,
+                                },
+                            );
+                        }
+                    }
+                }
+                self.st.core_rr[core] = (start + k + 1) % n;
+                selected = Some((flow_id, batch, class));
+                break;
+            }
+            if gap_stall {
+                self.st.ordering_stalls += 1;
+            }
+            // Nothing deliverable: drain the slow path (blocking recv()
+            // stalls the core until the fetch lands).
+            let drain = self.policy.on_driver_poll(&mut self.st, now, flow_id);
+            if drain.fetch > 0 {
+                if let Some((at_host, fetched)) = self.do_slow_fetch(now, flow_id, drain.fetch) {
+                    for sp in fetched {
+                        let buf = self.st.alloc_buf();
+                        queue.schedule_at(
+                            at_host,
+                            Event::HostArrive {
+                                pkt: sp.pkt,
+                                buf,
+                                nic_seq: sp.nic_seq,
+                                via_slow: true,
+                            },
+                        );
+                    }
+                    if drain.sync {
+                        sync_stall = Some(at_host);
+                        break;
+                    }
+                }
+            }
+        }
+
+        let Some((flow_id, batch, class)) = selected else {
+            self.st.cores[core].count_poll(false);
+            let next = match sync_stall {
+                Some(t) => t.max(now + self.st.cfg.cpu.poll_interval),
+                None => now + self.st.cfg.cpu.poll_interval,
+            };
+            self.schedule_poll(queue, next, core);
+            return;
+        };
+
+        self.st.cores[core].count_poll(true);
+        let mut t = now;
+        let mut fast = 0u32;
+        let mut slow = 0u32;
+        let mut msgs = 0u32;
+        for rp in &batch {
+            // DRAM traffic of the whole batch is issued at poll start (the
+            // driver prefetches descriptors/buffers ahead of the consuming
+            // loop); the core still stalls for whatever has not arrived by
+            // the time it reaches this packet. Charging at `now` also keeps
+            // the DRAM server timeline causal across concurrent events.
+            //
+            // A demand miss stalls the core for at least the DRAM load
+            // latency — payload reads are not software-prefetched — plus
+            // whatever queueing the shared DRAM server has not drained by
+            // the time the core reaches this packet (§2.2's extra cycles).
+            // Slow-path buffers were retired uncached and are read from
+            // DRAM, without touching the DDIO partition's statistics. They
+            // are *streamed*: the driver knows the exact addresses the DMA
+            // read just filled and prefetches them, so only DRAM bandwidth
+            // and queueing are charged, not the demand-miss latency floor.
+            let mem_stall = if rp.via_slow {
+                let ready = self.st.memctrl.read_uncached(now, rp.pkt.bytes);
+                ready.since(t)
+            } else {
+                let read = self.st.memctrl.cpu_read(now, rp.buf, rp.pkt.bytes);
+                if read.hit {
+                    read.ready.since(t)
+                } else {
+                    read.ready.since(t).max(self.st.cfg.mem.dram_base_latency)
+                }
+            };
+            let work = self
+                .st
+                .apps
+                .get_mut(&flow_id)
+                .expect("app exists for flow")
+                .process(&rp.pkt);
+            let mut dur = self.st.cfg.cpu.per_packet_overhead + mem_stall + work.cpu;
+            if work.copy_bytes > 0 {
+                self.st.memctrl.app_copy(now, work.copy_bytes);
+                dur += self.st.cfg.copy_time(work.copy_bytes);
+            }
+            t = self.st.cores[core].run(t, dur);
+            self.st.memctrl.consume(rp.buf);
+            self.st.cores[core].count_packet();
+            if rp.pkt.msg_last {
+                msgs += 1;
+            }
+            if rp.via_slow {
+                slow += 1;
+                self.st.slow_latency.record_duration(t.since(rp.pkt.sent_at));
+            } else {
+                fast += 1;
+                self.st.fast_latency.record_duration(t.since(rp.pkt.sent_at));
+            }
+            self.st.meas.record_delivery(class, rp.pkt.bytes, rp.via_slow);
+            let f = self.st.flows.get_mut(&flow_id).expect("exists");
+            f.latency.record_duration(t.since(rp.pkt.sent_at));
+            f.accounted += 1;
+            f.counters.consumed_pkts += 1;
+            f.counters.consumed_bytes += rp.pkt.bytes;
+            if rp.pkt.msg_last {
+                f.counters.msgs_completed += 1;
+            }
+        }
+        // Head-pointer MMIO update closes the batch (lazy release point).
+        t = self.st.cores[core].run(t, self.st.cfg.cpu.head_update);
+        self.policy
+            .on_batch_consumed(&mut self.st, t, flow_id, fast, slow, msgs);
+        self.schedule_poll(queue, t, core);
+    }
+}
+
+impl<P: IoPolicy> Machine<P> {
+    fn scenario_step(&mut self, now: Time, idx: usize, queue: &mut EventQueue<Event>) {
+        let (_, ev) = self.st.scenario[idx].clone();
+        match ev {
+            ScenarioEvent::Start(spec) => self.start_flow(now, spec, queue),
+            ScenarioEvent::Stop(id) => self.stop_flow(now, id),
+            ScenarioEvent::SetDemand(id, demand) => {
+                if let Some(f) = self.st.flows.get_mut(&id) {
+                    f.cca.set_demand(demand);
+                    f.emit_epoch += 1;
+                    let epoch = f.emit_epoch;
+                    if f.active && !f.cca.paused() {
+                        queue.schedule_at(now, Event::Emit { flow: id, epoch });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Run a machine for `warmup`, reset measurements, run `measure` more, and
+/// return the final report. This is the standard experiment entry point.
+pub fn run_to_report<P: IoPolicy>(
+    sim: &mut Simulation<Machine<P>>,
+    warmup: ceio_sim::Duration,
+    measure: ceio_sim::Duration,
+) -> RunReport {
+    let t_warm = Time::ZERO + warmup;
+    sim.run_until(t_warm, u64::MAX);
+    sim.model.st.reset_measurements(t_warm);
+    let t_end = t_warm + measure;
+    sim.run_until(t_end, u64::MAX);
+    let name = sim.model.policy.name().to_string();
+    sim.model.st.report(t_end, &name)
+}
+
+impl<P: IoPolicy> Model for Machine<P> {
+    type Event = Event;
+
+    fn handle(&mut self, now: Time, event: Event, queue: &mut EventQueue<Event>) {
+        match event {
+            Event::ScenarioStep(idx) => self.scenario_step(now, idx, queue),
+            Event::Emit { flow, epoch } => self.on_emit(now, flow, epoch, queue),
+            Event::NicRx(pkt) => self.on_nic_rx(now, pkt, queue),
+            Event::HostArrive {
+                pkt,
+                buf,
+                nic_seq,
+                via_slow,
+            } => self.on_host_arrive(now, pkt, buf, nic_seq, via_slow, queue),
+            Event::HostRetire {
+                pkt,
+                buf,
+                nic_seq,
+                via_slow,
+            } => self.on_host_retire(now, pkt, buf, nic_seq, via_slow, queue),
+            Event::CorePoll(core) => self.on_core_poll(now, core, queue),
+            Event::ControllerPoll => {
+                self.policy.on_controller_poll(&mut self.st, now);
+                if let Some(iv) = self.policy.controller_interval() {
+                    queue.schedule_in(iv, Event::ControllerPoll);
+                }
+            }
+            Event::Sample => {
+                let s = self.st.memctrl.llc.stats();
+                let (h, m) = (s.hits, s.misses);
+                self.st.meas.close_window(now, h, m);
+                queue.schedule_in(self.st.cfg.sample_window, Event::Sample);
+            }
+            Event::Pump => {
+                self.st.pump_scheduled = false;
+                self.pump(queue, now);
+            }
+        }
+    }
+}

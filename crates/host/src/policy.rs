@@ -1,0 +1,147 @@
+//! The I/O management policy interface.
+//!
+//! A policy is "the thing at the entrance of the I/O system" (§2.3's
+//! insight): it sees every packet before DMA, owns the steering decision,
+//! and reacts to host-side consumption. CEIO, HostCC, ShRing, and the
+//! unmanaged legacy datapath are all implementations.
+
+use crate::machine::HostState;
+use ceio_net::{FlowId, Packet};
+use ceio_sim::{Duration, Time};
+
+/// Steering decision for one packet at the NIC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SteerDecision {
+    /// Legacy I/O: DMA toward the host ring.
+    ///
+    /// `mark` requests a receiver-side ECN mark (fed back to the sender's
+    /// DCTCP), used by policies that trigger CCAs on host congestion.
+    FastPath {
+        /// Apply an ECN congestion mark to this packet's feedback.
+        mark: bool,
+    },
+    /// Elastic buffering: park the packet in on-NIC memory.
+    SlowPath {
+        /// Apply an ECN congestion mark to this packet's feedback.
+        mark: bool,
+    },
+    /// Refuse the packet.
+    Drop {
+        /// Whether the drop is visible to the sender as a loss (triggers a
+        /// CCA rate cut). Silent drops model e.g. admission filtering.
+        loss: bool,
+    },
+}
+
+/// A slow-path drain order returned from the driver-poll hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DrainRequest {
+    /// Number of slow-path packets to DMA-read toward the host now.
+    pub fetch: u32,
+    /// `true`: synchronous `recv()` semantics — the core stalls until the
+    /// data lands. `false`: `async_recv()` semantics — reads overlap with
+    /// fast-path processing (§4.2).
+    pub sync: bool,
+}
+
+impl DrainRequest {
+    /// "Nothing to drain."
+    pub const NONE: DrainRequest = DrainRequest {
+        fetch: 0,
+        sync: false,
+    };
+}
+
+/// The I/O management policy plugged into the host machine.
+///
+/// Every hook receives the machine state *except the policy itself* and the
+/// current simulated time. Hooks that model on-NIC work should charge the
+/// ARM core via `st.nic_arm` so control-plane cost is visible.
+pub trait IoPolicy {
+    /// Short name used in reports ("CEIO", "HostCC", "ShRing", "Baseline").
+    fn name(&self) -> &'static str;
+
+    /// A flow was established (connection setup): allocate control state,
+    /// install steering rules.
+    fn on_flow_start(&mut self, st: &mut HostState, now: Time, flow: FlowId);
+
+    /// A flow terminated: release control state and credits.
+    fn on_flow_stop(&mut self, st: &mut HostState, now: Time, flow: FlowId);
+
+    /// A packet arrived at the NIC (after firmware RX): steer it.
+    fn steer(&mut self, st: &mut HostState, now: Time, pkt: &Packet) -> SteerDecision;
+
+    /// The driver finished delivering a batch to the application and
+    /// advanced the head pointer: the lazy credit-release point (§4.1).
+    /// `fast_pkts`/`slow_pkts` count the batch by path; `msgs` counts
+    /// completed messages in the batch.
+    fn on_batch_consumed(
+        &mut self,
+        st: &mut HostState,
+        now: Time,
+        flow: FlowId,
+        fast_pkts: u32,
+        slow_pkts: u32,
+        msgs: u32,
+    );
+
+    /// A packet this policy steered to the fast path was dropped before its
+    /// DMA was issued (RX descriptor exhaustion or NIC staging overflow).
+    /// Credit-based policies refund the packet's credit here.
+    fn on_fast_drop(&mut self, st: &mut HostState, now: Time, flow: FlowId) {
+        let _ = (st, now, flow);
+    }
+
+    /// The driver polled this flow's rings (each `recv()`/`async_recv()`
+    /// call): decide whether to drain the slow path.
+    fn on_driver_poll(&mut self, st: &mut HostState, now: Time, flow: FlowId) -> DrainRequest {
+        let _ = (st, now, flow);
+        DrainRequest::NONE
+    }
+
+    /// Drained slow-path packets landed in host memory (completion of a
+    /// fetch issued by [`IoPolicy::on_driver_poll`]).
+    fn on_slow_arrived(&mut self, st: &mut HostState, now: Time, flow: FlowId, pkts: u32) {
+        let _ = (st, now, flow, pkts);
+    }
+
+    /// Periodic controller loop (ARM-core poll of steering counters and
+    /// host congestion signals). Only called if
+    /// [`IoPolicy::controller_interval`] returns `Some`.
+    fn on_controller_poll(&mut self, st: &mut HostState, now: Time) {
+        let _ = (st, now);
+    }
+
+    /// Controller polling period, or `None` for policies with no control
+    /// loop (legacy).
+    fn controller_interval(&self) -> Option<Duration> {
+        None
+    }
+}
+
+/// The unmanaged legacy datapath: everything to the fast path, no control
+/// loop. This is the paper's "Baseline" and lives here (rather than in
+/// `ceio-baselines`) because the machine's own tests need a trivial policy.
+#[derive(Debug, Default, Clone)]
+pub struct UnmanagedPolicy;
+
+impl IoPolicy for UnmanagedPolicy {
+    fn name(&self) -> &'static str {
+        "Baseline"
+    }
+    fn on_flow_start(&mut self, _: &mut HostState, _: Time, _: FlowId) {}
+    fn on_flow_stop(&mut self, _: &mut HostState, _: Time, _: FlowId) {}
+    fn steer(&mut self, _: &mut HostState, _: Time, _: &Packet) -> SteerDecision {
+        SteerDecision::FastPath { mark: false }
+    }
+    fn on_batch_consumed(
+        &mut self,
+        _: &mut HostState,
+        _: Time,
+        _: FlowId,
+        _: u32,
+        _: u32,
+        _: u32,
+    ) {
+    }
+}

@@ -1,0 +1,34 @@
+//! # ceio-mem — host memory hierarchy model
+//!
+//! Models the three host-side memory components on the NIC→CPU data path of
+//! CEIO (Fig. 2 of the paper):
+//!
+//! * [`IioBuffer`] — the Integrated I/O buffer that PCIe writes land in
+//!   before the memory controller drains them (stage ②→③). Its occupancy is
+//!   the congestion signal HostCC monitors.
+//! * [`IoLlc`] — the DDIO-reachable partition of the Last-Level Cache,
+//!   modelled as an occupancy-LRU pool of I/O buffers. In-flight I/O bytes
+//!   beyond its capacity evict the least-recently-written buffers to DRAM
+//!   *before the CPU reads them* — the premature-eviction pathology that all
+//!   of §2.2 is about.
+//! * [`Dram`] — a FIFO bandwidth server with a base load latency; CPU misses
+//!   and DDIO evictions contend here for the same bandwidth, reproducing the
+//!   §2.2 observation that misses burn memory bandwidth needed by CPU-bypass
+//!   flows.
+//!
+//! [`MemoryController`] glues the three together and is the single entry
+//! point the host machine uses for DMA writes and CPU reads.
+
+#![warn(missing_docs)]
+
+pub mod dram;
+pub mod iio;
+pub mod llc;
+pub mod memctrl;
+pub mod params;
+
+pub use dram::Dram;
+pub use iio::IioBuffer;
+pub use llc::{BufferId, IoLlc, LlcStats};
+pub use memctrl::{CpuReadOutcome, DmaWriteOutcome, MemoryController};
+pub use params::MemParams;

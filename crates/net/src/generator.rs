@@ -1,0 +1,180 @@
+//! Per-flow paced traffic generation.
+//!
+//! Each flow has one generator that emits packets at the flow's current
+//! DCTCP rate, segmenting messages into packets and flagging message tails.
+//! Pacing is deterministic CBR with optional exponential (Poisson) jitter —
+//! open-loop, as in the paper's saturating client setup (§6.1).
+
+use crate::flow::FlowSpec;
+use crate::packet::{Packet, PacketId};
+use ceio_sim::{Bandwidth, Duration, Rng, Time};
+
+/// Pacing discipline for a generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pacing {
+    /// Constant bit rate: packets exactly `bytes/rate` apart.
+    Cbr,
+    /// Poisson arrivals with mean inter-arrival `bytes/rate`.
+    Poisson,
+}
+
+/// A per-flow traffic generator.
+#[derive(Debug)]
+pub struct TrafficGen {
+    spec: FlowSpec,
+    pacing: Pacing,
+    rng: Rng,
+    next_packet_id: u64,
+    msg_id: u64,
+    msg_seq: u32,
+    emitted: u64,
+}
+
+impl TrafficGen {
+    /// A generator for `spec`, drawing jitter from `rng`.
+    ///
+    /// `id_base` partitions the global packet-id space between flows
+    /// (each generator may emit up to 2^32 packets).
+    pub fn new(spec: FlowSpec, pacing: Pacing, rng: Rng, id_base: u64) -> TrafficGen {
+        TrafficGen {
+            spec,
+            pacing,
+            rng,
+            next_packet_id: id_base << 32,
+            msg_id: 0,
+            msg_seq: 0,
+            emitted: 0,
+        }
+    }
+
+    /// The flow specification this generator follows.
+    #[inline]
+    pub fn spec(&self) -> &FlowSpec {
+        &self.spec
+    }
+
+    /// Packets emitted so far.
+    #[inline]
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Inter-packet gap at the given sending rate.
+    pub fn gap(&self, rate: Bandwidth) -> Duration {
+        rate.transfer_time(self.spec.packet_bytes)
+    }
+
+    /// Instant of the next emission after `now` at `rate`.
+    pub fn next_emission(&mut self, now: Time, rate: Bandwidth) -> Time {
+        let base = self.gap(rate);
+        match self.pacing {
+            Pacing::Cbr => now + base,
+            Pacing::Poisson => {
+                let jittered = self.rng.gen_exp(base.as_nanos() as f64).round() as u64;
+                now + Duration::nanos(jittered.max(1))
+            }
+        }
+    }
+
+    /// Emit the next packet at `sent_at`.
+    pub fn emit(&mut self, sent_at: Time) -> Packet {
+        let id = PacketId(self.next_packet_id);
+        self.next_packet_id += 1;
+        self.emitted += 1;
+
+        let msg_id = self.msg_id;
+        let msg_seq = self.msg_seq;
+        let msg_last = self.msg_seq + 1 >= self.spec.msg_packets.max(1);
+        if msg_last {
+            self.msg_id += 1;
+            self.msg_seq = 0;
+        } else {
+            self.msg_seq += 1;
+        }
+
+        Packet {
+            id,
+            flow: self.spec.id,
+            bytes: self.spec.packet_bytes,
+            msg_id,
+            msg_seq,
+            msg_last,
+            sent_at,
+            arrived_nic: Time::MAX,
+            ecn: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowClass;
+
+    fn gen(msg_packets: u32, pacing: Pacing) -> TrafficGen {
+        let spec = FlowSpec::new(3, FlowClass::CpuInvolved, 1024, msg_packets, Bandwidth::gbps(25));
+        TrafficGen::new(spec, pacing, Rng::seed_from_u64(1), 3)
+    }
+
+    #[test]
+    fn cbr_gap_is_exact() {
+        let mut g = gen(1, Pacing::Cbr);
+        let next = g.next_emission(Time(0), Bandwidth::gbps(8));
+        // 1024 B at 1 GB/s = 1024 ns.
+        assert_eq!(next, Time(1024));
+    }
+
+    #[test]
+    fn message_segmentation_flags_tail() {
+        let mut g = gen(4, Pacing::Cbr);
+        let flags: Vec<bool> = (0..8).map(|i| g.emit(Time(i)).msg_last).collect();
+        assert_eq!(flags, vec![false, false, false, true, false, false, false, true]);
+        let p = g.emit(Time(9));
+        assert_eq!(p.msg_id, 2);
+        assert_eq!(p.msg_seq, 0);
+    }
+
+    #[test]
+    fn single_packet_messages_always_tail() {
+        let mut g = gen(1, Pacing::Cbr);
+        for i in 0..5 {
+            let p = g.emit(Time(i));
+            assert!(p.msg_last);
+            assert_eq!(p.msg_id, i);
+        }
+    }
+
+    #[test]
+    fn packet_ids_unique_and_namespaced() {
+        let mut a = gen(1, Pacing::Cbr);
+        let spec_b = FlowSpec::new(4, FlowClass::CpuBypass, 1024, 1, Bandwidth::gbps(25));
+        let mut b = TrafficGen::new(spec_b, Pacing::Cbr, Rng::seed_from_u64(2), 4);
+        let pa = a.emit(Time(0));
+        let pb = b.emit(Time(0));
+        assert_ne!(pa.id, pb.id);
+        assert_eq!(pa.id.0 >> 32, 3);
+        assert_eq!(pb.id.0 >> 32, 4);
+    }
+
+    #[test]
+    fn poisson_mean_gap_matches_rate() {
+        let mut g = gen(1, Pacing::Poisson);
+        let rate = Bandwidth::gbps(8); // 1024 ns mean gap
+        let n = 50_000;
+        let mut now = Time(0);
+        let mut total = 0u64;
+        for _ in 0..n {
+            let next = g.next_emission(now, rate);
+            total += next.since(now).as_nanos();
+            now = next;
+        }
+        let mean = total as f64 / n as f64;
+        assert!((mean - 1024.0).abs() < 20.0, "mean gap {mean}");
+    }
+
+    #[test]
+    fn zero_msg_packets_behaves_as_one() {
+        let mut g = gen(0, Pacing::Cbr);
+        assert!(g.emit(Time(0)).msg_last);
+    }
+}

@@ -1,0 +1,31 @@
+//! # ceio-nic — SmartNIC model
+//!
+//! Models the BlueField-3-class SmartNIC that CEIO is implemented on (§5):
+//!
+//! * [`ring`] — fixed-capacity hardware descriptor rings with
+//!   producer/consumer pointers; the legacy fast-path RX rings, the CEIO
+//!   slow-path ring, and ShRing's shared ring are all instances.
+//! * [`rmt`] — the reconfigurable match-action (RMT) flow-steering engine:
+//!   per-flow rules with updatable actions and hit counters, exactly the
+//!   interface CEIO's flow controller programs (§4.1, Fig. 6).
+//! * [`onboard`] — the on-NIC DRAM used for elastic buffering: a bandwidth
+//!   server with the internal-PCIe-switch penalty the paper measures
+//!   (§6.4), plus byte-capacity accounting.
+//! * [`arm`] — the on-NIC ARM core that runs the CEIO runtime: a busy-until
+//!   server charging per-operation costs for table updates and credit
+//!   management, so control-plane overhead is visible in results (Fig. 11
+//!   shows it is negligible — our model lets us verify that, not assume it).
+
+#![warn(missing_docs)]
+
+pub mod arm;
+pub mod onboard;
+pub mod params;
+pub mod ring;
+pub mod rmt;
+
+pub use arm::ArmCore;
+pub use onboard::OnboardMemory;
+pub use params::NicParams;
+pub use ring::HwRing;
+pub use rmt::{RmtEngine, SteerAction};

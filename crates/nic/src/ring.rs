@@ -1,0 +1,218 @@
+//! Fixed-capacity hardware descriptor ring.
+//!
+//! Producer/consumer semantics mirror real NIC rings: the producer (NIC
+//! firmware or DMA engine) advances the tail as packets land; the consumer
+//! (driver) advances the head as packets are handed to the application. A
+//! full ring rejects pushes — the caller decides whether that is a drop
+//! (legacy NIC, ShRing) or backpressure (CEIO slow path).
+
+use serde::Serialize;
+use std::collections::VecDeque;
+
+/// Ring statistics.
+#[derive(Debug, Default, Clone, Serialize)]
+pub struct RingStats {
+    /// Entries successfully pushed.
+    pub pushed: u64,
+    /// Pushes rejected because the ring was full.
+    pub rejected: u64,
+    /// Entries popped by the consumer.
+    pub popped: u64,
+    /// Occupancy high-water mark.
+    pub peak_occupancy: usize,
+}
+
+/// A bounded FIFO descriptor ring.
+#[derive(Debug)]
+pub struct HwRing<T> {
+    entries: VecDeque<T>,
+    capacity: usize,
+    stats: RingStats,
+    /// Cumulative count of entries ever pushed; serves as the HW tail
+    /// pointer in the SW-ring protocol of §4.2.
+    tail_seq: u64,
+    /// Cumulative count of entries ever popped; the HW head pointer.
+    head_seq: u64,
+}
+
+impl<T> HwRing<T> {
+    /// An empty ring holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> HwRing<T> {
+        HwRing {
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            stats: RingStats::default(),
+            tail_seq: 0,
+            head_seq: 0,
+        }
+    }
+
+    /// Push an entry; returns it back if the ring is full.
+    pub fn try_push(&mut self, item: T) -> Result<(), T> {
+        if self.entries.len() >= self.capacity {
+            self.stats.rejected += 1;
+            return Err(item);
+        }
+        self.entries.push_back(item);
+        self.tail_seq += 1;
+        self.stats.pushed += 1;
+        self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.entries.len());
+        Ok(())
+    }
+
+    /// Pop the oldest entry.
+    pub fn pop(&mut self) -> Option<T> {
+        let item = self.entries.pop_front()?;
+        self.head_seq += 1;
+        self.stats.popped += 1;
+        Some(item)
+    }
+
+    /// Peek the oldest entry without consuming it.
+    pub fn peek(&self) -> Option<&T> {
+        self.entries.front()
+    }
+
+    /// Current occupancy.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ring is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the ring is full.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Configured capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Free slots remaining.
+    #[inline]
+    pub fn free(&self) -> usize {
+        self.capacity - self.entries.len()
+    }
+
+    /// Occupancy as a fraction of capacity.
+    pub fn occupancy_fraction(&self) -> f64 {
+        if self.capacity == 0 {
+            return 0.0;
+        }
+        self.entries.len() as f64 / self.capacity as f64
+    }
+
+    /// Cumulative producer (tail) pointer.
+    #[inline]
+    pub fn tail_seq(&self) -> u64 {
+        self.tail_seq
+    }
+
+    /// Cumulative consumer (head) pointer.
+    #[inline]
+    pub fn head_seq(&self) -> u64 {
+        self.head_seq
+    }
+
+    /// Read-only statistics.
+    #[inline]
+    pub fn stats(&self) -> &RingStats {
+        &self.stats
+    }
+
+    /// Drain all entries (used when tearing down a flow).
+    pub fn drain_all(&mut self) -> Vec<T> {
+        let drained: Vec<T> = self.entries.drain(..).collect();
+        self.head_seq += drained.len() as u64;
+        self.stats.popped += drained.len() as u64;
+        drained
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut r = HwRing::new(4);
+        for i in 0..4 {
+            r.try_push(i).unwrap();
+        }
+        assert_eq!(r.pop(), Some(0));
+        assert_eq!(r.pop(), Some(1));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn full_ring_rejects_and_returns_item() {
+        let mut r = HwRing::new(2);
+        r.try_push("a").unwrap();
+        r.try_push("b").unwrap();
+        assert_eq!(r.try_push("c"), Err("c"));
+        assert!(r.is_full());
+        assert_eq!(r.stats().rejected, 1);
+    }
+
+    #[test]
+    fn pointers_are_cumulative() {
+        let mut r = HwRing::new(2);
+        r.try_push(1).unwrap();
+        r.try_push(2).unwrap();
+        r.pop();
+        r.try_push(3).unwrap();
+        assert_eq!(r.tail_seq(), 3);
+        assert_eq!(r.head_seq(), 1);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut r = HwRing::new(2);
+        r.try_push(7).unwrap();
+        assert_eq!(r.peek(), Some(&7));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn occupancy_fraction_and_free() {
+        let mut r = HwRing::new(4);
+        r.try_push(0).unwrap();
+        assert_eq!(r.free(), 3);
+        assert!((r.occupancy_fraction() - 0.25).abs() < 1e-12);
+        let empty: HwRing<u8> = HwRing::new(0);
+        assert_eq!(empty.occupancy_fraction(), 0.0);
+    }
+
+    #[test]
+    fn drain_all_advances_head() {
+        let mut r = HwRing::new(4);
+        for i in 0..3 {
+            r.try_push(i).unwrap();
+        }
+        let drained = r.drain_all();
+        assert_eq!(drained, vec![0, 1, 2]);
+        assert_eq!(r.head_seq(), 3);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn peak_occupancy_tracked() {
+        let mut r = HwRing::new(8);
+        for i in 0..5 {
+            r.try_push(i).unwrap();
+        }
+        r.pop();
+        r.pop();
+        assert_eq!(r.stats().peak_occupancy, 5);
+    }
+}

@@ -1,0 +1,191 @@
+//! The PCIe DMA engine: credit-limited outstanding transfers over a
+//! [`PcieLink`].
+//!
+//! Writes (NIC→host packet uploads) are posted: they consume a write credit
+//! when issued and release it when the host memory controller retires the
+//! data. Reads (host→NIC slow-path fetches) are non-posted: a request TLP
+//! travels to the NIC, the data is fetched there, and a completion travels
+//! back. Credit exhaustion models the PCIe-credit starvation of §2.2.
+
+use crate::link::{Direction, PcieLink};
+use crate::params::PcieParams;
+use ceio_sim::Time;
+use serde::Serialize;
+
+/// Why a DMA could not be issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DmaError {
+    /// All posted-write credits are in flight.
+    NoWriteCredit,
+    /// All non-posted-read credits are in flight.
+    NoReadCredit,
+}
+
+impl std::fmt::Display for DmaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DmaError::NoWriteCredit => write!(f, "no PCIe write credits available"),
+            DmaError::NoReadCredit => write!(f, "no PCIe read credits available"),
+        }
+    }
+}
+
+impl std::error::Error for DmaError {}
+
+/// Engine statistics.
+#[derive(Debug, Default, Clone, Serialize)]
+pub struct DmaStats {
+    /// Writes issued.
+    pub writes: u64,
+    /// Reads issued.
+    pub reads: u64,
+    /// Write attempts rejected for lack of credits.
+    pub write_stalls: u64,
+    /// Read attempts rejected for lack of credits.
+    pub read_stalls: u64,
+}
+
+/// The DMA engine. Owns the link; the host machine owns the engine.
+#[derive(Debug)]
+pub struct DmaEngine {
+    /// The underlying full-duplex link (public: stats & direct transfers).
+    pub link: PcieLink,
+    inflight_writes: u32,
+    inflight_reads: u32,
+    stats: DmaStats,
+}
+
+impl DmaEngine {
+    /// An engine over a fresh link with the given parameters.
+    pub fn new(params: PcieParams) -> DmaEngine {
+        DmaEngine {
+            link: PcieLink::new(params),
+            inflight_writes: 0,
+            inflight_reads: 0,
+            stats: DmaStats::default(),
+        }
+    }
+
+    /// Issue a posted DMA write of `payload` bytes toward the host.
+    /// Returns the instant the data arrives at the host IIO buffer.
+    pub fn try_write(&mut self, now: Time, payload: u64) -> Result<Time, DmaError> {
+        if self.inflight_writes >= self.link.params().max_inflight_writes {
+            self.stats.write_stalls += 1;
+            return Err(DmaError::NoWriteCredit);
+        }
+        self.inflight_writes += 1;
+        self.stats.writes += 1;
+        Ok(self.link.transfer(now, Direction::ToHost, payload))
+    }
+
+    /// The host retired a previously issued write: release its credit.
+    pub fn complete_write(&mut self) {
+        debug_assert!(self.inflight_writes > 0, "write completion underflow");
+        self.inflight_writes = self.inflight_writes.saturating_sub(1);
+    }
+
+    /// Issue a non-posted DMA read request (host→NIC). Returns the instant
+    /// the request arrives at the NIC; the caller models the NIC-side fetch
+    /// and then calls [`DmaEngine::read_completion`].
+    pub fn try_read_request(&mut self, now: Time) -> Result<Time, DmaError> {
+        if self.inflight_reads >= self.link.params().max_inflight_reads {
+            self.stats.read_stalls += 1;
+            return Err(DmaError::NoReadCredit);
+        }
+        self.inflight_reads += 1;
+        self.stats.reads += 1;
+        // A read request TLP carries no payload.
+        Ok(self.link.transfer(now, Direction::ToNic, 0))
+    }
+
+    /// The NIC returns `payload` bytes of read completion starting at
+    /// `nic_time`; returns the instant the data lands at the host and
+    /// releases the read credit.
+    pub fn read_completion(&mut self, nic_time: Time, payload: u64) -> Time {
+        debug_assert!(self.inflight_reads > 0, "read completion underflow");
+        self.inflight_reads = self.inflight_reads.saturating_sub(1);
+        self.link.transfer(nic_time, Direction::ToHost, payload)
+    }
+
+    /// An MMIO doorbell write from CPU to NIC: returns the instant it is
+    /// visible at the NIC (the CPU itself is only stalled `mmio_write`).
+    pub fn doorbell(&mut self, now: Time) -> Time {
+        self.link.transfer(now, Direction::ToNic, 8)
+    }
+
+    /// Outstanding posted writes.
+    #[inline]
+    pub fn inflight_writes(&self) -> u32 {
+        self.inflight_writes
+    }
+
+    /// Outstanding non-posted reads.
+    #[inline]
+    pub fn inflight_reads(&self) -> u32 {
+        self.inflight_reads
+    }
+
+    /// Read-only statistics.
+    #[inline]
+    pub fn stats(&self) -> &DmaStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(max_writes: u32, max_reads: u32) -> DmaEngine {
+        DmaEngine::new(PcieParams {
+            max_inflight_writes: max_writes,
+            max_inflight_reads: max_reads,
+            ..PcieParams::default()
+        })
+    }
+
+    #[test]
+    fn write_consumes_and_completion_releases_credit() {
+        let mut e = engine(1, 1);
+        assert!(e.try_write(Time(0), 2048).is_ok());
+        assert_eq!(e.inflight_writes(), 1);
+        assert_eq!(e.try_write(Time(0), 2048), Err(DmaError::NoWriteCredit));
+        e.complete_write();
+        assert!(e.try_write(Time(10_000), 2048).is_ok());
+        assert_eq!(e.stats().write_stalls, 1);
+    }
+
+    #[test]
+    fn read_round_trip_pays_both_directions() {
+        let mut e = engine(8, 8);
+        let at_nic = e.try_read_request(Time(0)).unwrap();
+        assert!(at_nic >= Time(0) + e.link.params().propagation);
+        let at_host = e.read_completion(at_nic, 2048);
+        assert!(at_host > at_nic + e.link.params().propagation);
+        assert_eq!(e.inflight_reads(), 0);
+    }
+
+    #[test]
+    fn read_credits_enforced() {
+        let mut e = engine(8, 2);
+        e.try_read_request(Time(0)).unwrap();
+        e.try_read_request(Time(0)).unwrap();
+        assert_eq!(e.try_read_request(Time(0)), Err(DmaError::NoReadCredit));
+        assert_eq!(e.stats().read_stalls, 1);
+    }
+
+    #[test]
+    fn doorbell_travels_to_nic() {
+        let mut e = engine(8, 8);
+        let at_nic = e.doorbell(Time(0));
+        assert!(at_nic >= Time(0) + e.link.params().propagation);
+    }
+
+    #[test]
+    fn writes_serialize_on_shared_direction() {
+        let mut e = engine(64, 8);
+        let a = e.try_write(Time(0), 4096).unwrap();
+        let b = e.try_write(Time(0), 4096).unwrap();
+        assert!(b > a, "second write must queue behind the first");
+    }
+}

@@ -1,0 +1,26 @@
+//! # ceio-pcie — PCIe interconnect model
+//!
+//! Models the NIC↔host PCIe path of Fig. 2 (stages ①–②):
+//!
+//! * [`tlp`] — Transaction Layer Packet segmentation: payloads are split
+//!   into Max-Payload-Size chunks, each carrying header/framing overhead, so
+//!   small packets cost proportionally more wire bytes.
+//! * [`PcieLink`] — full-duplex serialization servers (one per direction)
+//!   with propagation delay. The NIC→host traversal plus host-side retire is
+//!   the ~1 µs the paper cites for slow-path accesses (§3).
+//! * [`DmaEngine`] — credit-limited outstanding-DMA tracking. When host-side
+//!   retirement is slow, write credits exhaust and the engine stalls — the
+//!   §2.2 mechanism that blocks CPU-bypass flows behind CPU-involved misses.
+//!   MMIO doorbell costs model the driver's pointer updates (§4.2).
+
+#![warn(missing_docs)]
+
+pub mod dma;
+pub mod link;
+pub mod params;
+pub mod tlp;
+
+pub use dma::{DmaEngine, DmaError};
+pub use link::PcieLink;
+pub use params::PcieParams;
+pub use tlp::wire_bytes;

@@ -1,0 +1,83 @@
+//! Transaction Layer Packet sizing.
+//!
+//! A DMA payload is segmented into Max-Payload-Size chunks, each paying the
+//! TLP header/framing overhead. This makes small-packet transfers
+//! proportionally more expensive on the wire — one ingredient of the §6.3
+//! observation that large packets amortize per-packet overheads.
+
+/// Wire bytes consumed by transferring `payload` bytes, given the link's
+/// max payload size and per-TLP overhead.
+///
+/// Zero-byte payloads still cost one TLP (e.g. a zero-length read probe).
+pub fn wire_bytes(payload: u64, max_payload_size: u64, tlp_overhead: u64) -> u64 {
+    let mps = max_payload_size.max(1);
+    let tlps = if payload == 0 {
+        1
+    } else {
+        payload.div_ceil(mps)
+    };
+    payload + tlps * tlp_overhead
+}
+
+/// Number of TLPs a payload splits into.
+pub fn tlp_count(payload: u64, max_payload_size: u64) -> u64 {
+    let mps = max_payload_size.max(1);
+    if payload == 0 {
+        1
+    } else {
+        payload.div_ceil(mps)
+    }
+}
+
+/// Wire efficiency of a payload: payload bytes / wire bytes, in `(0, 1]`.
+pub fn efficiency(payload: u64, max_payload_size: u64, tlp_overhead: u64) -> f64 {
+    if payload == 0 {
+        return 0.0;
+    }
+    payload as f64 / wire_bytes(payload, max_payload_size, tlp_overhead) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_tlp_for_small_payload() {
+        assert_eq!(wire_bytes(64, 256, 24), 64 + 24);
+        assert_eq!(tlp_count(64, 256), 1);
+    }
+
+    #[test]
+    fn exact_boundary_is_one_tlp() {
+        assert_eq!(tlp_count(256, 256), 1);
+        assert_eq!(wire_bytes(256, 256, 24), 256 + 24);
+    }
+
+    #[test]
+    fn large_payload_segments() {
+        // 2048 B at 256 MPS = 8 TLPs.
+        assert_eq!(tlp_count(2048, 256), 8);
+        assert_eq!(wire_bytes(2048, 256, 24), 2048 + 8 * 24);
+    }
+
+    #[test]
+    fn zero_payload_costs_one_tlp() {
+        assert_eq!(wire_bytes(0, 256, 24), 24);
+        assert_eq!(tlp_count(0, 256), 1);
+    }
+
+    #[test]
+    fn efficiency_improves_with_size() {
+        let small = efficiency(64, 256, 24);
+        let large = efficiency(4096, 256, 24);
+        assert!(small < large);
+        assert!(large > 0.9);
+        assert_eq!(efficiency(0, 256, 24), 0.0);
+    }
+
+    #[test]
+    fn degenerate_mps_guarded() {
+        // mps = 0 treated as 1; must not panic or divide by zero.
+        assert_eq!(tlp_count(3, 0), 3);
+    }
+}

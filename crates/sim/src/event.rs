@@ -1,0 +1,209 @@
+//! Deterministic future-event list.
+//!
+//! A binary-heap priority queue keyed by `(time, sequence)`. The sequence
+//! number makes simultaneous events pop in insertion order, which is what
+//! makes whole-simulation replays bit-identical: two events scheduled for the
+//! same nanosecond always dispatch in the order they were scheduled.
+
+use crate::time::{Duration, Time};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event with its scheduled dispatch time.
+#[derive(Debug, Clone)]
+pub struct EventEntry<E> {
+    /// Dispatch instant.
+    pub at: Time,
+    seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for EventEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for EventEntry<E> {}
+
+impl<E> PartialOrd for EventEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for EventEntry<E> {
+    // Reverse ordering: BinaryHeap is a max-heap, we want earliest-first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The future-event list of a simulation.
+///
+/// `E` is the model's event payload type. The queue tracks the current
+/// simulated time; popping an event advances the clock to its dispatch time.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<EventEntry<E>>,
+    now: Time,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: Time::ZERO,
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// The current simulated time (the dispatch time of the last popped
+    /// event, or zero before the first pop).
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Schedule `event` at absolute instant `at`.
+    ///
+    /// Scheduling in the past is a model bug; the event is clamped to `now`
+    /// so causality is preserved, and debug builds panic to flag the bug.
+    pub fn schedule_at(&mut self, at: Time, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduled event in the past: at={at} now={}",
+            self.now
+        );
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(EventEntry { at, seq, event });
+    }
+
+    /// Schedule `event` after a relative delay from now.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: Duration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Pop the earliest event, advancing the clock to its dispatch time.
+    pub fn pop(&mut self) -> Option<EventEntry<E>> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now, "event queue went backwards");
+        self.now = entry.at;
+        Some(entry)
+    }
+
+    /// Dispatch time of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events ever scheduled (for run diagnostics).
+    #[inline]
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time(30), "c");
+        q.schedule_at(Time(10), "a");
+        q.schedule_at(Time(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(Time(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_to_dispatch_time() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time(42), ());
+        assert_eq!(q.now(), Time::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Time(42));
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time(100), 1u8);
+        q.pop();
+        q.schedule_in(Duration::nanos(5), 2u8);
+        let e = q.pop().unwrap();
+        assert_eq!(e.at, Time(105));
+    }
+
+    #[test]
+    fn peek_does_not_advance_clock() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time(9), ());
+        assert_eq!(q.peek_time(), Some(Time(9)));
+        assert_eq!(q.now(), Time::ZERO);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "scheduled event in the past")]
+    fn scheduling_in_the_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time(10), ());
+        q.pop();
+        q.schedule_at(Time(5), ());
+    }
+
+    #[test]
+    fn counters_track_len_and_total() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule_at(Time(1), ());
+        q.schedule_at(Time(2), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.scheduled_total(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.scheduled_total(), 2);
+    }
+}

@@ -1,0 +1,78 @@
+//! Burst absorption: the §2.3 network-burst scenario, watched as a time
+//! series. Eight RPC flows run steadily; every 2 ms, two more burst flows
+//! arrive. The elastic buffer absorbs each burst without loss, while the
+//! unmanaged baseline and the fixed-capacity scheme shed packets and
+//! trigger the congestion-control algorithm.
+//!
+//! ```sh
+//! cargo run --release --example burst_absorption
+//! ```
+
+use ceio::apps::{KvConfig, KvStore};
+use ceio::baselines::{ShRingConfig, ShRingPolicy, UnmanagedPolicy};
+use ceio::core::{CeioConfig, CeioPolicy};
+use ceio::cpu::Application;
+use ceio::host::{run_to_report, HostConfig, IoPolicy, Machine, RunReport};
+use ceio::net::Scenario;
+use ceio::sim::{Bandwidth, Duration};
+
+fn scenario() -> Scenario {
+    Scenario::network_burst(
+        8,
+        2,
+        3,
+        Duration::millis(2),
+        512,
+        Bandwidth::gbps(200),
+    )
+}
+
+fn host_config() -> HostConfig {
+    HostConfig {
+        ring_entries: 16384,
+        ..HostConfig::default()
+    }
+}
+
+fn factory() -> Box<dyn FnMut(&ceio::net::FlowSpec) -> Box<dyn Application>> {
+    Box::new(|_| Box::new(KvStore::new(KvConfig::default())))
+}
+
+fn run<P: IoPolicy>(policy: P) -> RunReport {
+    let mut sim = Machine::build(host_config(), policy, scenario(), factory());
+    run_to_report(&mut sim, Duration::millis(1), Duration::millis(8))
+}
+
+fn main() {
+    println!("Network burst: 8 flows, +2 burst flows every 2 ms\n");
+    let reports = [
+        run(UnmanagedPolicy),
+        run(ShRingPolicy::new(ShRingConfig::default())),
+        run(CeioPolicy::new(CeioConfig {
+            credit_total: host_config().credit_total(),
+            ..CeioConfig::default()
+        })),
+    ];
+    for r in &reports {
+        println!(
+            "{:<10} throughput {:>6.2} Mpps   drops {:>6}   slow-path {:>6}   p99.9 {:>8.1} us",
+            r.policy,
+            r.involved_mpps,
+            r.dropped,
+            r.slow_path_pkts,
+            r.involved_latency.p999() as f64 / 1000.0,
+        );
+        // Per-millisecond throughput trace: watch each burst hit.
+        let pts: Vec<String> = r
+            .involved_mpps_series
+            .points
+            .iter()
+            .map(|(t, v)| format!("{:.0}ms:{:.1}", t.as_millis_f64(), v))
+            .collect();
+        println!("           [{}]\n", pts.join(" "));
+    }
+    println!(
+        "CEIO is the only policy with zero drops: each burst's excess is\n\
+         parked in on-NIC memory and drained as capacity frees up."
+    );
+}

@@ -1,0 +1,89 @@
+//! Mixed tenancy: an RPC service and a distributed file system sharing one
+//! server — the §2.2 "coexistence of CPU-involved/CPU-bypass flows" setup
+//! (common on multi-tenant cloud hosts).
+//!
+//! Four eRPC-style KV flows run alongside four LineFS-style DFS write
+//! streams. Without management, the DFS stream's DDIO traffic continuously
+//! flushes the LLC, evicting the RPC flows' packets before their cores read
+//! them. CEIO's lazy credit release automatically pushes the huge-message
+//! DFS flows onto the elastic slow path, keeping the RPC flows cache-hot.
+//!
+//! ```sh
+//! cargo run --release --example mixed_tenancy
+//! ```
+
+use ceio::apps::{KvConfig, KvStore, LineFs, LineFsConfig};
+use ceio::baselines::UnmanagedPolicy;
+use ceio::core::{CeioConfig, CeioPolicy};
+use ceio::cpu::Application;
+use ceio::host::{run_to_report, HostConfig, IoPolicy, Machine, RunReport};
+use ceio::net::{FlowClass, FlowSpec, Scenario};
+use ceio::sim::{Bandwidth, Duration, Time};
+
+fn scenario() -> Scenario {
+    let mut s = Scenario::new();
+    let share = Bandwidth::gbps(25);
+    for i in 0..4 {
+        s.start_at(
+            Time::ZERO,
+            FlowSpec::new(i, FlowClass::CpuInvolved, 512, 1, share),
+        );
+    }
+    // DFS write streams: 1 MB chunks of 2 KB packets.
+    for i in 4..8 {
+        s.start_at(
+            Time::ZERO,
+            FlowSpec::new(i, FlowClass::CpuBypass, 2048, 512, share),
+        );
+    }
+    s.build()
+}
+
+fn host_config() -> HostConfig {
+    HostConfig {
+        ring_entries: 16384,
+        ..HostConfig::default()
+    }
+}
+
+/// KV store for RPC flows, LineFS for DFS flows — picked per flow class.
+fn factory() -> Box<dyn FnMut(&FlowSpec) -> Box<dyn Application>> {
+    Box::new(|spec| match spec.class {
+        FlowClass::CpuInvolved => Box::new(KvStore::new(KvConfig::default())),
+        FlowClass::CpuBypass => Box::new(LineFs::new(LineFsConfig::default())),
+    })
+}
+
+fn run<P: IoPolicy>(policy: P) -> RunReport {
+    let mut sim = Machine::build(host_config(), policy, scenario(), factory());
+    run_to_report(&mut sim, Duration::millis(2), Duration::millis(5))
+}
+
+fn main() {
+    println!("Mixed tenancy: 4 KV RPC flows + 4 DFS write streams on one host\n");
+    println!(
+        "{:<10} {:>12} {:>12} {:>10} {:>10}",
+        "policy", "RPC Mpps", "DFS Gbps", "LLC miss%", "slow pkts"
+    );
+    for report in [
+        run(UnmanagedPolicy),
+        run(CeioPolicy::new(CeioConfig {
+            credit_total: host_config().credit_total(),
+            ..CeioConfig::default()
+        })),
+    ] {
+        println!(
+            "{:<10} {:>12.2} {:>12.1} {:>10.1} {:>10}",
+            report.policy,
+            report.involved_mpps,
+            report.bypass_gbps,
+            report.llc_miss_rate * 100.0,
+            report.slow_path_pkts,
+        );
+    }
+    println!(
+        "\nCEIO steers the huge-message DFS streams through on-NIC memory\n\
+         (slow pkts > 0) so the latency-sensitive RPC flows keep their LLC\n\
+         residency — no drops, no manual priority tagging."
+    );
+}

@@ -1,0 +1,70 @@
+//! Software-ring walkthrough: the §4.2 / Figure 7 example, step by step,
+//! on the standalone [`SwRing`] driver structure.
+//!
+//! Two messages arrive while only four credits remain: packets #1–#4 take
+//! the fast path, #17–#20 (the figure's buffer ids) land in on-NIC memory.
+//! The driver's non-blocking `async_recv()` returns what is already in
+//! host memory and overlaps the DMA fetches of the rest; ordering is
+//! preserved across the path transition without any per-packet sorting.
+//!
+//! ```sh
+//! cargo run --release --example swring_walkthrough
+//! ```
+
+use ceio::core::SwRing;
+
+fn main() {
+    // Fast HW ring holds 4 descriptors (= the 4 remaining credits);
+    // the driver fetches up to 32 slow-path packets per call.
+    let mut ring: SwRing<u32> = SwRing::new(4, 32);
+
+    println!("-- message 1 arrives: 4 credits left, 6 packets --");
+    for buf in [1u32, 2, 3, 4] {
+        ring.push_fast(buf).expect("fast ring has room");
+        println!("  fast path  <- buffer #{buf}");
+    }
+    for buf in [17u32, 18] {
+        ring.push_slow(buf);
+        println!("  slow path  <- buffer #{buf} (parked in on-NIC memory)");
+    }
+
+    println!("\n-- app calls async_recv() --");
+    let out = ring.async_recv(32);
+    println!("  delivered now: {:?}", out.delivered);
+    println!("  DMA fetches issued for {} slow packets (non-blocking)", out.fetch_issued);
+    assert_eq!(out.delivered, vec![1, 2, 3, 4]);
+
+    println!("\n-- message 2 arrives while the fetch is in flight --");
+    for buf in [19u32, 20] {
+        ring.push_slow(buf);
+        println!("  slow path  <- buffer #{buf}");
+    }
+
+    println!("\n-- another async_recv(): fetch not done, order is sacred --");
+    let out = ring.async_recv(32);
+    assert!(out.delivered.is_empty());
+    println!("  delivered now: {:?} (nothing can overtake #17)", out.delivered);
+
+    println!("\n-- DMA completes; the drain continues --");
+    ring.fetch_complete(2);
+    let out = ring.async_recv(32);
+    println!("  delivered now: {:?}", out.delivered);
+    assert_eq!(out.delivered, vec![17, 18]);
+    println!("  next fetch issued for {} packets", out.fetch_issued);
+
+    println!("\n-- drain finished; fast path re-enabled for buffers #5-#8 --");
+    ring.fetch_complete(2);
+    for buf in [5u32, 6, 7, 8] {
+        ring.push_fast(buf).expect("fast ring drained");
+    }
+    let out = ring.async_recv(32);
+    println!("  delivered now: {:?}", out.delivered);
+    assert_eq!(out.delivered, vec![19, 20, 5, 6, 7, 8]);
+
+    println!(
+        "\nEvery packet was delivered in arrival order — {} total, {} via\n\
+         the slow path — with no reordering metadata (§4.2).",
+        ring.delivered(),
+        ring.slow_total()
+    );
+}
