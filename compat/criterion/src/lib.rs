@@ -1,0 +1,94 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the `Criterion::bench_function` / `Bencher::iter` surface
+//! used by this workspace's micro-benchmarks with a simple wall-clock
+//! harness: warm up, then time batches until a target measurement window
+//! is filled, and report ns/iter. No statistical analysis, plots, or
+//! baselines — enough to eyeball hot-path regressions offline.
+
+use std::time::{Duration, Instant};
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, measuring mean wall-clock time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: find an iteration count that takes ≥ ~5ms.
+        let mut batch: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(5) || batch >= 1 << 28 {
+                break;
+            }
+            batch = batch.saturating_mul(4);
+        }
+        // Measure: run batches for ~100ms, keep the best (least-noise) batch.
+        let mut best = f64::INFINITY;
+        let mut total_iters = 0u64;
+        let deadline = Instant::now() + Duration::from_millis(100);
+        while Instant::now() < deadline {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / batch as f64;
+            if ns < best {
+                best = ns;
+            }
+            total_iters += batch;
+        }
+        self.ns_per_iter = best;
+        self.iters = total_iters;
+    }
+}
+
+/// Benchmark registry/driver (stand-in for `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one named benchmark and print its timing.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Criterion {
+        let mut b = Bencher::default();
+        f(&mut b);
+        println!(
+            "bench {name:<40} {:>12.1} ns/iter ({} iters)",
+            b.ns_per_iter, b.iters
+        );
+        self
+    }
+}
+
+/// Group benchmark functions under one runner fn (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

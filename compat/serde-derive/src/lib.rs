@@ -1,0 +1,23 @@
+//! No-op derive macros mirroring `serde_derive`'s surface.
+//!
+//! The build environment has no crates.io access, and nothing in this
+//! workspace actually serializes (the real dependency existed only for the
+//! `#[derive(Serialize, Deserialize)]` annotations on stats/param structs).
+//! These derives accept the same syntax — including `#[serde(...)]` helper
+//! attributes — and expand to nothing, so annotated types compile
+//! unchanged. If real serialization is ever needed, swap the `serde` path
+//! dependency in the workspace root back to the crates.io package.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

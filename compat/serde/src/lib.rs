@@ -1,0 +1,24 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Provides the `Serialize` / `Deserialize` trait names and (via the
+//! `derive` feature) no-op derive macros, so the workspace's
+//! `#[derive(Serialize, Deserialize)]` annotations compile without
+//! crates.io access. No actual serialization machinery is provided — no
+//! code in this workspace performs serialization; the annotations exist so
+//! report/param structs are ready for a real serializer when the build
+//! environment allows one.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+// Blanket impls: every type trivially "implements" the markers, so generic
+// bounds like `T: Serialize` (none exist today, but cheap to future-proof)
+// keep compiling.
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -82,7 +82,11 @@ impl KvStore {
         for k in 0..cfg.entries {
             table.insert(k, value.clone());
         }
-        KvStore { cfg, table, stats: KvStats::default() }
+        KvStore {
+            cfg,
+            table,
+            stats: KvStats::default(),
+        }
     }
 
     /// The request packet size implied by the configuration (key + value +

@@ -184,10 +184,7 @@ mod tests {
             }
             fs.stats().checksum
         };
-        assert_ne!(
-            sum(&[(0, false), (1, true)]),
-            sum(&[(1, false), (0, true)])
-        );
+        assert_ne!(sum(&[(0, false), (1, true)]), sum(&[(1, false), (0, true)]));
     }
 
     #[test]
@@ -197,7 +194,11 @@ mod tests {
         assert_eq!(body.copy_bytes, 2048);
         assert_eq!(body.response_bytes, 0);
         let tail = fs.process(&pkt(1, 0, 1, true));
-        assert_eq!(tail.copy_bytes, 2048 * 3, "payload + replication + log copies");
+        assert_eq!(
+            tail.copy_bytes,
+            2048 * 3,
+            "payload + replication + log copies"
+        );
         assert_eq!(tail.response_bytes, 64);
         assert!(tail.cpu > body.cpu);
         assert!(!fs.zero_copy());

@@ -3,8 +3,7 @@
 //! for, end to end.
 
 use ceio_apps::{write_bw_flow, write_lat_flow, KvConfig, KvStore, LineFs, LineFsConfig, SinkApp};
-use ceio_cpu::Application;
-use ceio_host::{run_to_report, HostConfig, Machine, UnmanagedPolicy};
+use ceio_host::{run_to_report, AppFactory, HostConfig, Machine, UnmanagedPolicy};
 use ceio_net::{FlowClass, FlowSpec, Scenario};
 use ceio_sim::{Bandwidth, Duration, Time};
 
@@ -97,7 +96,7 @@ fn write_lat_flow_measures_unloaded_latency() {
 
 #[test]
 fn zero_copy_vs_copy_apps_diverge_in_dram_traffic() {
-    let run = |factory: Box<dyn FnMut(&FlowSpec) -> Box<dyn Application>>| {
+    let run = |factory: AppFactory| {
         let mut s = Scenario::new();
         s.start_at(
             Time::ZERO,
@@ -109,7 +108,7 @@ fn zero_copy_vs_copy_apps_diverge_in_dram_traffic() {
     };
     let kv_dram = run(Box::new(|_| Box::new(KvStore::new(KvConfig::default())))); // zero-copy
     let fs_dram = run(Box::new(|_| Box::new(LineFs::new(LineFsConfig::default())))); // copies
-    // §6.4: copies are the DRAM traffic zero-copy avoids.
+                                                                                     // §6.4: copies are the DRAM traffic zero-copy avoids.
     assert!(
         fs_dram > kv_dram * 5,
         "copy app must dominate DRAM traffic: kv={kv_dram} fs={fs_dram}"

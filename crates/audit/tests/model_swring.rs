@@ -1,0 +1,466 @@
+//! Bounded model checker for the CEIO software ring (§4.2, Fig. 7).
+//!
+//! Exhaustively enumerates every operation sequence over the 2-producer /
+//! 1-consumer alphabet
+//!
+//! ```text
+//! { push_fast, push_slow, async_recv(1), async_recv(∞),
+//!   fetch_complete(1), recv() }
+//! ```
+//!
+//! to a bounded depth, executing each sequence against the real
+//! [`SwRing`] *and* a naive reference model — a single FIFO of
+//! `(id, via_slow)` records with an O(n) scan, too simple to be wrong —
+//! and checks after every operation that:
+//!
+//! * **Ordering**: the delivered sequence is exactly the arrival-order
+//!   prefix — no skips, duplicates, or reordering across path
+//!   transitions (the paper's SW-ring contract).
+//! * **Conservation**: `delivered + len() == pushed_total`.
+//! * **Occupancy**: `fast_occupancy()` equals the count of undelivered
+//!   fast-path entries and never exceeds the configured capacity — and
+//!   `push_fast` rejects exactly when that count hits the capacity.
+//!   (This check is what caught the original implementation decrementing
+//!   occupancy for *fetched slow* deliveries, letting `push_fast`
+//!   overfill the HW ring.)
+//! * **Phase accounting**: fetches are issued in arrival order, so
+//!   `on_nic()` must equal slow-pushed − fetches-issued and `fetching()`
+//!   must equal fetches-issued − fetches-completed (fetched-but-undelivered
+//!   entries are host-ready and count in neither); `async_recv` never
+//!   issues more than `fetch_batch` fetches.
+//! * **Liveness** (checked at every leaf): repeatedly completing fetches
+//!   and receiving drains the ring completely, delivering every pushed
+//!   item in arrival order.
+//!
+//! Violations are reported as structured [`ceio_audit::Violation`]s via an
+//! [`AuditSink`], so a failure prints the op sequence and a full state
+//! snapshot instead of a bare assert.
+
+use ceio_audit::{AuditCtx, AuditSink};
+use ceio_core::SwRing;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    PushFast,
+    PushSlow,
+    AsyncRecvOne,
+    AsyncRecvAll,
+    FetchCompleteOne,
+    Recv,
+}
+
+const FULL_ALPHABET: [Op; 6] = [
+    Op::PushFast,
+    Op::PushSlow,
+    Op::AsyncRecvOne,
+    Op::AsyncRecvAll,
+    Op::FetchCompleteOne,
+    Op::Recv,
+];
+
+/// Reduced alphabet for a deeper pass over the fine-grained interleavings
+/// (fetch completion racing pushes, single-item receives).
+const CORE_ALPHABET: [Op; 4] = [
+    Op::PushFast,
+    Op::PushSlow,
+    Op::AsyncRecvOne,
+    Op::FetchCompleteOne,
+];
+
+/// The naive reference: every pushed item in arrival order plus the count
+/// of delivered items (always a prefix).
+#[derive(Debug, Clone, Default)]
+struct RefModel {
+    /// `(id, via_slow)` in push order. Ids are assigned 0, 1, 2, …
+    pushed: Vec<(u32, bool)>,
+    /// Number of items delivered (prefix length).
+    delivered: usize,
+    /// DMA fetches issued so far. Fetches go out in arrival order, so they
+    /// always cover exactly the first `issued` slow-path entries.
+    issued: usize,
+    /// DMA fetches completed so far (oldest first).
+    completed: usize,
+    next_id: u32,
+}
+
+impl RefModel {
+    fn undelivered_fast(&self) -> usize {
+        self.pushed[self.delivered..]
+            .iter()
+            .filter(|(_, s)| !s)
+            .count()
+    }
+    fn slow_pushed(&self) -> usize {
+        self.pushed.iter().filter(|(_, s)| *s).count()
+    }
+}
+
+struct Checker {
+    sink: AuditSink,
+    states: u64,
+    fast_cap: usize,
+    fetch_batch: usize,
+}
+
+impl Checker {
+    fn new(fast_cap: usize, fetch_batch: usize) -> Checker {
+        Checker {
+            sink: AuditSink::with_capacity(8),
+            states: 0,
+            fast_cap,
+            fetch_batch,
+        }
+    }
+
+    fn violate(
+        &mut self,
+        trace: &[Op],
+        invariant: &'static str,
+        detail: String,
+        r: &SwRing<u32>,
+        m: &RefModel,
+    ) {
+        let ctx = AuditCtx {
+            event_index: trace.len() as u64,
+            event_label: "model-step",
+        };
+        self.sink.report(
+            &ctx,
+            invariant,
+            detail,
+            vec![
+                ("trace", format!("{trace:?}")),
+                ("ring", format!("{r:?}")),
+                ("reference", format!("{m:?}")),
+            ],
+        );
+    }
+
+    /// Deliveries observed from one receive call: check each against the
+    /// reference prefix and advance it.
+    fn absorb_deliveries(
+        &mut self,
+        trace: &[Op],
+        delivered: &[u32],
+        r: &SwRing<u32>,
+        m: &mut RefModel,
+    ) {
+        for &item in delivered {
+            match m.pushed.get(m.delivered) {
+                Some(&(id, _)) if id == item => m.delivered += 1,
+                expected => {
+                    self.violate(
+                        trace,
+                        "swring-ordering",
+                        format!("delivered {item} but arrival order expects {expected:?}"),
+                        r,
+                        m,
+                    );
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Invariants that must hold in every reachable state.
+    fn check_state(&mut self, trace: &[Op], r: &SwRing<u32>, m: &RefModel) {
+        self.states += 1;
+        if r.delivered() != m.delivered as u64 || r.len() + m.delivered != m.pushed.len() {
+            self.violate(
+                trace,
+                "swring-conservation",
+                format!(
+                    "delivered() {} + len() {} != pushed {}",
+                    r.delivered(),
+                    r.len(),
+                    m.pushed.len()
+                ),
+                r,
+                m,
+            );
+        }
+        if r.fast_occupancy() != m.undelivered_fast() {
+            self.violate(
+                trace,
+                "swring-occupancy",
+                format!(
+                    "fast_occupancy() {} != undelivered fast entries {}",
+                    r.fast_occupancy(),
+                    m.undelivered_fast()
+                ),
+                r,
+                m,
+            );
+        }
+        if r.fast_occupancy() > self.fast_cap {
+            self.violate(
+                trace,
+                "swring-occupancy",
+                format!(
+                    "fast_occupancy() {} > capacity {}",
+                    r.fast_occupancy(),
+                    self.fast_cap
+                ),
+                r,
+                m,
+            );
+        }
+        let want_on_nic = m.slow_pushed() - m.issued;
+        let want_fetching = m.issued - m.completed;
+        if r.on_nic() != want_on_nic || r.fetching() != want_fetching {
+            self.violate(
+                trace,
+                "swring-phase",
+                format!(
+                    "on_nic() {} / fetching() {} != expected {want_on_nic} / {want_fetching} \
+                     (slow pushed {}, issued {}, completed {})",
+                    r.on_nic(),
+                    r.fetching(),
+                    m.slow_pushed(),
+                    m.issued,
+                    m.completed
+                ),
+                r,
+                m,
+            );
+        }
+        if r.slow_total() != m.slow_pushed() as u64 {
+            self.violate(
+                trace,
+                "swring-phase",
+                format!(
+                    "slow_total() {} != slow entries pushed {}",
+                    r.slow_total(),
+                    m.slow_pushed()
+                ),
+                r,
+                m,
+            );
+        }
+    }
+
+    /// Apply one operation to both models.
+    fn apply(&mut self, trace: &[Op], op: Op, r: &mut SwRing<u32>, m: &mut RefModel) {
+        match op {
+            Op::PushFast => {
+                let want_reject = m.undelivered_fast() == self.fast_cap;
+                match r.push_fast(m.next_id) {
+                    Ok(_) => {
+                        if want_reject {
+                            self.violate(
+                                trace,
+                                "swring-occupancy",
+                                "push_fast admitted into a full HW ring".to_string(),
+                                r,
+                                m,
+                            );
+                        }
+                        m.pushed.push((m.next_id, false));
+                        m.next_id += 1;
+                    }
+                    Err(item) => {
+                        if !want_reject {
+                            self.violate(
+                                trace,
+                                "swring-occupancy",
+                                format!("push_fast({item}) rejected with free capacity"),
+                                r,
+                                m,
+                            );
+                        }
+                    }
+                }
+            }
+            Op::PushSlow => {
+                let _ = r.push_slow(m.next_id);
+                m.pushed.push((m.next_id, true));
+                m.next_id += 1;
+            }
+            Op::AsyncRecvOne | Op::AsyncRecvAll => {
+                let max = if op == Op::AsyncRecvOne {
+                    1
+                } else {
+                    usize::MAX
+                };
+                let out = r.async_recv(max);
+                if out.fetch_issued > self.fetch_batch {
+                    self.violate(
+                        trace,
+                        "swring-phase",
+                        format!(
+                            "fetch_issued {} > fetch_batch {}",
+                            out.fetch_issued, self.fetch_batch
+                        ),
+                        r,
+                        m,
+                    );
+                }
+                m.issued += out.fetch_issued;
+                self.absorb_deliveries(trace, &out.delivered, r, m);
+            }
+            Op::FetchCompleteOne => {
+                if r.fetching() > 0 && m.issued > m.completed {
+                    r.fetch_complete(1);
+                    m.completed += 1;
+                }
+            }
+            Op::Recv => {
+                // Blocking recv(): spin on fetch completion until one item
+                // (or nothing at all) is deliverable — §5's API on the same
+                // state machine.
+                let mut rounds = r.len() + 1;
+                loop {
+                    let out = r.async_recv(1);
+                    m.issued += out.fetch_issued;
+                    let got = !out.delivered.is_empty();
+                    self.absorb_deliveries(trace, &out.delivered, r, m);
+                    if got || r.is_empty() || rounds == 0 {
+                        break;
+                    }
+                    let inflight = r.fetching();
+                    if inflight > 0 {
+                        r.fetch_complete(inflight);
+                        m.completed += inflight;
+                    } else if out.fetch_issued == 0 {
+                        break; // head is fast-but-empty ⇒ nothing to wait on
+                    }
+                    rounds -= 1;
+                }
+            }
+        }
+        self.check_state(trace, r, m);
+    }
+
+    /// Leaf check: the ring must drain completely, in order.
+    fn check_liveness(&mut self, trace: &[Op], r: &mut SwRing<u32>, m: &mut RefModel) {
+        let mut rounds = r.len() * 2 + 2;
+        while !r.is_empty() && rounds > 0 {
+            let out = r.async_recv(usize::MAX);
+            m.issued += out.fetch_issued;
+            self.absorb_deliveries(trace, &out.delivered, r, m);
+            let inflight = r.fetching();
+            if inflight > 0 {
+                r.fetch_complete(inflight);
+                m.completed += inflight;
+            }
+            rounds -= 1;
+        }
+        if !r.is_empty() || m.delivered != m.pushed.len() {
+            self.violate(
+                trace,
+                "swring-liveness",
+                format!(
+                    "drain stalled: {} entries undelivered of {} pushed",
+                    r.len(),
+                    m.pushed.len() - m.delivered
+                ),
+                r,
+                m,
+            );
+        }
+    }
+
+    /// DFS over all sequences up to `depth`.
+    fn explore(
+        &mut self,
+        alphabet: &[Op],
+        depth: usize,
+        trace: &mut Vec<Op>,
+        r: &SwRing<u32>,
+        m: &RefModel,
+    ) {
+        if self.sink.total() > 0 {
+            return; // first violation carries the full trace; stop early
+        }
+        if depth == 0 {
+            let mut r = r.clone();
+            let mut m = m.clone();
+            self.check_liveness(trace, &mut r, &mut m);
+            return;
+        }
+        for &op in alphabet {
+            let mut r2 = r.clone();
+            let mut m2 = m.clone();
+            trace.push(op);
+            self.apply(trace, op, &mut r2, &mut m2);
+            self.explore(alphabet, depth - 1, trace, &r2, &m2);
+            trace.pop();
+        }
+    }
+}
+
+fn run_checker(alphabet: &[Op], depth: usize, fast_cap: usize, fetch_batch: usize) -> Checker {
+    let mut c = Checker::new(fast_cap, fetch_batch);
+    let r: SwRing<u32> = SwRing::new(fast_cap, fetch_batch);
+    let m = RefModel::default();
+    c.check_state(&[], &r, &m);
+    c.explore(alphabet, depth, &mut Vec::new(), &r, &m);
+    c
+}
+
+fn assert_clean(c: &Checker, min_states: u64) {
+    assert!(
+        c.sink.is_clean(),
+        "model checker found {} violation(s):\n{}",
+        c.sink.total(),
+        c.sink
+            .violations()
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        c.states >= min_states,
+        "explored only {} states (expected ≥ {min_states}) — did the bound shrink?",
+        c.states
+    );
+}
+
+#[test]
+fn swring_exhaustive_full_alphabet_depth7() {
+    // 6^7 ≈ 280 k sequences over a tiny ring (capacity 2, fetch batch 1):
+    // the configuration that maximizes boundary collisions.
+    let c = run_checker(&FULL_ALPHABET, 7, 2, 1);
+    assert_clean(&c, 300_000);
+}
+
+#[test]
+fn swring_exhaustive_core_alphabet_depth9() {
+    // Deeper pass over the fine-grained interleavings with a batch of 2,
+    // so partially-completed fetch groups are reachable.
+    let c = run_checker(&CORE_ALPHABET, 9, 2, 2);
+    assert_clean(&c, 250_000);
+}
+
+#[test]
+fn swring_exhaustive_wider_ring_depth6() {
+    // A wider ring (capacity 3, batch 3) shifts every boundary; shallower
+    // depth keeps the run fast.
+    let c = run_checker(&FULL_ALPHABET, 6, 3, 3);
+    assert_clean(&c, 40_000);
+}
+
+/// The checker itself must be able to fail: a reference model that demands
+/// LIFO delivery must be refuted by the FIFO ring within depth 3.
+#[test]
+fn swring_checker_detects_seeded_divergence() {
+    let mut c = Checker::new(2, 1);
+    let mut r: SwRing<u32> = SwRing::new(2, 1);
+    let mut m = RefModel::default();
+    // Push 0, 1 then mutate the reference to claim 1 was pushed first.
+    c.apply(&[Op::PushFast], Op::PushFast, &mut r, &mut m);
+    c.apply(&[Op::PushFast, Op::PushFast], Op::PushFast, &mut r, &mut m);
+    m.pushed.swap(0, 1);
+    c.apply(
+        &[Op::PushFast, Op::PushFast, Op::AsyncRecvAll],
+        Op::AsyncRecvAll,
+        &mut r,
+        &mut m,
+    );
+    assert!(
+        c.sink.total() > 0,
+        "seeded ordering divergence must be detected"
+    );
+    assert_eq!(c.sink.violations()[0].invariant, "swring-ordering");
+}

@@ -126,15 +126,7 @@ impl IoPolicy for HostCcPolicy {
         }
     }
 
-    fn on_batch_consumed(
-        &mut self,
-        _: &mut HostState,
-        _: Time,
-        _: FlowId,
-        _: u32,
-        _: u32,
-        _: u32,
-    ) {
+    fn on_batch_consumed(&mut self, _: &mut HostState, _: Time, _: FlowId, _: u32, _: u32, _: u32) {
     }
 
     fn on_controller_poll(&mut self, st: &mut HostState, _now: Time) {

@@ -74,7 +74,8 @@ impl IoPolicy for OraclePolicy {
         slow: u32,
         msgs: u32,
     ) {
-        self.inner.on_batch_consumed(st, now, flow, fast, slow, msgs);
+        self.inner
+            .on_batch_consumed(st, now, flow, fast, slow, msgs);
     }
 
     fn on_driver_poll(&mut self, st: &mut HostState, now: Time, flow: FlowId) -> DrainRequest {

@@ -104,15 +104,7 @@ impl IoPolicy for ShRingPolicy {
         }
     }
 
-    fn on_batch_consumed(
-        &mut self,
-        _: &mut HostState,
-        _: Time,
-        _: FlowId,
-        _: u32,
-        _: u32,
-        _: u32,
-    ) {
+    fn on_batch_consumed(&mut self, _: &mut HostState, _: Time, _: FlowId, _: u32, _: u32, _: u32) {
     }
 }
 

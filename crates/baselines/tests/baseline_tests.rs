@@ -4,7 +4,7 @@
 
 use ceio_baselines::{HostCcConfig, HostCcPolicy, ShRingConfig, ShRingPolicy, UnmanagedPolicy};
 use ceio_cpu::{AppWork, Application};
-use ceio_host::{run_to_report, HostConfig, IoPolicy, Machine, RunReport};
+use ceio_host::{run_to_report, AppFactory, HostConfig, IoPolicy, Machine, RunReport};
 use ceio_net::{FlowClass, FlowSpec, Packet, Scenario};
 use ceio_sim::{Bandwidth, Duration, Time};
 
@@ -18,7 +18,7 @@ impl Application for FixedApp {
     }
 }
 
-fn app(cost_ns: u64) -> Box<dyn FnMut(&FlowSpec) -> Box<dyn Application>> {
+fn app(cost_ns: u64) -> AppFactory {
     Box::new(move |_| Box::new(FixedApp(Duration::nanos(cost_ns))))
 }
 
@@ -110,7 +110,10 @@ fn shring_triggers_cca_and_drops_at_capacity() {
     );
     run_to_report(&mut sim, Duration::millis(2), Duration::millis(5));
     let stats = sim.model.policy.stats();
-    assert!(stats.marked > 0, "near-full marking must fire under overload");
+    assert!(
+        stats.marked > 0,
+        "near-full marking must fire under overload"
+    );
     // Senders must have been slowed by ECN-triggered reductions.
     let reductions: u64 = sim
         .model

@@ -50,7 +50,7 @@ fn bench_swring(c: &mut Criterion) {
         b.iter(|| {
             for i in 0..16u32 {
                 let _ = r.push_fast(i);
-                r.push_slow(i + 100);
+                let _ = r.push_slow(i + 100);
             }
             let out = r.async_recv(64);
             r.fetch_complete(out.fetch_issued);

@@ -9,6 +9,11 @@
 //!
 //! Columns: `t_ms, involved_mpps, bypass_gbps, llc_miss_rate`.
 
+// CLI entry point: exiting with status 2 on a bad argument is the intended
+// operator-facing behavior (the workspace denies `clippy::exit` for library
+// code, where aborting the process is never acceptable).
+#![allow(clippy::exit)]
+
 use ceio_bench::runner::{run_one, PolicyKind};
 use ceio_bench::workloads::{self, AppKind, Transport};
 use ceio_sim::Duration;
@@ -71,7 +76,10 @@ fn main() {
     let (scen, app) = match scenario.as_str() {
         "kv" => (workloads::involved_flows(8, 512, link), AppKind::Kv),
         "mixed" => (workloads::mixed_flows(4, 4, 512, link), AppKind::Mixed),
-        "dynamic" => (workloads::dynamic_distribution(phase, 3, link), AppKind::Mixed),
+        "dynamic" => (
+            workloads::dynamic_distribution(phase, 3, link),
+            AppKind::Mixed,
+        ),
         "burst" => (workloads::network_burst(phase, 3, link), AppKind::Mixed),
         other => {
             eprintln!("unknown scenario {other} (kv|mixed|dynamic|burst)");
@@ -112,10 +120,7 @@ fn main() {
             f.write_all(csv.as_bytes()).expect("write CSV");
             eprintln!(
                 "{}: {} samples of {} ({} scenario) written",
-                path,
-                n,
-                report.policy,
-                scenario
+                path, n, report.policy, scenario
             );
         }
         None => print!("{csv}"),

@@ -59,7 +59,10 @@ pub fn run(quick: bool) -> String {
     let pair = run_jobs(vec![
         Box::new(move || {
             run_ceio_with(
-                |c| CeioConfig { credit_total: 0, ..c },
+                |c| CeioConfig {
+                    credit_total: 0,
+                    ..c
+                },
                 s1,
                 h1,
                 AppKind::Echo,
@@ -107,9 +110,8 @@ pub fn run(quick: bool) -> String {
     let m1 = workloads::involved_flows(8, 512, link);
     let m2 = workloads::involved_flows(8, 512, link);
     let pair = run_jobs(vec![
-        Box::new(move || {
-            run_ceio_with(|c| c, m1, h1, AppKind::Kv, sp, "phase exclusivity ON")
-        }) as Box<dyn FnOnce() -> RunReport + Send>,
+        Box::new(move || run_ceio_with(|c| c, m1, h1, AppKind::Kv, sp, "phase exclusivity ON"))
+            as Box<dyn FnOnce() -> RunReport + Send>,
         Box::new(move || {
             run_ceio_with(
                 |c| CeioConfig {
@@ -141,7 +143,12 @@ pub fn run(quick: bool) -> String {
 
     // (c) credit sizing around Eq. 1.
     let eq1 = host.credit_total();
-    let factors = [(eq1 / 2, "0.5x"), (eq1, "1.0x (Eq.1)"), (eq1 * 2, "2x"), (eq1 * 4, "4x")];
+    let factors = [
+        (eq1 / 2, "0.5x"),
+        (eq1, "1.0x (Eq.1)"),
+        (eq1 * 2, "2x"),
+        (eq1 * 4, "4x"),
+    ];
     let jobs: Vec<Box<dyn FnOnce() -> RunReport + Send>> = factors
         .iter()
         .map(|&(credits, label)| {
@@ -193,9 +200,8 @@ pub fn run(quick: bool) -> String {
     let m1 = workloads::mixed_flows(4, 4, 512, link);
     let m2 = workloads::mixed_flows(4, 4, 512, link);
     let pair = run_jobs(vec![
-        Box::new(move || {
-            run_ceio_with(|c| c, m1, h1, AppKind::Mixed, sp, "CEIO (lazy release)")
-        }) as Box<dyn FnOnce() -> RunReport + Send>,
+        Box::new(move || run_ceio_with(|c| c, m1, h1, AppKind::Mixed, sp, "CEIO (lazy release)"))
+            as Box<dyn FnOnce() -> RunReport + Send>,
         Box::new(move || {
             let mpq = MpqConfig {
                 credit_total: h2.credit_total(),
@@ -214,7 +220,12 @@ pub fn run(quick: bool) -> String {
     ]);
     let mut t = Table::new(
         "Ablation D — lazy credit release vs Multiple Priority Queues (4:4 mixed)",
-        &["variant", "involved Mpps", "involved p999(us)", "slow-path pkts"],
+        &[
+            "variant",
+            "involved Mpps",
+            "involved p999(us)",
+            "slow-path pkts",
+        ],
     );
     for r in &pair {
         t.row(vec![
@@ -234,9 +245,8 @@ pub fn run(quick: bool) -> String {
     let m1 = workloads::mixed_flows(4, 4, 512, link);
     let m2 = workloads::mixed_flows(4, 4, 512, link);
     let pair = run_jobs(vec![
-        Box::new(move || {
-            run_ceio_with(|c| c, m1, h1, AppKind::Mixed, sp, "CEIO (inferred)")
-        }) as Box<dyn FnOnce() -> RunReport + Send>,
+        Box::new(move || run_ceio_with(|c| c, m1, h1, AppKind::Mixed, sp, "CEIO (inferred)"))
+            as Box<dyn FnOnce() -> RunReport + Send>,
         Box::new(move || {
             let cfg = CeioConfig {
                 credit_total: h2.credit_total(),

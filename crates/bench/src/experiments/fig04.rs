@@ -126,8 +126,7 @@ fn report_one(
     let mut t = Table::new(title, &hdr_refs);
 
     // Expected: involved_count x per-core throughput, capped by line rate.
-    let line_mpps =
-        host.net.link_bandwidth.as_bytes_per_sec() as f64 / 512.0 / 1e6;
+    let line_mpps = host.net.link_bandwidth.as_bytes_per_sec() as f64 / 512.0 / 1e6;
     let expected: Vec<f64> = counts
         .iter()
         .map(|&c| (c as f64 * per_core).min(line_mpps))

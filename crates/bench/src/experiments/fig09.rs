@@ -79,7 +79,16 @@ pub fn run(quick: bool) -> String {
 
     let mut t = Table::new(
         "Figure 9 — static throughput and LLC miss rate vs packet size",
-        &["datapath", "pkt(B)", "policy", "Mpps", "Gbps", "miss%", "drops", "vs Baseline"],
+        &[
+            "datapath",
+            "pkt(B)",
+            "policy",
+            "Mpps",
+            "Gbps",
+            "miss%",
+            "drops",
+            "vs Baseline",
+        ],
     );
     let mut idx = 0;
     for dp in &DATAPATHS {

@@ -55,7 +55,14 @@ pub fn run(quick: bool) -> String {
 
     let mut t = Table::new(
         "Figure 11 — single-flow throughput vs message size (Gbps)",
-        &["msg size", "ib_write_bw", "CEIO fast", "CEIO slow", "fast/bw", "slow/fast gap"],
+        &[
+            "msg size",
+            "ib_write_bw",
+            "CEIO fast",
+            "CEIO slow",
+            "fast/bw",
+            "slow/fast gap",
+        ],
     );
     for (i, &size) in sizes.iter().enumerate() {
         let bw = reports[i * 3].total_gbps();

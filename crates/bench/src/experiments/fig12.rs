@@ -26,7 +26,13 @@ const ACTIVE: usize = 16;
 
 /// Build the destination-hopping scenario: `n` UD flows, 16 active per
 /// slot, active set re-drawn uniformly each slot.
-fn hopping_scenario(n: u32, slot: Duration, horizon: Duration, link: Bandwidth, seed: u64) -> Scenario {
+fn hopping_scenario(
+    n: u32,
+    slot: Duration,
+    horizon: Duration,
+    link: Bandwidth,
+    seed: u64,
+) -> Scenario {
     let per = link.scale(1, ACTIVE as u64);
     let mut s = Scenario::new();
     let mut rng = Rng::seed_from_u64(seed);

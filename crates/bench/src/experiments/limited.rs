@@ -63,7 +63,10 @@ pub fn run(quick: bool) -> String {
         "S6.3 limited-benefit scenarios — all methods converge",
         &["scenario", "policy", "Mpps", "Gbps", "miss%", "line-rate?"],
     );
-    let scenarios = [("64B VxLAN decap (low pressure)", 0), ("9000B jumbo echo", 4)];
+    let scenarios = [
+        ("64B VxLAN decap (low pressure)", 0),
+        ("9000B jumbo echo", 4),
+    ];
     for (label, off) in scenarios {
         for r in &reports[off..off + 4] {
             let line = r.total_gbps() > 0.9 * 200.0;

@@ -64,7 +64,14 @@ pub fn run(quick: bool) -> String {
     let pairs = run_jobs(jobs);
     let mut t = Table::new(
         "Sensitivity 1 — DDIO partition size (8 KV flows, 512B)",
-        &["DDIO", "base Mpps", "base miss%", "CEIO Mpps", "CEIO miss%", "speedup"],
+        &[
+            "DDIO",
+            "base Mpps",
+            "base miss%",
+            "CEIO Mpps",
+            "CEIO miss%",
+            "speedup",
+        ],
     );
     for ((base, ceio), &(_, label)) in pairs.iter().zip(ddio_sizes) {
         t.row(vec![

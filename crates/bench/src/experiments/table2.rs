@@ -9,8 +9,8 @@ use crate::runner::{run_jobs, run_one, PolicyKind};
 use crate::table::{self, Table};
 use crate::workloads::{self, AppKind, Transport};
 use ceio_host::RunReport;
-use ceio_sim::Histogram;
 use ceio_net::FlowClass;
+use ceio_sim::Histogram;
 
 /// Datapaths of the table: transport + flow class + consumer.
 struct Datapath {

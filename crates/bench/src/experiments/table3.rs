@@ -58,7 +58,14 @@ pub fn run(quick: bool) -> String {
 
     let mut t = Table::new(
         "Table 3 — ib_write_lat-style latency (us, median)",
-        &["size", "RDMA write", "Fast path", "fast/rdma", "Slow path", "slow/rdma"],
+        &[
+            "size",
+            "RDMA write",
+            "Fast path",
+            "fast/rdma",
+            "Slow path",
+            "slow/rdma",
+        ],
     );
     for (i, &size) in SIZES.iter().enumerate() {
         let p50 = |r: &RunReport| r.bypass_latency.p50();

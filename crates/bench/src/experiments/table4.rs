@@ -18,7 +18,11 @@ const RATIOS: [(u32, u32, &str); 3] = [(6, 2, "3:1"), (4, 4, "1:1"), (2, 6, "1:3
 /// Run Table 4 and return the formatted report.
 pub fn run(quick: bool) -> String {
     let spans = workloads::spans(quick);
-    let policies = [PolicyKind::Baseline, PolicyKind::CeioNoOpt, PolicyKind::Ceio];
+    let policies = [
+        PolicyKind::Baseline,
+        PolicyKind::CeioNoOpt,
+        PolicyKind::Ceio,
+    ];
     let mut jobs: Vec<Box<dyn FnOnce() -> RunReport + Send>> = Vec::new();
     for &(inv, byp, _) in &RATIOS {
         for &kind in &policies {
@@ -41,7 +45,14 @@ pub fn run(quick: bool) -> String {
 
     let mut t = Table::new(
         "Table 4 — CPU-involved throughput (Mpps) on mixed I/O flows",
-        &["ratio", "Baseline", "CEIO w/o opt", "(speedup)", "CEIO", "(speedup)"],
+        &[
+            "ratio",
+            "Baseline",
+            "CEIO w/o opt",
+            "(speedup)",
+            "CEIO",
+            "(speedup)",
+        ],
     );
     for (i, &(_, _, label)) in RATIOS.iter().enumerate() {
         let base = reports[i * 3].involved_mpps;

@@ -10,8 +10,8 @@
 use ceio_baselines::{HostCcConfig, HostCcPolicy, ShRingConfig, ShRingPolicy, UnmanagedPolicy};
 use ceio_core::{CeioConfig, CeioPolicy};
 use ceio_host::{
-    run_to_report, AppFactory, DrainRequest, HostConfig, HostState, IoPolicy, Machine,
-    RunReport, SteerDecision,
+    run_to_report, AppFactory, DrainRequest, HostConfig, HostState, IoPolicy, Machine, RunReport,
+    SteerDecision,
 };
 use ceio_net::{FlowId, Packet, Scenario};
 use ceio_sim::{Duration, Time};
@@ -65,16 +65,16 @@ impl PolicyKind {
             PolicyKind::HostCc => AnyPolicy::HostCc(HostCcPolicy::new(HostCcConfig::default())),
             PolicyKind::ShRing => {
                 // ShRing sizes its ring below the DDIO partition (§2.3).
-                let entries = (host.mem.ddio_bytes / host.buf_bytes).saturating_sub(512).max(64);
+                let entries = (host.mem.ddio_bytes / host.buf_bytes)
+                    .saturating_sub(512)
+                    .max(64);
                 AnyPolicy::ShRing(ShRingPolicy::new(ShRingConfig {
                     entries,
                     mark_threshold: entries * 7 / 8,
                 }))
             }
             PolicyKind::Ceio => AnyPolicy::Ceio(CeioPolicy::new(ceio)),
-            PolicyKind::CeioNoOpt => {
-                AnyPolicy::Ceio(CeioPolicy::new(ceio.without_optimizations()))
-            }
+            PolicyKind::CeioNoOpt => AnyPolicy::Ceio(CeioPolicy::new(ceio.without_optimizations())),
             PolicyKind::CeioSlowOnly => AnyPolicy::Ceio(CeioPolicy::new(CeioConfig {
                 credit_total: 0,
                 ..ceio
@@ -185,22 +185,29 @@ pub fn run_one_keep(
 /// determinism is preserved per job.
 pub fn run_jobs<T: Send>(jobs: Vec<Box<dyn FnOnce() -> T + Send>>) -> Vec<T> {
     let n = jobs.len();
-    let results: parking_lot::Mutex<Vec<Option<T>>> =
-        parking_lot::Mutex::new((0..n).map(|_| None).collect());
-    crossbeam::thread::scope(|scope| {
+    let results: std::sync::Mutex<Vec<Option<T>>> =
+        std::sync::Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
         for (i, job) in jobs.into_iter().enumerate() {
             let results = &results;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let out = job();
-                results.lock()[i] = Some(out);
+                // On Err a sibling panicked while holding the lock; the
+                // scope will re-raise that panic, so just drop our result.
+                if let Ok(mut slots) = results.lock() {
+                    slots[i] = Some(out);
+                }
             });
         }
-    })
-    .expect("experiment thread panicked");
+        // `std::thread::scope` joins every thread here and re-raises any
+        // job panic, so all result slots are filled on normal exit.
+    });
     results
         .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
         .into_iter()
-        .map(|r| r.expect("every job ran"))
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| panic!("invariant: job {i} joined without a result")))
         .collect()
 }
 

@@ -98,7 +98,10 @@ pub fn series_summary(ts: &TimeSeries, buckets: usize) -> String {
     let mut parts = Vec::new();
     for chunk in ts.points.chunks(per) {
         let mean = chunk.iter().map(|&(_, v)| v).sum::<f64>() / chunk.len() as f64;
-        let t_end = chunk.last().expect("non-empty").0;
+        let t_end = chunk
+            .last()
+            .expect("invariant: `chunks()` never yields an empty slice")
+            .0;
         parts.push(format!("{:.1}ms:{:.2}", t_end.as_millis_f64(), mean));
     }
     format!("{}: [{}]", ts.name, parts.join(" "))

@@ -134,7 +134,16 @@ pub fn mixed_flows(involved: u32, bypass: u32, pkt_bytes: u64, link: Bandwidth) 
 /// 8 CPU-involved KV flows; every `phase`, two are replaced with LineFS
 /// CPU-bypass flows (1 MB chunks).
 pub fn dynamic_distribution(phase: Duration, phases: u32, link: Bandwidth) -> Scenario {
-    Scenario::dynamic_distribution(8, 2, phases, phase, 512, 2048, 512, link.scale(OVERSUB.0, OVERSUB.1))
+    Scenario::dynamic_distribution(
+        8,
+        2,
+        phases,
+        phase,
+        512,
+        2048,
+        512,
+        link.scale(OVERSUB.0, OVERSUB.1),
+    )
 }
 
 /// The §2.3 network-burst scenario at simulation scale: 8 CPU-involved

@@ -69,7 +69,7 @@ pub struct CreditStats {
 /// cm.release(FlowId(2), 1);
 /// assert!(cm.conserved());
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CreditManager {
     total: u64,
     flows: HashMap<FlowId, FlowCredits>,
@@ -98,33 +98,39 @@ impl CreditManager {
 
     /// Configured total (Eq. 1).
     #[inline]
+    #[must_use]
     pub fn total(&self) -> u64 {
         self.total
     }
 
     /// Credits currently held by in-flight packets.
     #[inline]
+    #[must_use]
     pub fn outstanding(&self) -> u64 {
         self.outstanding
     }
 
     /// Credits in the free pool.
     #[inline]
+    #[must_use]
     pub fn free_pool(&self) -> u64 {
         self.free_pool
     }
 
     /// Current credits of a flow (0 if unknown).
+    #[must_use]
     pub fn credits(&self, f: FlowId) -> u64 {
         self.flows.get(&f).map(|c| c.credits).unwrap_or(0)
     }
 
     /// Whether a flow is in the insufficient set `I`.
+    #[must_use]
     pub fn in_insufficient(&self, f: FlowId) -> bool {
         self.insufficient.contains(&f)
     }
 
     /// Total debt a flow owes.
+    #[must_use]
     pub fn debt_of(&self, f: FlowId) -> u64 {
         self.flows
             .get(&f)
@@ -133,6 +139,7 @@ impl CreditManager {
     }
 
     /// Number of managed flows.
+    #[must_use]
     pub fn flow_count(&self) -> usize {
         self.flows.len()
     }
@@ -143,11 +150,17 @@ impl CreditManager {
         &self.stats
     }
 
+    /// Sum of credits currently assigned to flows.
+    #[must_use]
+    pub fn assigned_total(&self) -> u64 {
+        self.flows.values().map(|c| c.credits).sum()
+    }
+
     /// Conservation check: assigned + pool + outstanding == total.
     /// (Debug aid; cheap enough to assert in tests and controller polls.)
+    #[must_use]
     pub fn conserved(&self) -> bool {
-        let assigned: u64 = self.flows.values().map(|c| c.credits).sum();
-        assigned + self.free_pool + self.outstanding == self.total
+        self.assigned_total() + self.free_pool + self.outstanding == self.total
     }
 
     /// Algorithm 1, assignment: admit `new` flows, redistributing credits
@@ -189,7 +202,10 @@ impl CreditManager {
                     break;
                 }
                 let need = (m * c_flow - collected).min(ideal);
-                let fc = self.flows.get_mut(&i).expect("listed above");
+                let fc = self
+                    .flows
+                    .get_mut(&i)
+                    .expect("invariant: `ids` only lists flows present in `self.flows`");
                 if fc.credits >= need {
                     // Line 4-6: the flow can afford its contribution.
                     fc.credits -= need;
@@ -238,6 +254,7 @@ impl CreditManager {
                 },
             );
         }
+        debug_assert!(self.conserved(), "add_flows broke Eq. 1 conservation");
     }
 
     /// Remove a flow: its credits return to the pool; debts involving it
@@ -253,12 +270,14 @@ impl CreditManager {
                 self.insufficient.remove(i);
             }
         }
+        debug_assert!(self.conserved(), "remove_flow broke Eq. 1 conservation");
     }
 
     /// Consume one credit for a packet of flow `f`. Returns `false` (and
     /// counts a denial) when the flow has none — the slow-path trigger.
+    #[must_use = "admission result decides fast vs slow path"]
     pub fn try_consume(&mut self, f: FlowId) -> bool {
-        match self.flows.get_mut(&f) {
+        let admitted = match self.flows.get_mut(&f) {
             Some(fc) if fc.credits > 0 => {
                 fc.credits -= 1;
                 self.outstanding += 1;
@@ -269,7 +288,9 @@ impl CreditManager {
                 self.stats.denied += 1;
                 false
             }
-        }
+        };
+        debug_assert!(self.conserved(), "try_consume broke Eq. 1 conservation");
+        admitted
     }
 
     /// Algorithm 1, release: `gamma` credits return from consumed packets
@@ -298,7 +319,10 @@ impl CreditManager {
                 if pay > 0 {
                     payments.push((j, pay));
                     remaining -= pay;
-                    let o = fc.owed.get_mut(&j).expect("creditor listed");
+                    let o = fc
+                        .owed
+                        .get_mut(&j)
+                        .expect("invariant: `payments` keys come from this flow's `owed` map");
                     *o -= pay;
                     if *o == 0 {
                         fc.owed.remove(&j);
@@ -321,6 +345,7 @@ impl CreditManager {
         } else {
             fc.credits += remaining;
         }
+        debug_assert!(self.conserved(), "release broke Eq. 1 conservation");
     }
 
     /// Release `gamma` returning credits of flow `f` into the free pool
@@ -331,10 +356,12 @@ impl CreditManager {
         let gamma = gamma.min(self.outstanding);
         self.outstanding -= gamma;
         self.free_pool += gamma;
+        debug_assert!(self.conserved(), "release_to_pool broke Eq. 1 conservation");
     }
 
     /// Reclaim all credits of an inactive flow into the free pool (§4.1
     /// Q3). Returns the amount reclaimed.
+    #[must_use = "returns the number of credits actually reclaimed"]
     pub fn reclaim(&mut self, f: FlowId) -> u64 {
         let Some(fc) = self.flows.get_mut(&f) else {
             return 0;
@@ -345,11 +372,13 @@ impl CreditManager {
         if taken > 0 {
             self.stats.reclaims += 1;
         }
+        debug_assert!(self.conserved(), "reclaim broke Eq. 1 conservation");
         taken
     }
 
     /// Grant up to `amount` credits from the free pool to one flow
     /// (round-robin re-activation). Returns the amount actually granted.
+    #[must_use = "returns the number of credits actually granted"]
     pub fn grant(&mut self, f: FlowId, amount: u64) -> u64 {
         let Some(fc) = self.flows.get_mut(&f) else {
             return 0;
@@ -357,6 +386,7 @@ impl CreditManager {
         let granted = amount.min(self.free_pool);
         fc.credits += granted;
         self.free_pool -= granted;
+        debug_assert!(self.conserved(), "grant broke Eq. 1 conservation");
         granted
     }
 
@@ -376,8 +406,32 @@ impl CreditManager {
             return;
         }
         for f in &live {
-            self.flows.get_mut(f).expect("filtered").credits += per;
+            self.flows
+                .get_mut(f)
+                .expect("invariant: `live` retains only ids present in `flows`")
+                .credits += per;
             self.free_pool -= per;
+        }
+        debug_assert!(self.conserved(), "grant_evenly broke Eq. 1 conservation");
+    }
+
+    /// Deliberately leak one credit from the free pool **without**
+    /// adjusting any other account — a conservation (Eq. 1) violation.
+    ///
+    /// Only compiled under the `mutation-hooks` feature; the audit test
+    /// suite uses it to prove the invariant layer catches real bugs
+    /// (a check that can never fire verifies nothing).
+    #[cfg(feature = "mutation-hooks")]
+    pub fn leak_credit_for_tests(&mut self) {
+        self.free_pool = self.free_pool.saturating_sub(1);
+    }
+
+    /// Deliberately mint one credit for flow `f` out of thin air (an
+    /// overdraft-enabling mutation). Only compiled under `mutation-hooks`.
+    #[cfg(feature = "mutation-hooks")]
+    pub fn mint_credit_for_tests(&mut self, f: FlowId) {
+        if let Some(fc) = self.flows.get_mut(&f) {
+            fc.credits += 1;
         }
     }
 }
@@ -445,7 +499,7 @@ mod tests {
         let mut cm = CreditManager::new(3000);
         cm.add_flows(&ids(&[1]));
         for _ in 0..2900 {
-            cm.try_consume(FlowId(1));
+            let _ = cm.try_consume(FlowId(1));
         }
         cm.add_flows(&ids(&[2]));
         let debt = cm.debt_of(FlowId(1));
@@ -486,7 +540,7 @@ mod tests {
         let mut cm = CreditManager::new(3000);
         cm.add_flows(&ids(&[1]));
         for _ in 0..2900 {
-            cm.try_consume(FlowId(1));
+            let _ = cm.try_consume(FlowId(1));
         }
         cm.add_flows(&ids(&[2]));
         assert!(cm.in_insufficient(FlowId(1)));
@@ -506,7 +560,7 @@ mod tests {
         let mut cm = CreditManager::new(100);
         cm.add_flows(&ids(&[1]));
         for _ in 0..50 {
-            cm.try_consume(FlowId(1));
+            let _ = cm.try_consume(FlowId(1));
         }
         cm.remove_flow(FlowId(1));
         cm.release(FlowId(1), 50);
@@ -531,7 +585,7 @@ mod tests {
     fn grant_ignores_unknown_targets_and_keeps_remainder() {
         let mut cm = CreditManager::new(10);
         cm.add_flows(&ids(&[1, 2, 3]));
-        cm.reclaim(FlowId(3)); // pool = 3 (1 rounding + 3... )
+        let _ = cm.reclaim(FlowId(3)); // pool = 3 (1 rounding + 3... )
         let pool = cm.free_pool();
         cm.grant_evenly(&ids(&[1, 2, 99]));
         assert!(cm.conserved());

@@ -106,6 +106,7 @@ impl<M> CeioDriver<M> {
     }
 
     /// Buffers currently posted and unused.
+    #[must_use]
     pub fn posted_available(&self) -> usize {
         self.posted.len()
     }
@@ -125,6 +126,7 @@ impl<M> CeioDriver<M> {
 
     /// NIC-side: a packet arrived on the fast path. Returns `false` if no
     /// descriptor or buffer was available (caller drops or degrades).
+    #[must_use = "false means the packet was dropped for lack of a buffer"]
     pub fn rx_fast(&mut self, meta: M) -> bool {
         let Some((buf, origin)) = self.take_buffer() else {
             self.stats.no_buffer_drops += 1;
@@ -146,7 +148,9 @@ impl<M> CeioDriver<M> {
     pub fn rx_slow(&mut self, meta: M) {
         // Slow entries take their buffer lazily at fetch completion; the
         // sentinel is replaced in `fetch_complete`.
-        self.ring.push_slow((meta, BufHandle(u32::MAX), BufOrigin::Pool));
+        let _seq = self
+            .ring
+            .push_slow((meta, BufHandle(u32::MAX), BufOrigin::Pool));
     }
 
     fn put_back(&mut self, buf: BufHandle, origin: BufOrigin) {
@@ -191,6 +195,7 @@ impl<M> CeioDriver<M> {
     /// `n` slow-path DMA fetches landed: bind host buffers to them.
     /// Returns `false` (and binds nothing) if fewer than `n` buffers are
     /// available — the caller retries after `release`s.
+    #[must_use = "false means no buffers were bound; the caller must retry"]
     pub fn fetch_complete(&mut self, n: usize) -> bool {
         if self.posted.len() + self.pool.len() < n {
             return false;
@@ -213,6 +218,7 @@ impl<M> CeioDriver<M> {
     }
 
     /// Undelivered entries across both paths.
+    #[must_use]
     pub fn backlog(&self) -> usize {
         self.ring.len()
     }

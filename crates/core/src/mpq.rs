@@ -95,6 +95,7 @@ impl MpqPolicy {
     }
 
     /// Current priority of a flow (0 = highest).
+    #[must_use]
     pub fn priority(&self, flow: FlowId) -> Option<usize> {
         self.flows.get(&flow).map(|f| f.priority)
     }

@@ -266,7 +266,11 @@ impl IoPolicy for CeioPolicy {
         };
         if pending > 0 {
             let divert = self.cfg.reallocate
-                && self.ctl.get(&flow).map(|c| c.deprioritized).unwrap_or(false);
+                && self
+                    .ctl
+                    .get(&flow)
+                    .map(|c| c.deprioritized)
+                    .unwrap_or(false);
             if divert {
                 self.credits.release_to_pool(flow, pending);
             } else {
@@ -328,7 +332,10 @@ impl IoPolicy for CeioPolicy {
             let Some(f) = st.flows.get(&flow) else {
                 continue;
             };
-            let c = self.ctl.get_mut(&flow).expect("ctl tracks flows");
+            let c = self
+                .ctl
+                .get_mut(&flow)
+                .expect("invariant: `ctl` has an entry for every flow in `st.flows`");
             let consumed = f.counters.consumed_pkts;
             let arrivals = f.nic_seq_next;
             if consumed > c.consumed_at_last_poll || arrivals > c.arrivals_at_last_poll {
@@ -344,8 +351,10 @@ impl IoPolicy for CeioPolicy {
             // such as message size"): flows with huge observed messages
             // replenish credits rarely and in bulk — the CPU-bypass
             // signature. Their credits fund small-message flows instead.
-            let est_msg_pkts = if let Some(per_msg) =
-                f.counters.consumed_pkts.checked_div(f.counters.msgs_completed)
+            let est_msg_pkts = if let Some(per_msg) = f
+                .counters
+                .consumed_pkts
+                .checked_div(f.counters.msgs_completed)
             {
                 per_msg
             } else if f.counters.consumed_pkts > 2 * st.cfg.cpu.batch_size as u64 {
@@ -427,9 +436,8 @@ impl IoPolicy for CeioPolicy {
                         // keeps recycling it (lazy release), while a
                         // CPU-bypass flow exhausts it within one message
                         // and returns to the slow path.
-                        let share =
-                            self.credits.total() / (self.ctl.len() as u64).max(1) / 4;
-                        self.credits.grant(flow, share.max(1));
+                        let share = self.credits.total() / (self.ctl.len() as u64).max(1) / 4;
+                        let _granted = self.credits.grant(flow, share.max(1));
                         self.stats.rr_reactivations += 1;
                         st.nic_arm.execute(now, st.cfg.nic.arm_credit_op);
                     }
@@ -441,5 +449,61 @@ impl IoPolicy for CeioPolicy {
 
     fn controller_interval(&self) -> Option<ceio_sim::Duration> {
         Some(self.cfg.controller_interval)
+    }
+
+    /// Audit the CEIO-internal ledgers (the state only this policy can
+    /// see): Eq. 1 conservation, no-overdraft, and consistency of the
+    /// insufficient set `I` with the owed-credit ledger.
+    #[cfg(feature = "audit")]
+    fn audit_check(
+        &self,
+        _st: &HostState,
+        ctx: &ceio_audit::AuditCtx<'_>,
+        sink: &mut ceio_audit::AuditSink,
+    ) {
+        let cm = &self.credits;
+        if !cm.conserved() {
+            sink.report(
+                ctx,
+                "credit-conservation",
+                "Eq. 1 violated: assigned + pool + outstanding != total".to_string(),
+                vec![
+                    ("total", cm.total().to_string()),
+                    ("assigned", cm.assigned_total().to_string()),
+                    ("free_pool", cm.free_pool().to_string()),
+                    ("outstanding", cm.outstanding().to_string()),
+                ],
+            );
+        }
+        if cm.outstanding() > cm.total() {
+            sink.report(
+                ctx,
+                "no-overdraft",
+                "credits held by in-flight packets exceed the configured total".to_string(),
+                vec![
+                    ("total", cm.total().to_string()),
+                    ("outstanding", cm.outstanding().to_string()),
+                ],
+            );
+        }
+        for flow in self.ctl.keys() {
+            let in_i = cm.in_insufficient(*flow);
+            let debt = cm.debt_of(*flow);
+            if in_i != (debt > 0) {
+                sink.report(
+                    ctx,
+                    "insufficient-set-consistency",
+                    format!(
+                        "flow {}: insufficient-set membership disagrees with the owed ledger",
+                        flow.0
+                    ),
+                    vec![
+                        ("flow", flow.0.to_string()),
+                        ("in_insufficient", in_i.to_string()),
+                        ("debt", debt.to_string()),
+                    ],
+                );
+            }
+        }
     }
 }

@@ -34,10 +34,15 @@ enum Location {
     Fetching,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Entry<T> {
     item: T,
     loc: Location,
+    /// Whether the entry travelled the slow path. Fetched slow entries
+    /// become `HostReady` but never held an RX-ring descriptor, so their
+    /// delivery must not release fast-path capacity (the bounded model
+    /// checker in `crates/audit/tests` caught exactly that confusion).
+    via_slow: bool,
 }
 
 /// Result of one `async_recv()` call.
@@ -69,7 +74,7 @@ pub struct RecvOutcome<T> {
 /// ring.fetch_complete(1); // the DMA read landed
 /// assert_eq!(ring.async_recv(32).delivered, vec![2, 3]);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SwRing<T> {
     entries: VecDeque<Entry<T>>,
     fast_capacity: usize,
@@ -100,6 +105,7 @@ impl<T> SwRing<T> {
     /// Producer 1: a packet retired into the host ring (fast path).
     /// Returns its arrival sequence, or the item back if the HW ring is
     /// full (the caller drops or degrades it).
+    #[must_use = "a full HW ring returns the item back; dropping it silently loses the packet"]
     pub fn push_fast(&mut self, item: T) -> Result<u64, T> {
         if self.fast_occupancy >= self.fast_capacity {
             return Err(item);
@@ -110,12 +116,14 @@ impl<T> SwRing<T> {
         self.entries.push_back(Entry {
             item,
             loc: Location::HostReady,
+            via_slow: false,
         });
         Ok(seq)
     }
 
     /// Producer 2: a packet parked in on-NIC memory (slow path). Elastic:
     /// never rejects (backed by 16 GB of device DRAM).
+    #[must_use = "returns the entry's arrival sequence"]
     pub fn push_slow(&mut self, item: T) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -123,6 +131,7 @@ impl<T> SwRing<T> {
         self.entries.push_back(Entry {
             item,
             loc: Location::OnNic,
+            via_slow: true,
         });
         seq
     }
@@ -135,8 +144,17 @@ impl<T> SwRing<T> {
         while delivered.len() < max {
             match self.entries.front() {
                 Some(e) if e.loc == Location::HostReady => {
-                    let e = self.entries.pop_front().expect("front exists");
-                    self.fast_occupancy = self.fast_occupancy.saturating_sub(1);
+                    let e = self
+                        .entries
+                        .pop_front()
+                        .expect("invariant: front() was Some on this iteration");
+                    // Only fast-path entries occupy HW RX-ring descriptors;
+                    // fetched slow entries are driver-posted buffers, so
+                    // delivering one must not release fast-path capacity.
+                    if !e.via_slow {
+                        debug_assert!(self.fast_occupancy > 0);
+                        self.fast_occupancy = self.fast_occupancy.saturating_sub(1);
+                    }
                     self.delivered_seq += 1;
                     delivered.push(e.item);
                 }
@@ -183,21 +201,25 @@ impl<T> SwRing<T> {
     }
 
     /// Undelivered entries (all paths).
+    #[must_use]
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
     /// Whether nothing is queued.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
     /// Undelivered fast-path entries currently occupying the HW ring.
+    #[must_use]
     pub fn fast_occupancy(&self) -> usize {
         self.fast_occupancy
     }
 
     /// Entries still on the NIC (not yet fetching).
+    #[must_use]
     pub fn on_nic(&self) -> usize {
         self.entries
             .iter()
@@ -206,6 +228,7 @@ impl<T> SwRing<T> {
     }
 
     /// Entries with fetches in flight.
+    #[must_use]
     pub fn fetching(&self) -> usize {
         self.entries
             .iter()
@@ -214,11 +237,13 @@ impl<T> SwRing<T> {
     }
 
     /// Total entries that ever travelled the slow path.
+    #[must_use]
     pub fn slow_total(&self) -> u64 {
         self.slow_total
     }
 
     /// Entries delivered so far.
+    #[must_use]
     pub fn delivered(&self) -> u64 {
         self.delivered_seq
     }
@@ -254,7 +279,7 @@ mod tests {
     fn slow_entries_block_until_fetched() {
         let mut r = SwRing::new(8, 4);
         r.push_fast(0).unwrap();
-        r.push_slow(1);
+        let _ = r.push_slow(1);
         r.push_fast(2).unwrap(); // arrives after the slow entry
 
         let out = r.async_recv(16);
@@ -280,13 +305,13 @@ mod tests {
         for i in 1..=4 {
             r.push_fast(i).unwrap();
         }
-        r.push_slow(17);
-        r.push_slow(18);
+        let _ = r.push_slow(17);
+        let _ = r.push_slow(18);
         let out = r.async_recv(32);
         assert_eq!(out.delivered, vec![1, 2, 3, 4]);
         assert_eq!(out.fetch_issued, 2);
-        r.push_slow(19);
-        r.push_slow(20);
+        let _ = r.push_slow(19);
+        let _ = r.push_slow(20);
         r.fetch_complete(2);
         let out = r.async_recv(32);
         assert_eq!(out.delivered, vec![17, 18]);
@@ -304,7 +329,7 @@ mod tests {
     fn fetch_batch_limits_inflight_reads() {
         let mut r = SwRing::new(4, 2);
         for i in 0..5 {
-            r.push_slow(i);
+            let _ = r.push_slow(i);
         }
         assert_eq!(r.async_recv(16).fetch_issued, 2);
         assert_eq!(r.fetching(), 2);
@@ -330,7 +355,7 @@ mod tests {
     fn counters_track_paths() {
         let mut r = SwRing::new(8, 4);
         r.push_fast(0).unwrap();
-        r.push_slow(1);
+        let _ = r.push_slow(1);
         assert_eq!(r.slow_total(), 1);
         assert_eq!(r.fast_occupancy(), 1);
         assert_eq!(r.len(), 2);

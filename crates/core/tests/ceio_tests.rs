@@ -5,7 +5,9 @@
 
 use ceio_core::{CeioConfig, CeioPolicy};
 use ceio_cpu::{AppWork, Application};
-use ceio_host::{run_to_report, HostConfig, IoPolicy, Machine, RunReport, UnmanagedPolicy};
+use ceio_host::{
+    run_to_report, AppFactory, HostConfig, IoPolicy, Machine, RunReport, UnmanagedPolicy,
+};
 use ceio_net::{FlowClass, FlowSpec, Packet, Scenario};
 use ceio_sim::{Bandwidth, Duration, Time};
 
@@ -19,7 +21,7 @@ impl Application for FixedApp {
     }
 }
 
-fn app_factory(cost_ns: u64) -> Box<dyn FnMut(&FlowSpec) -> Box<dyn Application>> {
+fn app_factory(cost_ns: u64) -> AppFactory {
     Box::new(move |_| Box::new(FixedApp(Duration::nanos(cost_ns))))
 }
 
@@ -43,7 +45,12 @@ fn thrash_cfg() -> HostConfig {
     }
 }
 
-fn run_policy<P: IoPolicy>(cfg: HostConfig, policy: P, scenario: Scenario, cost_ns: u64) -> RunReport {
+fn run_policy<P: IoPolicy>(
+    cfg: HostConfig,
+    policy: P,
+    scenario: Scenario,
+    cost_ns: u64,
+) -> RunReport {
     let mut sim = Machine::build(cfg, policy, scenario, app_factory(cost_ns));
     run_to_report(&mut sim, Duration::millis(2), Duration::millis(5))
 }
@@ -66,8 +73,16 @@ fn ceio_eliminates_llc_misses_where_baseline_thrashes() {
         2_000,
     );
     // Fig. 9's headline: baseline ~88% miss, CEIO ~1%.
-    assert!(base.llc_miss_rate > 0.5, "baseline miss {}", base.llc_miss_rate);
-    assert!(ceio.llc_miss_rate < 0.05, "CEIO miss {}", ceio.llc_miss_rate);
+    assert!(
+        base.llc_miss_rate > 0.5,
+        "baseline miss {}",
+        base.llc_miss_rate
+    );
+    assert!(
+        ceio.llc_miss_rate < 0.05,
+        "CEIO miss {}",
+        ceio.llc_miss_rate
+    );
 }
 
 #[test]
@@ -120,7 +135,12 @@ fn ceio_avoids_host_drops_via_elastic_buffering() {
             FlowSpec::new(i, FlowClass::CpuInvolved, 2048, 1, Bandwidth::gbps(25)),
         );
     }
-    let burst = run_policy(cfg.clone(), CeioPolicy::new(ceio_cfg(&cfg)), s.build(), 2_000);
+    let burst = run_policy(
+        cfg.clone(),
+        CeioPolicy::new(ceio_cfg(&cfg)),
+        s.build(),
+        2_000,
+    );
     assert_eq!(burst.dropped, 0, "burst excess must not be dropped");
     assert!(
         burst.slow_path_pkts > 0,
@@ -180,7 +200,10 @@ fn light_load_stays_entirely_on_fast_path() {
     );
     let base = run_policy(cfg, UnmanagedPolicy, s2.build(), 30);
     let ratio = ceio.involved_mpps / base.involved_mpps;
-    assert!((0.98..=1.02).contains(&ratio), "fast-path overhead ratio {ratio}");
+    assert!(
+        (0.98..=1.02).contains(&ratio),
+        "fast-path overhead ratio {ratio}"
+    );
 }
 
 #[test]
@@ -286,7 +309,7 @@ fn ablation_without_optimizations_is_worse_but_still_beats_baseline() {
     // Table 4's middle column: CEIO w/o fast/slow-path optimizations
     // (sync fetch, no reallocation) on a mixed workload.
     let cfg = thrash_cfg();
-    let mut mk = |full: bool| {
+    let mk = |full: bool| {
         let mut s = Scenario::new();
         for i in 0..4 {
             s.start_at(

@@ -51,15 +51,15 @@ proptest! {
                 CreditOp::Remove(f) => cm.remove_flow(FlowId(f as u32)),
                 CreditOp::Consume(f, n) => {
                     for _ in 0..n {
-                        cm.try_consume(FlowId(f as u32));
+                        let _ = cm.try_consume(FlowId(f as u32));
                     }
                 }
                 CreditOp::Release(f, n) => cm.release(FlowId(f as u32), n as u64),
                 CreditOp::Reclaim(f) => {
-                    cm.reclaim(FlowId(f as u32));
+                    let _ = cm.reclaim(FlowId(f as u32));
                 }
                 CreditOp::Grant(f, n) => {
-                    cm.grant(FlowId(f as u32), n as u64);
+                    let _ = cm.grant(FlowId(f as u32), n as u64);
                 }
                 CreditOp::GrantEvenly(ids) => {
                     let ids: Vec<FlowId> = ids.into_iter().map(|i| FlowId(i as u32)).collect();
@@ -130,7 +130,7 @@ proptest! {
                     }
                 }
                 RingOp::PushSlow => {
-                    ring.push_slow(next);
+                    let _ = ring.push_slow(next);
                     next += 1;
                 }
                 RingOp::Recv(max) => {
@@ -141,6 +141,13 @@ proptest! {
                     ring.fetch_complete(inflight);
                 }
             }
+            // Conservation at every step: nothing pushed is ever lost or
+            // duplicated, whatever the interleaving.
+            prop_assert_eq!(
+                ring.delivered() + ring.len() as u64,
+                next,
+                "delivered() + len() must equal pushed total"
+            );
         }
         // Drain: complete fetches and receive until quiescent.
         for _ in 0..next + 8 {
@@ -173,5 +180,49 @@ proptest! {
             prop_assert!(ring.fast_occupancy() <= cap);
         }
         prop_assert_eq!(accepted, pushes.min(cap));
+    }
+
+    /// Regression property for the occupancy confusion the bounded model
+    /// checker caught: delivering *fetched slow* entries must not release
+    /// fast-path capacity, because they never held an RX-ring descriptor.
+    /// After delivering any number of slow entries, the ring accepts
+    /// exactly `cap - undelivered_fast` further fast pushes — never more.
+    #[test]
+    fn swring_slow_delivery_does_not_free_fast_slots(
+        cap in 1usize..16,
+        slow in 1usize..32,
+        fast_before in 0usize..16,
+    ) {
+        let mut ring: SwRing<usize> = SwRing::new(cap, 64);
+        let mut fast_held = 0;
+        for i in 0..fast_before {
+            if ring.push_fast(i).is_ok() {
+                fast_held += 1;
+            }
+        }
+        for j in 0..slow {
+            let _ = ring.push_slow(1000 + j);
+        }
+        // Deliver everything currently deliverable plus all slow entries.
+        let _ = ring.async_recv(usize::MAX);
+        ring.fetch_complete(ring.fetching());
+        while !ring.is_empty() {
+            let out = ring.async_recv(usize::MAX);
+            ring.fetch_complete(ring.fetching());
+            if out.delivered.is_empty() && out.fetch_issued == 0 {
+                break;
+            }
+        }
+        prop_assert!(ring.is_empty());
+        // All fast entries were delivered too, so the full capacity — and
+        // not one slot more — must now be available.
+        let mut reaccepted = 0;
+        for i in 0..cap + slow {
+            if ring.push_fast(i).is_ok() {
+                reaccepted += 1;
+            }
+        }
+        prop_assert_eq!(reaccepted, cap, "freed slots must equal capacity exactly");
+        let _ = fast_held;
     }
 }

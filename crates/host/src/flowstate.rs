@@ -103,7 +103,13 @@ pub struct FlowState {
 
 impl FlowState {
     /// Fresh state for a starting flow.
-    pub fn new(spec: FlowSpec, cca: Dctcp, gen: TrafficGen, core: usize, ring_capacity: u32) -> FlowState {
+    pub fn new(
+        spec: FlowSpec,
+        cca: Dctcp,
+        gen: TrafficGen,
+        core: usize,
+        ring_capacity: u32,
+    ) -> FlowState {
         FlowState {
             spec,
             cca,

@@ -27,12 +27,16 @@
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "audit")]
+pub mod audit;
 pub mod config;
 pub mod flowstate;
 pub mod machine;
 pub mod measure;
 pub mod policy;
 
+#[cfg(feature = "audit")]
+pub use audit::HostAuditor;
 pub use config::HostConfig;
 pub use flowstate::{FlowState, ReadyPkt, SlowPkt};
 pub use machine::{run_to_report, AppFactory, Event, HostState, Machine};

@@ -26,7 +26,9 @@ use ceio_cpu::{Application, CpuCore};
 use ceio_mem::{BufferId, MemoryController};
 use ceio_net::generator::Pacing;
 use ceio_net::ingress::IngressOutcome;
-use ceio_net::{Dctcp, FlowClass, FlowId, FlowSpec, IngressLink, Packet, Scenario, ScenarioEvent, TrafficGen};
+use ceio_net::{
+    Dctcp, FlowClass, FlowId, FlowSpec, IngressLink, Packet, Scenario, ScenarioEvent, TrafficGen,
+};
 use ceio_nic::{ArmCore, OnboardMemory, RmtEngine, SteerAction};
 use ceio_pcie::DmaEngine;
 use ceio_sim::{Bandwidth, EventQueue, Histogram, Model, Rng, Simulation, Time};
@@ -78,6 +80,23 @@ pub enum Event {
     Sample,
     /// Retry pending DMA issues (pacing gap elapsed).
     Pump,
+}
+
+impl Event {
+    /// Short label naming the event variant (used by audit reports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Event::ScenarioStep(_) => "ScenarioStep",
+            Event::Emit { .. } => "Emit",
+            Event::NicRx(_) => "NicRx",
+            Event::HostArrive { .. } => "HostArrive",
+            Event::HostRetire { .. } => "HostRetire",
+            Event::CorePoll(_) => "CorePoll",
+            Event::ControllerPoll => "ControllerPoll",
+            Event::Sample => "Sample",
+            Event::Pump => "Pump",
+        }
+    }
 }
 
 /// Constructor for per-flow application consumers.
@@ -205,7 +224,10 @@ impl HostState {
 
     /// Slow-queue length of a flow (packets parked in on-NIC memory).
     pub fn slow_queue_len(&self, flow: FlowId) -> usize {
-        self.flows.get(&flow).map(|f| f.slow_queue.len()).unwrap_or(0)
+        self.flows
+            .get(&flow)
+            .map(|f| f.slow_queue.len())
+            .unwrap_or(0)
     }
 
     /// Reset all measurements at `now` (end of warmup).
@@ -273,6 +295,10 @@ pub struct Machine<P: IoPolicy> {
     pub st: HostState,
     /// The I/O management policy.
     pub policy: P,
+    /// The invariant auditor, when audit mode is armed (see
+    /// [`crate::audit`]). `None` costs one pointer-width test per event.
+    #[cfg(feature = "audit")]
+    pub auditor: Option<crate::audit::HostAuditor>,
 }
 
 impl<P: IoPolicy> Machine<P> {
@@ -323,12 +349,21 @@ impl<P: IoPolicy> Machine<P> {
             pacing: Pacing::Poisson,
             cfg,
         };
-        let mut sim = Simulation::new(Machine { st, policy });
+        let mut sim = Simulation::new(Machine {
+            st,
+            policy,
+            // Arm the auditor at build time when the runtime switch is on
+            // (`CEIO_AUDIT=1` or `ceio_audit::set_enabled(true)`); tests
+            // can also arm it explicitly via [`Machine::arm_audit`].
+            #[cfg(feature = "audit")]
+            auditor: ceio_audit::enabled().then(crate::audit::HostAuditor::new),
+        });
         for (idx, (at, _)) in sim.model.st.scenario.iter().enumerate() {
             sim.queue.schedule_at(*at, Event::ScenarioStep(idx));
         }
         if let Some(iv) = sim.model.policy.controller_interval() {
-            sim.queue.schedule_at(Time::ZERO + iv, Event::ControllerPoll);
+            sim.queue
+                .schedule_at(Time::ZERO + iv, Event::ControllerPoll);
         }
         let w = sim.model.st.cfg.sample_window;
         sim.queue.schedule_at(Time::ZERO + w, Event::Sample);
@@ -454,7 +489,11 @@ impl<P: IoPolicy> Machine<P> {
         match decision {
             SteerDecision::FastPath { mark } => {
                 self.st.feedback(now, pkt.flow, pkt.ecn || mark);
-                let f = self.st.flows.get_mut(&pkt.flow).expect("checked above");
+                let f = self
+                    .st
+                    .flows
+                    .get_mut(&pkt.flow)
+                    .expect("invariant: flow presence was checked earlier in this handler");
                 if f.ring_free() == 0 {
                     // No RX descriptor: the NIC must drop.
                     f.counters.dropped += 1;
@@ -466,7 +505,11 @@ impl<P: IoPolicy> Machine<P> {
                 }
                 if self.st.nic_pending_bytes + pkt.bytes > self.st.cfg.nic_staging_bytes {
                     // NIC staging overflow while DMA is backpressured.
-                    let f = self.st.flows.get_mut(&pkt.flow).expect("checked above");
+                    let f = self
+                        .st
+                        .flows
+                        .get_mut(&pkt.flow)
+                        .expect("invariant: flow presence was checked earlier in this handler");
                     f.counters.dropped += 1;
                     f.accounted += 1;
                     self.st.dropped_total += 1;
@@ -474,7 +517,11 @@ impl<P: IoPolicy> Machine<P> {
                     self.policy.on_fast_drop(&mut self.st, now, pkt.flow);
                     return;
                 }
-                let f = self.st.flows.get_mut(&pkt.flow).expect("checked above");
+                let f = self
+                    .st
+                    .flows
+                    .get_mut(&pkt.flow)
+                    .expect("invariant: flow presence was checked earlier in this handler");
                 f.ring_inflight += 1;
                 let nic_seq = f.take_seq();
                 let buf = self.st.alloc_buf();
@@ -491,7 +538,10 @@ impl<P: IoPolicy> Machine<P> {
                 self.st.feedback(now, pkt.flow, pkt.ecn || mark);
                 match self.st.onboard.write(now + fw, pkt.bytes) {
                     Some(ready_at_nic) => {
-                        let f = self.st.flows.get_mut(&pkt.flow).expect("checked above");
+                        let f =
+                            self.st.flows.get_mut(&pkt.flow).expect(
+                                "invariant: flow presence was checked earlier in this handler",
+                            );
                         let nic_seq = f.take_seq();
                         f.slow_queue.push_back(SlowPkt {
                             pkt,
@@ -501,7 +551,10 @@ impl<P: IoPolicy> Machine<P> {
                         f.counters.slow_pkts += 1;
                     }
                     None => {
-                        let f = self.st.flows.get_mut(&pkt.flow).expect("checked above");
+                        let f =
+                            self.st.flows.get_mut(&pkt.flow).expect(
+                                "invariant: flow presence was checked earlier in this handler",
+                            );
                         f.counters.dropped += 1;
                         f.accounted += 1;
                         self.st.dropped_total += 1;
@@ -510,7 +563,11 @@ impl<P: IoPolicy> Machine<P> {
                 }
             }
             SteerDecision::Drop { loss } => {
-                let f = self.st.flows.get_mut(&pkt.flow).expect("checked above");
+                let f = self
+                    .st
+                    .flows
+                    .get_mut(&pkt.flow)
+                    .expect("invariant: flow presence was checked earlier in this handler");
                 f.counters.dropped += 1;
                 f.accounted += 1;
                 self.st.dropped_total += 1;
@@ -535,7 +592,11 @@ impl<P: IoPolicy> Machine<P> {
             }
             match self.st.dma.try_write(now, bytes) {
                 Ok(arrival) => {
-                    let pd = self.st.nic_pending.pop_front().expect("front exists");
+                    let pd = self
+                        .st
+                        .nic_pending
+                        .pop_front()
+                        .expect("invariant: loop guard ensured `nic_pending` is non-empty");
                     self.st.nic_pending_bytes -= bytes;
                     if let Some(pace) = self.st.dma_pace {
                         let gap = pace.transfer_time(bytes);
@@ -675,7 +736,12 @@ impl<P: IoPolicy> Machine<P> {
     /// Execute a slow-path fetch of up to `fetch` packets for `flow`.
     /// Returns the host-arrival instant plus the fetched batch (the caller
     /// schedules the `HostArrive` events), or `None` if nothing was fetched.
-    fn do_slow_fetch(&mut self, now: Time, flow: FlowId, fetch: u32) -> Option<(Time, Vec<SlowPkt>)> {
+    fn do_slow_fetch(
+        &mut self,
+        now: Time,
+        flow: FlowId,
+        fetch: u32,
+    ) -> Option<(Time, Vec<SlowPkt>)> {
         let f = self.st.flows.get_mut(&flow)?;
         let mut batch: Vec<SlowPkt> = Vec::new();
         let mut total = 0u64;
@@ -683,7 +749,11 @@ impl<P: IoPolicy> Machine<P> {
             match f.slow_queue.front() {
                 Some(sp) if sp.ready_at_nic <= now => {
                     total += sp.pkt.bytes;
-                    batch.push(f.slow_queue.pop_front().expect("front exists"));
+                    batch.push(
+                        f.slow_queue
+                            .pop_front()
+                            .expect("invariant: loop guard ensured `slow_queue` is non-empty"),
+                    );
                 }
                 _ => break,
             }
@@ -693,7 +763,11 @@ impl<P: IoPolicy> Machine<P> {
         }
         match self.st.dma.try_read_request(now) {
             Ok(at_nic) => {
-                let f = self.st.flows.get_mut(&flow).expect("exists");
+                let f = self
+                    .st
+                    .flows
+                    .get_mut(&flow)
+                    .expect("invariant: flow presence was checked earlier in this handler");
                 f.slow_fetch_inflight += batch.len() as u32;
                 let data_ready = self.st.onboard.read(at_nic, total);
                 let at_host = self.st.dma.read_completion(data_ready, total);
@@ -701,7 +775,11 @@ impl<P: IoPolicy> Machine<P> {
             }
             Err(_) => {
                 // No read credit: return the batch to the queue, in order.
-                let f = self.st.flows.get_mut(&flow).expect("exists");
+                let f = self
+                    .st
+                    .flows
+                    .get_mut(&flow)
+                    .expect("invariant: flow presence was checked earlier in this handler");
                 for sp in batch.into_iter().rev() {
                     f.slow_queue.push_front(sp);
                 }
@@ -738,7 +816,10 @@ impl<P: IoPolicy> Machine<P> {
             let flow_id = served[(start + k) % n];
             let batch_size = self.st.cfg.cpu.batch_size;
             let (batch, gap_stall, class) = {
-                let f = self.st.flows.get_mut(&flow_id).expect("retained above");
+                let f =
+                    self.st.flows.get_mut(&flow_id).expect(
+                        "invariant: `flow_id` was produced by a retain over `self.st.flows`",
+                    );
                 let batch = f.take_deliverable(now, batch_size);
                 let gap_stall = batch.is_empty()
                     && f.ready
@@ -752,8 +833,7 @@ impl<P: IoPolicy> Machine<P> {
                 // while this batch is processed (§4.2).
                 let drain = self.policy.on_driver_poll(&mut self.st, now, flow_id);
                 if drain.fetch > 0 && !drain.sync {
-                    if let Some((at_host, fetched)) =
-                        self.do_slow_fetch(now, flow_id, drain.fetch)
+                    if let Some((at_host, fetched)) = self.do_slow_fetch(now, flow_id, drain.fetch)
                     {
                         for sp in fetched {
                             let buf = self.st.alloc_buf();
@@ -847,7 +927,7 @@ impl<P: IoPolicy> Machine<P> {
                 .st
                 .apps
                 .get_mut(&flow_id)
-                .expect("app exists for flow")
+                .expect("invariant: every flow gets an app at Machine::build time")
                 .process(&rp.pkt);
             let mut dur = self.st.cfg.cpu.per_packet_overhead + mem_stall + work.cpu;
             if work.copy_bytes > 0 {
@@ -862,13 +942,23 @@ impl<P: IoPolicy> Machine<P> {
             }
             if rp.via_slow {
                 slow += 1;
-                self.st.slow_latency.record_duration(t.since(rp.pkt.sent_at));
+                self.st
+                    .slow_latency
+                    .record_duration(t.since(rp.pkt.sent_at));
             } else {
                 fast += 1;
-                self.st.fast_latency.record_duration(t.since(rp.pkt.sent_at));
+                self.st
+                    .fast_latency
+                    .record_duration(t.since(rp.pkt.sent_at));
             }
-            self.st.meas.record_delivery(class, rp.pkt.bytes, rp.via_slow);
-            let f = self.st.flows.get_mut(&flow_id).expect("exists");
+            self.st
+                .meas
+                .record_delivery(class, rp.pkt.bytes, rp.via_slow);
+            let f = self
+                .st
+                .flows
+                .get_mut(&flow_id)
+                .expect("invariant: flow presence was checked earlier in this handler");
             f.latency.record_duration(t.since(rp.pkt.sent_at));
             f.accounted += 1;
             f.counters.consumed_pkts += 1;
@@ -921,10 +1011,26 @@ pub fn run_to_report<P: IoPolicy>(
     sim.model.st.report(t_end, &name)
 }
 
+#[cfg(feature = "audit")]
+impl<P: IoPolicy> Machine<P> {
+    /// Install the invariant auditor regardless of the global runtime
+    /// switch (test harness entry point).
+    pub fn arm_audit(&mut self) {
+        self.auditor = Some(crate::audit::HostAuditor::new());
+    }
+
+    /// The audit report, if an auditor is armed.
+    pub fn audit_report(&self) -> Option<ceio_audit::AuditReport> {
+        self.auditor.as_ref().map(crate::audit::HostAuditor::report)
+    }
+}
+
 impl<P: IoPolicy> Model for Machine<P> {
     type Event = Event;
 
     fn handle(&mut self, now: Time, event: Event, queue: &mut EventQueue<Event>) {
+        #[cfg(feature = "audit")]
+        let label = event.label();
         match event {
             Event::ScenarioStep(idx) => self.scenario_step(now, idx, queue),
             Event::Emit { flow, epoch } => self.on_emit(now, flow, epoch, queue),
@@ -958,6 +1064,10 @@ impl<P: IoPolicy> Model for Machine<P> {
                 self.st.pump_scheduled = false;
                 self.pump(queue, now);
             }
+        }
+        #[cfg(feature = "audit")]
+        if let Some(aud) = self.auditor.as_mut() {
+            aud.after_event(now, label, &self.st, &self.policy);
         }
     }
 }

@@ -117,6 +117,20 @@ pub trait IoPolicy {
     fn controller_interval(&self) -> Option<Duration> {
         None
     }
+
+    /// Audit hook (the `audit` feature): verify policy-internal invariants
+    /// — state the machine cannot see, such as the CEIO credit ledger —
+    /// after a handled event, reporting violations into the shared `sink`.
+    /// Called only while audit mode is armed; the default checks nothing.
+    #[cfg(feature = "audit")]
+    fn audit_check(
+        &self,
+        st: &HostState,
+        ctx: &ceio_audit::AuditCtx<'_>,
+        sink: &mut ceio_audit::AuditSink,
+    ) {
+        let _ = (st, ctx, sink);
+    }
 }
 
 /// The unmanaged legacy datapath: everything to the fast path, no control
@@ -134,14 +148,6 @@ impl IoPolicy for UnmanagedPolicy {
     fn steer(&mut self, _: &mut HostState, _: Time, _: &Packet) -> SteerDecision {
         SteerDecision::FastPath { mark: false }
     }
-    fn on_batch_consumed(
-        &mut self,
-        _: &mut HostState,
-        _: Time,
-        _: FlowId,
-        _: u32,
-        _: u32,
-        _: u32,
-    ) {
+    fn on_batch_consumed(&mut self, _: &mut HostState, _: Time, _: FlowId, _: u32, _: u32, _: u32) {
     }
 }

@@ -2,7 +2,9 @@
 //! retargeting, shared polling cores, DMA pacing, and teardown cleanup.
 
 use ceio_cpu::{AppWork, Application};
-use ceio_host::{HostConfig, HostState, IoPolicy, Machine, SteerDecision, UnmanagedPolicy};
+use ceio_host::{
+    AppFactory, HostConfig, HostState, IoPolicy, Machine, SteerDecision, UnmanagedPolicy,
+};
 use ceio_net::{FlowClass, FlowId, FlowSpec, Packet, Scenario};
 use ceio_sim::{Bandwidth, Duration, Time};
 
@@ -16,7 +18,7 @@ impl Application for Cheap {
     }
 }
 
-fn cheap() -> Box<dyn FnMut(&FlowSpec) -> Box<dyn Application>> {
+fn cheap() -> AppFactory {
     Box::new(|_| Box::new(Cheap))
 }
 
@@ -28,8 +30,16 @@ fn set_demand_pauses_and_resumes_emission() {
         FlowSpec::new(0, FlowClass::CpuInvolved, 512, 1, Bandwidth::gbps(10)),
     );
     // Pause at 1 ms, resume at 2 ms.
-    s.set_demand_at(Time::ZERO + Duration::millis(1), FlowId(0), Bandwidth::bytes_per_sec(0));
-    s.set_demand_at(Time::ZERO + Duration::millis(2), FlowId(0), Bandwidth::gbps(10));
+    s.set_demand_at(
+        Time::ZERO + Duration::millis(1),
+        FlowId(0),
+        Bandwidth::bytes_per_sec(0),
+    );
+    s.set_demand_at(
+        Time::ZERO + Duration::millis(2),
+        FlowId(0),
+        Bandwidth::gbps(10),
+    );
     let mut sim = Machine::build(HostConfig::default(), UnmanagedPolicy, s.build(), cheap());
 
     sim.run_until(Time::ZERO + Duration::millis(1), u64::MAX);
@@ -124,7 +134,8 @@ impl IoPolicy for PacedPolicy {
     fn steer(&mut self, _: &mut HostState, _: Time, _: &Packet) -> SteerDecision {
         SteerDecision::FastPath { mark: false }
     }
-    fn on_batch_consumed(&mut self, _: &mut HostState, _: Time, _: FlowId, _: u32, _: u32, _: u32) {}
+    fn on_batch_consumed(&mut self, _: &mut HostState, _: Time, _: FlowId, _: u32, _: u32, _: u32) {
+    }
 }
 
 #[test]
@@ -183,8 +194,16 @@ fn teardown_frees_onboard_and_llc_residency() {
     sim.run_until(Time::ZERO + Duration::millis(3), u64::MAX);
     let st = &sim.model.st;
     assert!(st.onboard.stats().bytes_written > 0, "packets were parked");
-    assert_eq!(st.onboard.occupancy(), 0, "teardown must free on-NIC parking");
-    assert_eq!(st.memctrl.llc.occupancy(), 0, "teardown must free LLC residency");
+    assert_eq!(
+        st.onboard.occupancy(),
+        0,
+        "teardown must free on-NIC parking"
+    );
+    assert_eq!(
+        st.memctrl.llc.occupancy(),
+        0,
+        "teardown must free LLC residency"
+    );
 }
 
 #[test]
@@ -194,8 +213,8 @@ fn iio_backpressure_preserves_conservation() {
     // still either delivered or counted dropped.
     let mut cfg = HostConfig::default();
     cfg.mem.iio_capacity_bytes = 4096; // two 2 KB packets
-    // Slow retires make the staging buffer actually fill: DDIO off and a
-    // starved memory system, so each retire queues on DRAM.
+                                       // Slow retires make the staging buffer actually fill: DDIO off and a
+                                       // starved memory system, so each retire queues on DRAM.
     cfg.mem.ddio_enabled = false;
     cfg.mem.dram_bandwidth = ceio_sim::Bandwidth::gibps(8);
     let mut s = Scenario::new();
@@ -209,7 +228,10 @@ fn iio_backpressure_preserves_conservation() {
     let st = &sim.model.st;
     let emitted: u64 = st.flows.values().map(|f| f.gen.emitted()).sum();
     let consumed: u64 = st.flows.values().map(|f| f.counters.consumed_pkts).sum();
-    assert!(st.memctrl.iio.stats().rejected > 0, "IIO must have pushed back");
+    assert!(
+        st.memctrl.iio.stats().rejected > 0,
+        "IIO must have pushed back"
+    );
     assert_eq!(emitted, consumed + st.dropped_total);
     assert!(consumed > 0);
 }

@@ -3,7 +3,7 @@
 //! thrashing pathology the whole paper is about.
 
 use ceio_cpu::{AppWork, Application};
-use ceio_host::{run_to_report, HostConfig, Machine, UnmanagedPolicy};
+use ceio_host::{run_to_report, AppFactory, HostConfig, Machine, UnmanagedPolicy};
 use ceio_net::{FlowClass, FlowSpec, Packet, Scenario};
 use ceio_sim::{Bandwidth, Duration, Time};
 
@@ -18,7 +18,7 @@ impl Application for EchoApp {
     }
 }
 
-fn echo_factory() -> Box<dyn FnMut(&FlowSpec) -> Box<dyn Application>> {
+fn echo_factory() -> AppFactory {
     Box::new(|_spec| Box::new(EchoApp))
 }
 
@@ -26,7 +26,13 @@ fn single_flow_scenario(rate_gbps: u64, pkt_bytes: u64) -> Scenario {
     let mut s = Scenario::new();
     s.start_at(
         Time::ZERO,
-        FlowSpec::new(0, FlowClass::CpuInvolved, pkt_bytes, 1, Bandwidth::gbps(rate_gbps)),
+        FlowSpec::new(
+            0,
+            FlowClass::CpuInvolved,
+            pkt_bytes,
+            1,
+            Bandwidth::gbps(rate_gbps),
+        ),
     );
     s.build()
 }
@@ -63,8 +69,14 @@ fn light_load_latency_is_microseconds() {
     let report = run_to_report(&mut sim, Duration::millis(1), Duration::millis(4));
     // Path: 2 µs network + ~50 ns wire + ~700 ns PCIe+retire + poll + app.
     let p50 = report.involved_latency.p50();
-    assert!(p50 > 2_000, "latency must include network delay, got {p50} ns");
-    assert!(p50 < 10_000, "light-load p50 should be µs-scale, got {p50} ns");
+    assert!(
+        p50 > 2_000,
+        "latency must include network delay, got {p50} ns"
+    );
+    assert!(
+        p50 < 10_000,
+        "light-load p50 should be µs-scale, got {p50} ns"
+    );
     assert!(report.involved_latency.p999() < 50_000);
 }
 
@@ -96,12 +108,21 @@ fn seed_changes_jitter_but_not_shape() {
             seed,
             ..HostConfig::default()
         };
-        let mut sim = Machine::build(cfg, UnmanagedPolicy, single_flow_scenario(20, 512), echo_factory());
+        let mut sim = Machine::build(
+            cfg,
+            UnmanagedPolicy,
+            single_flow_scenario(20, 512),
+            echo_factory(),
+        );
         run_to_report(&mut sim, Duration::millis(1), Duration::millis(3)).involved_mpps
     };
     let a = run(1);
     let b = run(2);
-    assert_ne!(a.to_bits(), b.to_bits(), "different seeds should differ in detail");
+    assert_ne!(
+        a.to_bits(),
+        b.to_bits(),
+        "different seeds should differ in detail"
+    );
     assert!((a - b).abs() / a < 0.05, "but not in shape: {a} vs {b}");
 }
 
@@ -138,7 +159,10 @@ fn cpu_bottleneck_triggers_backpressure_and_rate_control() {
         f.cca.rate() < Bandwidth::gbps(25),
         "CCA should have reduced the rate"
     );
-    assert!(f.cca.stats().loss_cuts > 0, "ring-full drops must signal loss");
+    assert!(
+        f.cca.stats().loss_cuts > 0,
+        "ring-full drops must signal loss"
+    );
 }
 
 #[test]
@@ -159,7 +183,12 @@ fn llc_thrashing_under_saturation() {
         ring_entries: 2048, // 8 flows x 2048 x 2 KB = 32 MB >> 6 MB DDIO
         ..HostConfig::default()
     };
-    let mut sim = Machine::build(cfg, UnmanagedPolicy, scenario, Box::new(|_| Box::new(SlowApp)));
+    let mut sim = Machine::build(
+        cfg,
+        UnmanagedPolicy,
+        scenario,
+        Box::new(|_| Box::new(SlowApp)),
+    );
     let report = run_to_report(&mut sim, Duration::millis(2), Duration::millis(5));
     assert!(
         report.llc_miss_rate > 0.5,
@@ -175,7 +204,12 @@ fn bypass_flow_streams_messages_and_counts_boundaries() {
         Time::ZERO,
         FlowSpec::new(0, FlowClass::CpuBypass, 1024, 64, Bandwidth::gbps(10)),
     );
-    let mut sim = Machine::build(HostConfig::default(), UnmanagedPolicy, s.build(), echo_factory());
+    let mut sim = Machine::build(
+        HostConfig::default(),
+        UnmanagedPolicy,
+        s.build(),
+        echo_factory(),
+    );
     let report = run_to_report(&mut sim, Duration::millis(1), Duration::millis(4));
     let f = sim.model.st.flows.values().next().unwrap();
     // Per-packet delivery (bypass consumers pipeline); message boundaries
@@ -199,13 +233,34 @@ fn flow_stop_halts_emission_and_frees_core() {
         FlowSpec::new(0, FlowClass::CpuInvolved, 512, 1, Bandwidth::gbps(10)),
     );
     s.stop_at(Time::ZERO + Duration::millis(2), ceio_net::FlowId(0));
-    let mut sim = Machine::build(HostConfig::default(), UnmanagedPolicy, s.build(), echo_factory());
+    let mut sim = Machine::build(
+        HostConfig::default(),
+        UnmanagedPolicy,
+        s.build(),
+        echo_factory(),
+    );
     sim.run_until(Time::ZERO + Duration::millis(10), u64::MAX);
     // After stop + drain, the queue goes quiet except samples; the flow's
     // consumed count stops growing.
-    let consumed_a = sim.model.st.flows.values().next().unwrap().counters.consumed_pkts;
+    let consumed_a = sim
+        .model
+        .st
+        .flows
+        .values()
+        .next()
+        .unwrap()
+        .counters
+        .consumed_pkts;
     sim.run_until(Time::ZERO + Duration::millis(12), u64::MAX);
-    let consumed_b = sim.model.st.flows.values().next().unwrap().counters.consumed_pkts;
+    let consumed_b = sim
+        .model
+        .st
+        .flows
+        .values()
+        .next()
+        .unwrap()
+        .counters
+        .consumed_pkts;
     assert_eq!(consumed_a, consumed_b);
     assert!(consumed_a > 0);
 }
@@ -221,7 +276,12 @@ fn two_classes_coexist_and_are_accounted_separately() {
         Time::ZERO,
         FlowSpec::new(1, FlowClass::CpuBypass, 2048, 128, Bandwidth::gbps(20)),
     );
-    let mut sim = Machine::build(HostConfig::default(), UnmanagedPolicy, s.build(), echo_factory());
+    let mut sim = Machine::build(
+        HostConfig::default(),
+        UnmanagedPolicy,
+        s.build(),
+        echo_factory(),
+    );
     let report = run_to_report(&mut sim, Duration::millis(2), Duration::millis(5));
     assert!(report.involved_mpps > 0.5);
     assert!(report.bypass_gbps > 10.0);

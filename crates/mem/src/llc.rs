@@ -133,12 +133,15 @@ impl IoLlc {
                 .order
                 .iter()
                 .next()
-                .expect("occupancy > 0 implies entries exist");
+                .expect("invariant: occupancy > 0 implies `order` is non-empty");
             if victim == id {
                 break;
             }
             self.order.remove(&oldest_seq);
-            let e = self.entries.remove(&victim).expect("order/entries in sync");
+            let e = self
+                .entries
+                .remove(&victim)
+                .expect("invariant: `order` and `entries` index the same set of buffers");
             self.occupancy_bytes -= e.bytes;
             self.stats.evictions += 1;
             self.stats.evicted_bytes += e.bytes;
@@ -158,7 +161,10 @@ impl IoLlc {
                 let new_seq = self.next_seq;
                 self.next_seq += 1;
                 self.order.insert(new_seq, id);
-                self.entries.get_mut(&id).expect("present").seq = new_seq;
+                self.entries
+                    .get_mut(&id)
+                    .expect("invariant: entry was present in the `Some` arm above")
+                    .seq = new_seq;
                 true
             }
             None => {
@@ -283,18 +289,17 @@ mod tests {
         // get evicted before consumption -> miss rate approaches the
         // overflow fraction. Shape check for the Fig. 9 baseline (~88%).
         let mut llc = IoLlc::new(16 * 2048);
-        let mut next_insert = 0u64;
-        let mut next_read = 0u64;
-        for _ in 0..10_000 {
-            llc.insert(BufferId(next_insert), 2048);
-            next_insert += 1;
-            llc.insert(BufferId(next_insert), 2048);
-            next_insert += 1;
+        for next_read in 0..10_000u64 {
+            llc.insert(BufferId(2 * next_read), 2048);
+            llc.insert(BufferId(2 * next_read + 1), 2048);
             // Consumer keeps up with half the rate.
             llc.lookup(BufferId(next_read));
             llc.consume(BufferId(next_read));
-            next_read += 1;
         }
-        assert!(llc.stats().miss_rate() > 0.45, "rate {}", llc.stats().miss_rate());
+        assert!(
+            llc.stats().miss_rate() > 0.45,
+            "rate {}",
+            llc.stats().miss_rate()
+        );
     }
 }

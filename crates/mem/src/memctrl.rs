@@ -264,7 +264,10 @@ mod tests {
         c.dma_write(Time(0), BufferId(2), 2048);
         c.consume(BufferId(1));
         let out = c.dma_write(Time(10), BufferId(3), 2048);
-        assert!(out.evicted.is_empty(), "freed space should absorb the write");
+        assert!(
+            out.evicted.is_empty(),
+            "freed space should absorb the write"
+        );
     }
 
     #[test]

@@ -83,10 +83,8 @@ impl Dctcp {
     /// congestion event.
     pub fn set_demand(&mut self, demand: Bandwidth) {
         self.demand = demand;
-        self.additive_step =
-            Bandwidth::bytes_per_sec((demand.as_bytes_per_sec() / 10).max(1));
-        self.min_rate =
-            Bandwidth::bytes_per_sec((demand.as_bytes_per_sec() / 100).max(1_000_000));
+        self.additive_step = Bandwidth::bytes_per_sec((demand.as_bytes_per_sec() / 10).max(1));
+        self.min_rate = Bandwidth::bytes_per_sec((demand.as_bytes_per_sec() / 100).max(1_000_000));
         if demand.as_bytes_per_sec() == 0 {
             self.rate = Bandwidth::bytes_per_sec(0);
         } else {
@@ -197,7 +195,10 @@ mod tests {
                 c.on_feedback(t - Duration::nanos(1), false);
             }
         });
-        assert_eq!(c.rate().as_bytes_per_sec(), Bandwidth::gbps(25).as_bytes_per_sec());
+        assert_eq!(
+            c.rate().as_bytes_per_sec(),
+            Bandwidth::gbps(25).as_bytes_per_sec()
+        );
     }
 
     #[test]
@@ -209,7 +210,11 @@ mod tests {
             }
         });
         assert!(c.rate() < Bandwidth::gbps(25));
-        assert!(c.alpha() > 0.5, "alpha should converge up, got {}", c.alpha());
+        assert!(
+            c.alpha() > 0.5,
+            "alpha should converge up, got {}",
+            c.alpha()
+        );
         assert!(c.stats().ecn_reductions > 0);
     }
 
@@ -231,7 +236,10 @@ mod tests {
             c.tick(t);
         }
         assert!(c.rate() > low);
-        assert_eq!(c.rate().as_bytes_per_sec(), Bandwidth::gbps(25).as_bytes_per_sec());
+        assert_eq!(
+            c.rate().as_bytes_per_sec(),
+            Bandwidth::gbps(25).as_bytes_per_sec()
+        );
     }
 
     #[test]
@@ -270,6 +278,9 @@ mod tests {
         });
         let after = c.rate().as_bytes_per_sec();
         assert!(after < before);
-        assert!(after > before / 2, "first-window cut should be mild (alpha small)");
+        assert!(
+            after > before / 2,
+            "first-window cut should be mild (alpha small)"
+        );
     }
 }

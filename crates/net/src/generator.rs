@@ -112,7 +112,13 @@ mod tests {
     use crate::flow::FlowClass;
 
     fn gen(msg_packets: u32, pacing: Pacing) -> TrafficGen {
-        let spec = FlowSpec::new(3, FlowClass::CpuInvolved, 1024, msg_packets, Bandwidth::gbps(25));
+        let spec = FlowSpec::new(
+            3,
+            FlowClass::CpuInvolved,
+            1024,
+            msg_packets,
+            Bandwidth::gbps(25),
+        );
         TrafficGen::new(spec, pacing, Rng::seed_from_u64(1), 3)
     }
 
@@ -128,7 +134,10 @@ mod tests {
     fn message_segmentation_flags_tail() {
         let mut g = gen(4, Pacing::Cbr);
         let flags: Vec<bool> = (0..8).map(|i| g.emit(Time(i)).msg_last).collect();
-        assert_eq!(flags, vec![false, false, false, true, false, false, false, true]);
+        assert_eq!(
+            flags,
+            vec![false, false, false, true, false, false, false, true]
+        );
         let p = g.emit(Time(9));
         assert_eq!(p.msg_id, 2);
         assert_eq!(p.msg_seq, 0);

@@ -170,7 +170,10 @@ mod tests {
             }
         }
         assert!(marked > 0, "should ECN-mark under overload");
-        assert!(dropped > 0, "should eventually drop under sustained overload");
+        assert!(
+            dropped > 0,
+            "should eventually drop under sustained overload"
+        );
         assert_eq!(l.stats().dropped, dropped);
     }
 

@@ -69,7 +69,11 @@ impl Scenario {
 
     /// Highest event time (scenario horizon hint).
     pub fn last_event_time(&self) -> Time {
-        self.events.iter().map(|(t, _)| *t).max().unwrap_or(Time::ZERO)
+        self.events
+            .iter()
+            .map(|(t, _)| *t)
+            .max()
+            .unwrap_or(Time::ZERO)
     }
 
     /// §2.3 dynamic flow distribution: `initial` CPU-involved flows; every
@@ -229,7 +233,10 @@ mod tests {
     fn per_flow_demand_splits_link() {
         let s = Scenario::network_burst(8, 2, 1, Duration::millis(20), 512, Bandwidth::gbps(200));
         if let (_, ScenarioEvent::Start(spec)) = &s.events[0] {
-            assert_eq!(spec.demand.as_bytes_per_sec(), Bandwidth::gbps(25).as_bytes_per_sec());
+            assert_eq!(
+                spec.demand.as_bytes_per_sec(),
+                Bandwidth::gbps(25).as_bytes_per_sec()
+            );
         } else {
             panic!("first event should be a start");
         }

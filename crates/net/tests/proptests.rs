@@ -34,7 +34,7 @@ proptest! {
         let mut cca = Dctcp::new(demand, Duration::micros(20));
         let mut t = Time::ZERO;
         for ev in events {
-            t = t + Duration::micros(3);
+            t += Duration::micros(3);
             match ev {
                 Feedback::Ack(m) => cca.on_feedback(t, m),
                 Feedback::Loss => cca.on_loss(t),
@@ -100,7 +100,7 @@ proptest! {
         let mut delivered = 0u64;
         let mut dropped = 0u64;
         for (gap, bytes) in offers.iter().copied() {
-            t = t + Duration::nanos(gap);
+            t += Duration::nanos(gap);
             match link.offer(t, bytes) {
                 IngressOutcome::Delivered { arrival, .. } => {
                     prop_assert!(arrival >= t + base, "arrival violates base delay");

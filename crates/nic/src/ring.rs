@@ -12,6 +12,10 @@ use std::collections::VecDeque;
 /// Ring statistics.
 #[derive(Debug, Default, Clone, Serialize)]
 pub struct RingStats {
+    /// Configured capacity (descriptor count), so exported stats are
+    /// self-describing: occupancy numbers can be judged without having to
+    /// consult the ring that produced them.
+    pub capacity: usize,
     /// Entries successfully pushed.
     pub pushed: u64,
     /// Pushes rejected because the ring was full.
@@ -37,17 +41,32 @@ pub struct HwRing<T> {
 
 impl<T> HwRing<T> {
     /// An empty ring holding at most `capacity` entries.
+    ///
+    /// The *logical* capacity is exactly `capacity`; only the *eager
+    /// allocation* is clamped to 4096 slots so that simulations configured
+    /// with huge rings (e.g. 1 M descriptors, common in scalability
+    /// sweeps) do not reserve gigabytes up front. Rings that actually fill
+    /// beyond 4096 entries grow on demand — pushes are never rejected by
+    /// this clamp, only by `capacity` itself.
     pub fn new(capacity: usize) -> HwRing<T> {
         HwRing {
             entries: VecDeque::with_capacity(capacity.min(4096)),
             capacity,
-            stats: RingStats::default(),
+            stats: RingStats {
+                capacity,
+                ..RingStats::default()
+            },
             tail_seq: 0,
             head_seq: 0,
         }
     }
 
     /// Push an entry; returns it back if the ring is full.
+    ///
+    /// Bookkeeping (tail pointer, statistics) is updated strictly *after*
+    /// the entry is stored, so a panic inside `VecDeque` growth (allocation
+    /// failure) can never leave the pointers claiming an entry that was
+    /// not actually enqueued.
     pub fn try_push(&mut self, item: T) -> Result<(), T> {
         if self.entries.len() >= self.capacity {
             self.stats.rejected += 1;
@@ -57,6 +76,11 @@ impl<T> HwRing<T> {
         self.tail_seq += 1;
         self.stats.pushed += 1;
         self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.entries.len());
+        debug_assert!(
+            self.entries.len() <= self.capacity,
+            "HwRing occupancy exceeded capacity"
+        );
+        debug_assert!(self.head_seq <= self.tail_seq, "head_seq passed tail_seq");
         Ok(())
     }
 
@@ -65,6 +89,7 @@ impl<T> HwRing<T> {
         let item = self.entries.pop_front()?;
         self.head_seq += 1;
         self.stats.popped += 1;
+        debug_assert!(self.head_seq <= self.tail_seq, "head_seq passed tail_seq");
         Some(item)
     }
 
@@ -203,6 +228,27 @@ mod tests {
         assert_eq!(drained, vec![0, 1, 2]);
         assert_eq!(r.head_seq(), 3);
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn stats_carry_capacity() {
+        let r: HwRing<u8> = HwRing::new(128);
+        assert_eq!(r.stats().capacity, 128);
+        // The 4096 clamp bounds pre-allocation only: a huge ring still
+        // reports (and enforces) its full logical capacity.
+        let big: HwRing<u8> = HwRing::new(1 << 20);
+        assert_eq!(big.stats().capacity, 1 << 20);
+        assert_eq!(big.capacity(), 1 << 20);
+    }
+
+    #[test]
+    fn logical_capacity_exceeds_prealloc_clamp() {
+        let mut r = HwRing::new(5000);
+        for i in 0..5000 {
+            assert!(r.try_push(i).is_ok(), "push {i} rejected below capacity");
+        }
+        assert_eq!(r.try_push(5000), Err(5000));
+        assert_eq!(r.len(), 5000);
     }
 
     #[test]

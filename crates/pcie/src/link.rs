@@ -67,7 +67,11 @@ impl PcieLink {
     /// `now`; returns the arrival instant at the far side (serialization
     /// complete + propagation).
     pub fn transfer(&mut self, now: Time, d: Direction, payload: u64) -> Time {
-        let wire = tlp::wire_bytes(payload, self.params.max_payload_size, self.params.tlp_overhead);
+        let wire = tlp::wire_bytes(
+            payload,
+            self.params.max_payload_size,
+            self.params.tlp_overhead,
+        );
         let ser = self.params.bandwidth.transfer_time(wire);
         let prop = self.params.propagation;
         let dir = self.dir_mut(d);
@@ -110,9 +114,7 @@ mod tests {
         let mut l = link();
         let arrive = l.transfer(Time(0), Direction::ToHost, 2048);
         let wire = tlp::wire_bytes(2048, 256, 24);
-        let expect = Time(0)
-            + l.params().bandwidth.transfer_time(wire)
-            + l.params().propagation;
+        let expect = Time(0) + l.params().bandwidth.transfer_time(wire) + l.params().propagation;
         assert_eq!(arrive, expect);
     }
 
@@ -135,10 +137,7 @@ mod tests {
         assert!(b > a);
         // Exactly one extra serialization interval apart.
         let wire = tlp::wire_bytes(4096, 256, 24);
-        assert_eq!(
-            b.since(a),
-            l.params().bandwidth.transfer_time(wire)
-        );
+        assert_eq!(b.since(a), l.params().bandwidth.transfer_time(wire));
     }
 
     #[test]

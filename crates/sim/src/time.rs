@@ -15,11 +15,15 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
 
 /// An absolute simulated instant, in nanoseconds since simulation start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Time(pub u64);
 
 /// A span of simulated time, in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Duration(pub u64);
 
 impl Time {
@@ -201,19 +205,25 @@ impl Bandwidth {
     /// Construct from bits per second.
     #[inline]
     pub const fn bits_per_sec(bps: u64) -> Bandwidth {
-        Bandwidth { bytes_per_sec: bps / 8 }
+        Bandwidth {
+            bytes_per_sec: bps / 8,
+        }
     }
 
     /// Construct from gigabits per second (network-link style units).
     #[inline]
     pub const fn gbps(g: u64) -> Bandwidth {
-        Bandwidth { bytes_per_sec: g * 1_000_000_000 / 8 }
+        Bandwidth {
+            bytes_per_sec: g * 1_000_000_000 / 8,
+        }
     }
 
     /// Construct from gigabytes per second (memory-bus style units).
     #[inline]
     pub const fn gibps(g: u64) -> Bandwidth {
-        Bandwidth { bytes_per_sec: g * 1_000_000_000 }
+        Bandwidth {
+            bytes_per_sec: g * 1_000_000_000,
+        }
     }
 
     /// Construct from bytes per second.
@@ -324,14 +334,17 @@ mod tests {
         let bw = Bandwidth::gbps(100);
         let d = bw.transfer_time(1_000_000);
         let b = bw.bytes_in(d);
-        assert!(b >= 1_000_000 && b <= 1_000_013, "b = {b}");
+        assert!((1_000_000..=1_000_013).contains(&b), "b = {b}");
     }
 
     #[test]
     fn scale_applies_rational_factor() {
         let bw = Bandwidth::gbps(200);
         assert_eq!(bw.scale(1, 2).as_bytes_per_sec(), bw.as_bytes_per_sec() / 2);
-        assert_eq!(bw.scale(3, 4).as_bytes_per_sec(), bw.as_bytes_per_sec() / 4 * 3);
+        assert_eq!(
+            bw.scale(3, 4).as_bytes_per_sec(),
+            bw.as_bytes_per_sec() / 4 * 3
+        );
     }
 
     #[test]

@@ -1,0 +1,331 @@
+//! `cargo xtask` — workspace maintenance tasks.
+//!
+//! The only task today is `lint`: a lightweight source audit that runs in
+//! CI (`scripts/check.sh`) alongside clippy and enforces rules clippy
+//! cannot express per-location without littering the tree with attributes:
+//!
+//! * **No `unwrap()/expect()/panic!/unreachable!/todo!/unimplemented!` in
+//!   non-test library code.** `expect("invariant: ...")` is permitted —
+//!   the message documents why the failure is impossible — and a vetted
+//!   allowlist (`crates/xtask/lint-allow.txt`) carries the remaining
+//!   sites, so new ones cannot land silently.
+//! * **`#[must_use]` on `pub fn`s in `ceio-core` returning counters or
+//!   `Result`** — credit counts that are silently dropped are exactly how
+//!   conservation bugs hide.
+//! * **No float equality on simulated time**: comparing `as_secs_f64()`
+//!   or float-typed occupancy values with `==`/`!=` is flagged.
+//!
+//! Scope: `src/` trees of the workspace's library crates plus the root
+//! `src/`. Test code (`tests/`, `benches/`, `examples/`, and everything
+//! after a `#[cfg(test)]` line inside a source file), the `compat/`
+//! offline stubs, and this crate are exempt.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        Some("help") | None => {
+            eprintln!("usage: cargo xtask lint");
+            eprintln!("  lint   run the source-audit gate (see crates/xtask/src/main.rs)");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown xtask `{other}` (try: cargo xtask lint)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Workspace root: two levels up from this crate's manifest dir.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+/// One allowlist entry: file path (workspace-relative) + a substring the
+/// offending line must contain.
+#[derive(Debug)]
+struct AllowEntry {
+    path: String,
+    pattern: String,
+    used: bool,
+}
+
+fn load_allowlist(root: &Path) -> Vec<AllowEntry> {
+    let path = root.join("crates/xtask/lint-allow.txt");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let (path, pattern) = l.split_once(char::is_whitespace)?;
+            Some(AllowEntry {
+                path: path.to_string(),
+                pattern: pattern.trim().to_string(),
+                used: false,
+            })
+        })
+        .collect()
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let mut allow = load_allowlist(&root);
+    let mut findings: Vec<String> = Vec::new();
+
+    for file in library_sources(&root) {
+        let rel = file
+            .strip_prefix(&root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Ok(text) = std::fs::read_to_string(&file) else {
+            findings.push(format!("{rel}: unreadable source file"));
+            continue;
+        };
+        lint_file(&rel, &text, &mut allow, &mut findings);
+    }
+
+    for entry in &allow {
+        if !entry.used {
+            findings.push(format!(
+                "lint-allow.txt: stale entry `{} {}` (no longer matches — remove it)",
+                entry.path, entry.pattern
+            ));
+        }
+    }
+
+    if findings.is_empty() {
+        println!("xtask lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        let mut out = String::new();
+        let _ = writeln!(out, "xtask lint: {} finding(s)", findings.len());
+        for f in &findings {
+            let _ = writeln!(out, "  {f}");
+        }
+        eprint!("{out}");
+        ExitCode::FAILURE
+    }
+}
+
+/// All `.rs` files under the library source trees.
+fn library_sources(root: &Path) -> Vec<PathBuf> {
+    let mut dirs: Vec<PathBuf> = vec![root.join("src")];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for e in entries.flatten() {
+            let name = e.file_name();
+            // This crate audits the others, not itself (its diagnostics
+            // must mention the denied tokens); compat/ stubs are exempt.
+            if name == "xtask" {
+                continue;
+            }
+            let src = e.path().join("src");
+            if src.is_dir() {
+                dirs.push(src);
+            }
+        }
+    }
+    let mut files = Vec::new();
+    for d in dirs {
+        collect_rs(&d, &mut files);
+    }
+    files.sort();
+    files
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Tokens denied in non-test library code.
+const DENIED: &[&str] = &[
+    ".unwrap()",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+fn lint_file(rel: &str, text: &str, allow: &mut [AllowEntry], findings: &mut Vec<String>) {
+    let is_core = rel.starts_with("crates/core/src");
+    let mut pending_attrs: Vec<String> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        // Everything from the unit-test module to EOF is test code.
+        if raw.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        let code = strip_comments_and_strings(raw);
+        let trimmed = raw.trim_start();
+
+        // -- denied panic-path tokens -------------------------------------
+        for tok in DENIED {
+            if code.contains(tok) && !is_allowed(rel, raw, allow) {
+                findings.push(format!(
+                    "{rel}:{lineno}: `{tok}` in library code (return an error, use \
+                     debug_assert!, or add to crates/xtask/lint-allow.txt with review)"
+                ));
+            }
+        }
+        // `.expect(` needs its message to document an invariant.
+        if code.contains(".expect(") {
+            // rustfmt may reflow a long message onto the following line.
+            let documented = raw.contains(".expect(\"invariant:")
+                || (raw.trim_end().ends_with(".expect(")
+                    && text
+                        .lines()
+                        .nth(idx + 1)
+                        .is_some_and(|next| next.trim_start().starts_with("\"invariant:")));
+            if !documented && !is_allowed(rel, raw, allow) {
+                findings.push(format!(
+                    "{rel}:{lineno}: `.expect(..)` without an `\"invariant: ...\"` message \
+                     in library code"
+                ));
+            }
+        }
+
+        // -- float comparisons on simulated time --------------------------
+        if (code.contains("==") || code.contains("!=")) && !code.contains("<=") {
+            let floaty = code.contains("as_secs_f64()")
+                || code.contains("as_f64()")
+                || has_float_literal_cmp(&code);
+            if floaty && !is_allowed(rel, raw, allow) {
+                findings.push(format!(
+                    "{rel}:{lineno}: float equality on simulated time / derived f64 \
+                     (compare integer nanos, or use an epsilon)"
+                ));
+            }
+        }
+
+        // -- #[must_use] on ceio-core counters/Results --------------------
+        if is_core {
+            if trimmed.starts_with("#[") || trimmed.starts_with("///") {
+                pending_attrs.push(trimmed.to_string());
+            } else if trimmed.starts_with("pub fn ") || trimmed.starts_with("pub const fn ") {
+                if needs_must_use(trimmed)
+                    && !pending_attrs.iter().any(|a| a.contains("must_use"))
+                    && !is_allowed(rel, raw, allow)
+                {
+                    findings.push(format!(
+                        "{rel}:{lineno}: pub fn returning a count/Result in ceio-core \
+                         without #[must_use]"
+                    ));
+                }
+                pending_attrs.clear();
+            } else if !trimmed.is_empty() {
+                pending_attrs.clear();
+            }
+        }
+    }
+}
+
+/// Whether a `pub fn` signature line returns a count-like or Result type.
+fn needs_must_use(sig: &str) -> bool {
+    let Some(ret) = sig.split_once("->").map(|(_, r)| r.trim()) else {
+        return false;
+    };
+    ret.starts_with("u64")
+        || ret.starts_with("u32")
+        || ret.starts_with("usize")
+        || ret.starts_with("bool")
+        || ret.starts_with("Result<")
+        || ret.starts_with("Option<")
+}
+
+/// Whether a line contains `== <float literal>` or `<float literal> ==`.
+fn has_float_literal_cmp(code: &str) -> bool {
+    for op in ["==", "!="] {
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(op) {
+            let at = from + pos;
+            let before = code[..at].trim_end();
+            let after = code[at + 2..].trim_start();
+            if looks_like_float(after)
+                || before.ends_with(|c: char| c.is_ascii_digit()) && {
+                    // `1.0 ==` — find trailing float in `before`
+                    let tail: String = before
+                        .chars()
+                        .rev()
+                        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '_')
+                        .collect();
+                    tail.contains('.')
+                }
+            {
+                return true;
+            }
+            from = at + 2;
+        }
+    }
+    false
+}
+
+fn looks_like_float(s: &str) -> bool {
+    let tok: String = s
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '_')
+        .collect();
+    tok.contains('.') && tok.chars().next().is_some_and(|c| c.is_ascii_digit())
+}
+
+/// Consume an allowlist entry matching this file + line, if any.
+fn is_allowed(rel: &str, raw: &str, allow: &mut [AllowEntry]) -> bool {
+    for entry in allow.iter_mut() {
+        if entry.path == rel && raw.contains(&entry.pattern) {
+            entry.used = true;
+            return true;
+        }
+    }
+    false
+}
+
+/// Remove line comments and the contents of string literals (keeps the
+/// quotes) so token scans don't fire inside docs or messages. Heuristic:
+/// handles `//` comments and plain `"` strings; raw strings and escapes
+/// beyond `\"` are not fully parsed (good enough for this codebase).
+fn strip_comments_and_strings(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_str = false;
+    let mut prev_escape = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            if c == '"' && !prev_escape {
+                in_str = false;
+                out.push('"');
+            }
+            prev_escape = c == '\\' && !prev_escape;
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                prev_escape = false;
+                out.push('"');
+            }
+            '/' if chars.peek() == Some(&'/') => break,
+            _ => out.push(c),
+        }
+    }
+    out
+}

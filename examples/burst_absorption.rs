@@ -11,20 +11,12 @@
 use ceio::apps::{KvConfig, KvStore};
 use ceio::baselines::{ShRingConfig, ShRingPolicy, UnmanagedPolicy};
 use ceio::core::{CeioConfig, CeioPolicy};
-use ceio::cpu::Application;
-use ceio::host::{run_to_report, HostConfig, IoPolicy, Machine, RunReport};
+use ceio::host::{run_to_report, AppFactory, HostConfig, IoPolicy, Machine, RunReport};
 use ceio::net::Scenario;
 use ceio::sim::{Bandwidth, Duration};
 
 fn scenario() -> Scenario {
-    Scenario::network_burst(
-        8,
-        2,
-        3,
-        Duration::millis(2),
-        512,
-        Bandwidth::gbps(200),
-    )
+    Scenario::network_burst(8, 2, 3, Duration::millis(2), 512, Bandwidth::gbps(200))
 }
 
 fn host_config() -> HostConfig {
@@ -34,7 +26,7 @@ fn host_config() -> HostConfig {
     }
 }
 
-fn factory() -> Box<dyn FnMut(&ceio::net::FlowSpec) -> Box<dyn Application>> {
+fn factory() -> AppFactory {
     Box::new(|_| Box::new(KvStore::new(KvConfig::default())))
 }
 

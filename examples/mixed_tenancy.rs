@@ -15,8 +15,7 @@
 use ceio::apps::{KvConfig, KvStore, LineFs, LineFsConfig};
 use ceio::baselines::UnmanagedPolicy;
 use ceio::core::{CeioConfig, CeioPolicy};
-use ceio::cpu::Application;
-use ceio::host::{run_to_report, HostConfig, IoPolicy, Machine, RunReport};
+use ceio::host::{run_to_report, AppFactory, HostConfig, IoPolicy, Machine, RunReport};
 use ceio::net::{FlowClass, FlowSpec, Scenario};
 use ceio::sim::{Bandwidth, Duration, Time};
 
@@ -47,7 +46,7 @@ fn host_config() -> HostConfig {
 }
 
 /// KV store for RPC flows, LineFS for DFS flows — picked per flow class.
-fn factory() -> Box<dyn FnMut(&FlowSpec) -> Box<dyn Application>> {
+fn factory() -> AppFactory {
     Box::new(|spec| match spec.class {
         FlowClass::CpuInvolved => Box::new(KvStore::new(KvConfig::default())),
         FlowClass::CpuBypass => Box::new(LineFs::new(LineFsConfig::default())),

@@ -9,8 +9,7 @@
 use ceio::apps::{KvConfig, KvStore};
 use ceio::baselines::UnmanagedPolicy;
 use ceio::core::{CeioConfig, CeioPolicy};
-use ceio::cpu::Application;
-use ceio::host::{run_to_report, HostConfig, IoPolicy, Machine, RunReport};
+use ceio::host::{run_to_report, AppFactory, HostConfig, IoPolicy, Machine, RunReport};
 use ceio::net::{FlowClass, FlowSpec, Scenario};
 use ceio::sim::{Bandwidth, Duration, Time};
 
@@ -36,7 +35,7 @@ fn host_config() -> HostConfig {
     }
 }
 
-fn kv_factory() -> Box<dyn FnMut(&FlowSpec) -> Box<dyn Application>> {
+fn kv_factory() -> AppFactory {
     Box::new(|_| Box::new(KvStore::new(KvConfig::default())))
 }
 

@@ -24,26 +24,32 @@ fn main() {
         println!("  fast path  <- buffer #{buf}");
     }
     for buf in [17u32, 18] {
-        ring.push_slow(buf);
+        let _ = ring.push_slow(buf);
         println!("  slow path  <- buffer #{buf} (parked in on-NIC memory)");
     }
 
     println!("\n-- app calls async_recv() --");
     let out = ring.async_recv(32);
     println!("  delivered now: {:?}", out.delivered);
-    println!("  DMA fetches issued for {} slow packets (non-blocking)", out.fetch_issued);
+    println!(
+        "  DMA fetches issued for {} slow packets (non-blocking)",
+        out.fetch_issued
+    );
     assert_eq!(out.delivered, vec![1, 2, 3, 4]);
 
     println!("\n-- message 2 arrives while the fetch is in flight --");
     for buf in [19u32, 20] {
-        ring.push_slow(buf);
+        let _ = ring.push_slow(buf);
         println!("  slow path  <- buffer #{buf}");
     }
 
     println!("\n-- another async_recv(): fetch not done, order is sacred --");
     let out = ring.async_recv(32);
     assert!(out.delivered.is_empty());
-    println!("  delivered now: {:?} (nothing can overtake #17)", out.delivered);
+    println!(
+        "  delivered now: {:?} (nothing can overtake #17)",
+        out.delivered
+    );
 
     println!("\n-- DMA completes; the drain continues --");
     ring.fetch_complete(2);

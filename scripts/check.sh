@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# The full local gate: everything CI runs, in the order of fastest feedback.
+#
+#   ./scripts/check.sh
+#
+# All cargo invocations are --offline: the workspace builds against the
+# vendored `compat/` stubs and must never touch the network.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo xtask lint"
+cargo xtask lint
+
+echo "==> cargo clippy (default features)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo clippy (audit + mutation-hooks)"
+cargo clippy --workspace --all-targets --offline \
+    --features "audit ceio-core/mutation-hooks" -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release --offline
+
+echo "==> cargo test (default features)"
+cargo test --workspace --offline -q
+
+echo "==> cargo test (audit enabled)"
+cargo test --workspace --offline -q --features audit
+
+echo "All checks passed."

@@ -4,8 +4,7 @@
 use ceio::apps::{KvConfig, KvStore, LineFs, LineFsConfig};
 use ceio::baselines::{HostCcConfig, HostCcPolicy, ShRingConfig, ShRingPolicy, UnmanagedPolicy};
 use ceio::core::{CeioConfig, CeioPolicy};
-use ceio::cpu::Application;
-use ceio::host::{run_to_report, HostConfig, IoPolicy, Machine, RunReport};
+use ceio::host::{run_to_report, AppFactory, HostConfig, IoPolicy, Machine, RunReport};
 use ceio::net::{FlowClass, FlowSpec, Scenario};
 use ceio::sim::{Bandwidth, Duration, Time};
 
@@ -28,7 +27,7 @@ fn kv_scenario(flows: u32, pkt: u64) -> Scenario {
     s.build()
 }
 
-fn kv_factory() -> Box<dyn FnMut(&FlowSpec) -> Box<dyn Application>> {
+fn kv_factory() -> AppFactory {
     Box::new(|_| Box::new(KvStore::new(KvConfig::default())))
 }
 
@@ -49,8 +48,14 @@ fn run<P: IoPolicy>(policy: P, scenario: Scenario) -> RunReport {
 #[test]
 fn headline_ceio_dominates_under_saturation() {
     let base = run(UnmanagedPolicy, kv_scenario(8, 512));
-    let hostcc = run(HostCcPolicy::new(HostCcConfig::default()), kv_scenario(8, 512));
-    let shring = run(ShRingPolicy::new(ShRingConfig::default()), kv_scenario(8, 512));
+    let hostcc = run(
+        HostCcPolicy::new(HostCcConfig::default()),
+        kv_scenario(8, 512),
+    );
+    let shring = run(
+        ShRingPolicy::new(ShRingConfig::default()),
+        kv_scenario(8, 512),
+    );
     let ceio = run(ceio_policy(), kv_scenario(8, 512));
 
     // Throughput: CEIO beats baseline and HostCC clearly, matches ShRing.
@@ -90,7 +95,11 @@ fn table1_characterizations_hold() {
         kv_factory(),
     );
     let r = run_to_report(&mut sim, Duration::millis(2), Duration::millis(5));
-    assert!(r.llc_miss_rate < 0.05, "ShRing cache fine: {}", r.llc_miss_rate);
+    assert!(
+        r.llc_miss_rate < 0.05,
+        "ShRing cache fine: {}",
+        r.llc_miss_rate
+    );
     assert!(
         sim.model.policy.stats().marked > 0,
         "ShRing must trigger the CCA to protect its fixed budget"
@@ -105,7 +114,10 @@ fn table1_characterizations_hold() {
     );
     let r = run_to_report(&mut sim, Duration::millis(2), Duration::millis(5));
     assert!(sim.model.policy.stats().congestion_events > 0);
-    assert!(r.llc_miss_rate > 0.01, "reactive control leaves residual misses");
+    assert!(
+        r.llc_miss_rate > 0.01,
+        "reactive control leaves residual misses"
+    );
 }
 
 /// Mixed tenancy (§2.2 coexistence): CEIO protects the RPC flows from the
@@ -128,7 +140,7 @@ fn coexistence_protection() {
         }
         s.build()
     };
-    let factory = || -> Box<dyn FnMut(&FlowSpec) -> Box<dyn Application>> {
+    let factory = || -> AppFactory {
         Box::new(|spec| match spec.class {
             FlowClass::CpuInvolved => Box::new(KvStore::new(KvConfig::default())),
             FlowClass::CpuBypass => Box::new(LineFs::new(LineFsConfig::default())),
@@ -151,7 +163,10 @@ fn coexistence_protection() {
         ceio.bypass_gbps,
         base.bypass_gbps
     );
-    assert!(ceio.slow_path_pkts > 0, "DFS excess must ride the slow path");
+    assert!(
+        ceio.slow_path_pkts > 0,
+        "DFS excess must ride the slow path"
+    );
 }
 
 /// Whole-stack determinism: identical runs produce bit-identical reports
