@@ -106,6 +106,15 @@ fn bench_histogram(c: &mut Criterion) {
         });
         black_box(h.p999());
     });
+    c.bench_function("histogram_quantiles_single_pass", |b| {
+        let mut h = Histogram::new();
+        let mut x = 1u64;
+        for _ in 0..100_000 {
+            h.record(x % 1_000_000 + 1);
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        }
+        b.iter(|| black_box(h.quantiles(black_box(&[0.5, 0.9, 0.99, 0.999]))));
+    });
 }
 
 criterion_group!(

@@ -1,0 +1,253 @@
+//! `ceio-inspect` — run one scenario with full observability armed and
+//! export everything the telemetry layer records:
+//!
+//! * a Chrome trace-event JSON (open in Perfetto / `chrome://tracing`)
+//!   with credit decisions, steering rewrites, slow-phase spans, DMA
+//!   traffic, drops, and deliveries on per-flow tracks;
+//! * a Prometheus text-exposition metrics snapshot aggregating every
+//!   component's counters;
+//! * a per-flow timeline summary on stdout: where each flow's packets
+//!   spent their time, stage by stage (NIC queueing, DMA, retire, ring
+//!   wait, slow-path residency).
+//!
+//! ```text
+//! ceio-inspect [--policy baseline|hostcc|shring|ceio] \
+//!              [--scenario kv|mixed|dynamic|burst]    \
+//!              [--millis N] [--warmup-ms N] [--ring N] \
+//!              [--trace-out FILE] [--prom-out FILE]
+//! ```
+//!
+//! Both exports are validated with the telemetry layer's own JSON checker
+//! before they are written; an invalid document is a bug and exits 1.
+//! Built without the `trace` cargo feature the binary still emits the
+//! metrics snapshot, but the trace is empty (the recorder hooks compile
+//! away) — CI builds it with `--features trace`.
+
+// CLI entry point: exiting with status 2 on a bad argument (or 1 on an
+// internal error) is the intended operator-facing behavior.
+#![allow(clippy::exit)]
+
+use ceio_bench::runner::PolicyKind;
+use ceio_bench::workloads::{self, AppKind, Transport};
+use ceio_host::Machine;
+use ceio_sim::{Duration, Time};
+use ceio_telemetry::{chrome_trace_json, json};
+#[cfg(feature = "trace")]
+use ceio_telemetry::{Stage, TraceEvent};
+
+struct Args {
+    policy: PolicyKind,
+    scenario: String,
+    millis: u64,
+    warmup_ms: u64,
+    ring: usize,
+    trace_out: String,
+    prom_out: String,
+}
+
+/// Parse a required numeric flag value; exit(2) when missing or malformed.
+fn parse_num(flag: &str, value: Option<&String>) -> u64 {
+    match value.map(|s| s.parse::<u64>()) {
+        Some(Ok(v)) => v,
+        Some(Err(_)) | None => {
+            eprintln!(
+                "{flag} requires a numeric value, got {:?}",
+                value.map(String::as_str).unwrap_or("<missing>")
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        policy: PolicyKind::Ceio,
+        scenario: "kv".to_string(),
+        millis: 3,
+        warmup_ms: 1,
+        ring: 1 << 16,
+        trace_out: "ceio-inspect-trace.json".to_string(),
+        prom_out: "ceio-inspect-metrics.prom".to_string(),
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--policy" => {
+                i += 1;
+                a.policy = match args.get(i).map(|s| s.as_str()) {
+                    Some("baseline") => PolicyKind::Baseline,
+                    Some("hostcc") => PolicyKind::HostCc,
+                    Some("shring") => PolicyKind::ShRing,
+                    Some("ceio") | None => PolicyKind::Ceio,
+                    Some(other) => {
+                        eprintln!("unknown policy {other}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--scenario" => {
+                i += 1;
+                a.scenario = args.get(i).cloned().unwrap_or_else(|| "kv".into());
+            }
+            "--millis" => {
+                i += 1;
+                a.millis = parse_num("--millis", args.get(i)).max(1);
+            }
+            "--warmup-ms" => {
+                i += 1;
+                a.warmup_ms = parse_num("--warmup-ms", args.get(i)).max(1);
+            }
+            "--ring" => {
+                i += 1;
+                a.ring = parse_num("--ring", args.get(i)).max(1) as usize;
+            }
+            "--trace-out" => {
+                i += 1;
+                a.trace_out = match args.get(i) {
+                    Some(p) => p.clone(),
+                    None => {
+                        eprintln!("--trace-out requires a path");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--prom-out" => {
+                i += 1;
+                a.prom_out = match args.get(i) {
+                    Some(p) => p.clone(),
+                    None => {
+                        eprintln!("--prom-out requires a path");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    a
+}
+
+/// Write `content` to `path`, exiting 1 with a diagnostic on failure.
+fn write_file(path: &str, content: &str) {
+    if let Err(e) = std::fs::write(path, content) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Validate a JSON document produced by our own emitters; a failure here
+/// is an exporter bug and must be loud.
+fn must_validate(what: &str, doc: &str) {
+    if let Err(e) = json::validate(doc) {
+        eprintln!("internal error: {what} emitted invalid JSON: {e}");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(feature = "trace")]
+fn print_event_counts(events: &[TraceEvent], dropped: u64) {
+    use std::collections::BTreeMap;
+    let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for e in events {
+        *counts.entry(e.kind.label()).or_insert(0) += 1;
+    }
+    println!(
+        "trace events ({} total, {} evicted by ring):",
+        events.len(),
+        dropped
+    );
+    for (label, n) in counts {
+        println!("  {label:<22} {n}");
+    }
+}
+
+fn main() {
+    let a = parse_args();
+    let mut host = workloads::contended_host(Transport::Dpdk);
+    host.sample_window = Duration::micros(100);
+    let link = host.net.link_bandwidth;
+    let phase = Duration::millis((a.millis / 4).max(1));
+    let (scen, app) = match a.scenario.as_str() {
+        "kv" => (workloads::involved_flows(8, 512, link), AppKind::Kv),
+        "mixed" => (workloads::mixed_flows(4, 4, 512, link), AppKind::Mixed),
+        "dynamic" => (
+            workloads::dynamic_distribution(phase, 3, link),
+            AppKind::Mixed,
+        ),
+        "burst" => (workloads::network_burst(phase, 3, link), AppKind::Mixed),
+        other => {
+            eprintln!("unknown scenario {other} (kv|mixed|dynamic|burst)");
+            std::process::exit(2);
+        }
+    };
+
+    let policy = a.policy.build(&host);
+    let mut sim = Machine::build(host, policy, scen, workloads::app_factory(app));
+    #[cfg(feature = "trace")]
+    sim.model.arm_trace(a.ring);
+    #[cfg(not(feature = "trace"))]
+    eprintln!("note: built without the `trace` feature; the event trace will be empty");
+
+    let warmup = Duration::millis(a.warmup_ms);
+    let measure = Duration::millis(a.millis);
+    let report = ceio_host::run_to_report(&mut sim, warmup, measure);
+    let end = Time::ZERO + warmup + measure;
+
+    // Metrics snapshot: prom text to file, JSON validated as a self-check.
+    let snap = sim.model.snapshot(end);
+    must_validate("snapshot", &snap.to_json());
+    write_file(&a.prom_out, &snap.to_prom_text());
+
+    // Chrome trace export.
+    #[cfg(feature = "trace")]
+    let (events, dropped) = sim.model.trace_events();
+    #[cfg(not(feature = "trace"))]
+    let (events, dropped) = (Vec::new(), 0u64);
+    let trace = chrome_trace_json(&events, dropped);
+    must_validate("chrome trace", &trace);
+    write_file(&a.trace_out, &trace);
+
+    // Stdout: run headline + per-flow timeline breakdown.
+    println!(
+        "{} / {}: {:.2} Gbps total ({:.2} fast, {:.2} slow), {} dropped, {} slow-path pkts",
+        report.policy,
+        a.scenario,
+        report.total_gbps(),
+        report.fast_path_gbps,
+        report.slow_path_gbps,
+        report.dropped,
+        report.slow_path_pkts,
+    );
+    #[cfg(feature = "trace")]
+    {
+        print_event_counts(&events, dropped);
+        if let Some(bd) = sim.model.breakdown() {
+            println!("path breakdown (ns per stage):");
+            for stage in Stage::ALL {
+                let h = bd.total.stage(stage);
+                if h.count() > 0 {
+                    println!("  all flows  {:<14} {h}", stage.label());
+                }
+            }
+            for (flow, pb) in &bd.per_flow {
+                for stage in Stage::ALL {
+                    let h = pb.stage(stage);
+                    if h.count() > 0 {
+                        println!("  flow {flow:<5} {:<14} {h}", stage.label());
+                    }
+                }
+            }
+        }
+    }
+    eprintln!(
+        "wrote {} ({} events) and {}",
+        a.trace_out,
+        events.len(),
+        a.prom_out
+    );
+}

@@ -4,10 +4,11 @@
 //! ```text
 //! ceio-trace [--policy baseline|hostcc|shring|ceio] \
 //!            [--scenario kv|mixed|dynamic|burst]    \
-//!            [--millis N] [--out FILE]
+//!            [--millis N] [--warmup-ms N] [--out FILE]
 //! ```
 //!
-//! Columns: `t_ms, involved_mpps, bypass_gbps, llc_miss_rate`.
+//! Columns: `t_ms, involved_mpps, bypass_gbps, llc_miss_rate, fast_gbps,
+//! slow_gbps, drops`.
 
 // CLI entry point: exiting with status 2 on a bad argument is the intended
 // operator-facing behavior (the workspace denies `clippy::exit` for library
@@ -19,10 +20,26 @@ use ceio_bench::workloads::{self, AppKind, Transport};
 use ceio_sim::Duration;
 use std::io::Write;
 
-fn parse_args() -> (PolicyKind, String, u64, Option<String>) {
+/// Parse a required numeric flag value; exit(2) with a diagnostic when the
+/// value is missing or not a number.
+fn parse_millis(flag: &str, value: Option<&String>) -> u64 {
+    match value.map(|s| s.parse::<u64>()) {
+        Some(Ok(v)) => v,
+        Some(Err(_)) | None => {
+            eprintln!(
+                "{flag} requires a numeric millisecond value, got {:?}",
+                value.map(String::as_str).unwrap_or("<missing>")
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_args() -> (PolicyKind, String, u64, u64, Option<String>) {
     let mut policy = PolicyKind::Ceio;
     let mut scenario = "kv".to_string();
     let mut millis = 10u64;
+    let mut warmup_ms = 1u64;
     let mut out = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -47,11 +64,11 @@ fn parse_args() -> (PolicyKind, String, u64, Option<String>) {
             }
             "--millis" => {
                 i += 1;
-                millis = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or(10)
-                    .max(2);
+                millis = parse_millis("--millis", args.get(i)).max(2);
+            }
+            "--warmup-ms" => {
+                i += 1;
+                warmup_ms = parse_millis("--warmup-ms", args.get(i)).max(1);
             }
             "--out" => {
                 i += 1;
@@ -64,11 +81,11 @@ fn parse_args() -> (PolicyKind, String, u64, Option<String>) {
         }
         i += 1;
     }
-    (policy, scenario, millis, out)
+    (policy, scenario, millis, warmup_ms, out)
 }
 
 fn main() {
-    let (policy, scenario, millis, out) = parse_args();
+    let (policy, scenario, millis, warmup_ms, out) = parse_args();
     let mut host = workloads::contended_host(Transport::Dpdk);
     host.sample_window = Duration::micros(100);
     let link = host.net.link_bandwidth;
@@ -91,27 +108,37 @@ fn main() {
         policy,
         scen,
         workloads::app_factory(app),
-        Duration::millis(1),
+        Duration::millis(warmup_ms),
         Duration::millis(millis),
     );
 
-    let mut csv = String::from("t_ms,involved_mpps,bypass_gbps,llc_miss_rate\n");
+    let mut csv =
+        String::from("t_ms,involved_mpps,bypass_gbps,llc_miss_rate,fast_gbps,slow_gbps,drops\n");
     let series = [
         &report.involved_mpps_series,
         &report.bypass_gbps_series,
         &report.miss_series,
+        &report.fast_gbps_series,
+        &report.slow_gbps_series,
+        &report.drops_series,
     ];
     let n = series.iter().map(|s| s.points.len()).min().unwrap_or(0);
     for i in 0..n {
         let (t, mpps) = series[0].points[i];
         let (_, gbps) = series[1].points[i];
         let (_, miss) = series[2].points[i];
+        let (_, fast) = series[3].points[i];
+        let (_, slow) = series[4].points[i];
+        let (_, drops) = series[5].points[i];
         csv.push_str(&format!(
-            "{:.3},{:.4},{:.4},{:.4}\n",
+            "{:.3},{:.4},{:.4},{:.4},{:.4},{:.4},{:.0}\n",
             t.as_millis_f64(),
             mpps,
             gbps,
-            miss
+            miss,
+            fast,
+            slow,
+            drops
         ));
     }
     match out {

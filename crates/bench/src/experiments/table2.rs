@@ -87,10 +87,15 @@ pub fn run(quick: bool) -> String {
                 FlowClass::CpuBypass => r.bypass_latency.clone(),
             }
         };
-        let base = lat(&group[0]);
-        let (b99, b999) = (base.p99(), base.p999());
+        // Single-pass tail extraction: one CDF walk per histogram instead
+        // of one per percentile accessor.
+        let tails = |h: &Histogram| -> (u64, u64) {
+            let q = h.quantiles(&[0.99, 0.999]);
+            (q[0], q[1])
+        };
+        let (b99, b999) = tails(&lat(&group[0]));
         for r in group {
-            let h = lat(r);
+            let (p99, p999) = tails(&lat(r));
             let red = |x: u64, b: u64| -> String {
                 if x == 0 {
                     "-".to_string()
@@ -101,10 +106,10 @@ pub fn run(quick: bool) -> String {
             t.row(vec![
                 dp.label.to_string(),
                 r.policy.clone(),
-                table::us(h.p99()),
-                red(h.p99(), b99),
-                table::us(h.p999()),
-                red(h.p999(), b999),
+                table::us(p99),
+                red(p99, b99),
+                table::us(p999),
+                red(p999, b999),
             ]);
         }
         t.separator();

@@ -73,12 +73,14 @@ impl PolicyKind {
                     mark_threshold: entries * 7 / 8,
                 }))
             }
-            PolicyKind::Ceio => AnyPolicy::Ceio(CeioPolicy::new(ceio)),
-            PolicyKind::CeioNoOpt => AnyPolicy::Ceio(CeioPolicy::new(ceio.without_optimizations())),
-            PolicyKind::CeioSlowOnly => AnyPolicy::Ceio(CeioPolicy::new(CeioConfig {
+            PolicyKind::Ceio => AnyPolicy::Ceio(Box::new(CeioPolicy::new(ceio))),
+            PolicyKind::CeioNoOpt => {
+                AnyPolicy::Ceio(Box::new(CeioPolicy::new(ceio.without_optimizations())))
+            }
+            PolicyKind::CeioSlowOnly => AnyPolicy::Ceio(Box::new(CeioPolicy::new(CeioConfig {
                 credit_total: 0,
                 ..ceio
-            })),
+            }))),
         }
     }
 }
@@ -91,8 +93,10 @@ pub enum AnyPolicy {
     HostCc(HostCcPolicy),
     /// ShRing.
     ShRing(ShRingPolicy),
-    /// CEIO (any configuration).
-    Ceio(CeioPolicy),
+    /// CEIO (any configuration). Boxed: with tracing compiled in the
+    /// policy is much larger than the other variants, and it is built
+    /// once per run, so the indirection is free where it matters.
+    Ceio(Box<CeioPolicy>),
 }
 
 macro_rules! delegate {
@@ -144,6 +148,17 @@ impl IoPolicy for AnyPolicy {
     }
     fn controller_interval(&self) -> Option<Duration> {
         delegate!(self, p => p.controller_interval())
+    }
+    fn fill_metrics(&self, out: &mut ceio_telemetry::SnapshotBuilder) {
+        delegate!(self, p => p.fill_metrics(out))
+    }
+    #[cfg(feature = "trace")]
+    fn arm_trace(&mut self, cap: usize) {
+        delegate!(self, p => p.arm_trace(cap))
+    }
+    #[cfg(feature = "trace")]
+    fn take_trace(&mut self) -> (Vec<ceio_telemetry::TraceEvent>, u64) {
+        delegate!(self, p => p.take_trace())
     }
 }
 

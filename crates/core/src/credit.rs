@@ -25,6 +25,10 @@
 //!   pool and are re-granted evenly to active flows.
 
 use ceio_net::FlowId;
+#[cfg(feature = "trace")]
+use ceio_sim::Time;
+#[cfg(feature = "trace")]
+use ceio_telemetry::{TraceEvent, TraceKind, TraceRing};
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -81,6 +85,13 @@ pub struct CreditManager {
     /// Credits currently held by in-flight packets.
     outstanding: u64,
     stats: CreditStats,
+    #[cfg(feature = "trace")]
+    tracer: Option<TraceRing>,
+    /// Simulated clock for trace timestamps: the manager is clockless, so
+    /// the policy stamps it at each hook entry via
+    /// [`CreditManager::set_trace_now`].
+    #[cfg(feature = "trace")]
+    trace_now: Time,
 }
 
 impl CreditManager {
@@ -93,6 +104,51 @@ impl CreditManager {
             free_pool: total,
             outstanding: 0,
             stats: CreditStats::default(),
+            #[cfg(feature = "trace")]
+            tracer: None,
+            #[cfg(feature = "trace")]
+            trace_now: Time::ZERO,
+        }
+    }
+
+    /// Arm event recording into a fresh drop-oldest ring of `cap` events.
+    #[cfg(feature = "trace")]
+    pub fn arm_trace(&mut self, cap: usize) {
+        self.tracer = Some(TraceRing::new(cap));
+    }
+
+    /// Stamp the simulated clock used for subsequent trace events (the
+    /// manager itself is clockless; callers set this at hook entry).
+    #[cfg(feature = "trace")]
+    #[inline]
+    pub fn set_trace_now(&mut self, now: Time) {
+        self.trace_now = now;
+    }
+
+    /// Drain recorded events (and the dropped count), if armed.
+    #[cfg(feature = "trace")]
+    pub fn trace_take(&mut self) -> (Vec<TraceEvent>, u64) {
+        match self.tracer.as_mut() {
+            Some(r) => {
+                let evs = r.events();
+                let dropped = r.dropped();
+                r.clear();
+                (evs, dropped)
+            }
+            None => (Vec::new(), 0),
+        }
+    }
+
+    #[cfg(feature = "trace")]
+    #[inline]
+    fn trace(&mut self, flow: FlowId, kind: TraceKind, value: u64) {
+        if let Some(r) = self.tracer.as_mut() {
+            r.push(TraceEvent {
+                at: self.trace_now,
+                flow: Some(flow.0),
+                kind,
+                value,
+            });
         }
     }
 
@@ -289,6 +345,16 @@ impl CreditManager {
                 false
             }
         };
+        #[cfg(feature = "trace")]
+        self.trace(
+            f,
+            if admitted {
+                TraceKind::CreditGrant
+            } else {
+                TraceKind::CreditDeny
+            },
+            1,
+        );
         debug_assert!(self.conserved(), "try_consume broke Eq. 1 conservation");
         admitted
     }
@@ -335,12 +401,18 @@ impl CreditManager {
                 self.insufficient.remove(&f);
             }
             // Deliver the payments to creditors (or pool if gone).
+            #[cfg(feature = "trace")]
+            let repaid: u64 = payments.iter().map(|&(_, p)| p).sum();
             for (j, pay) in payments {
                 self.stats.debts_repaid += pay;
                 match self.flows.get_mut(&j) {
                     Some(cj) => cj.credits += pay,
                     None => self.free_pool += pay,
                 }
+            }
+            #[cfg(feature = "trace")]
+            if repaid > 0 {
+                self.trace(f, TraceKind::CreditOwed, repaid);
             }
         } else {
             fc.credits += remaining;
@@ -371,6 +443,8 @@ impl CreditManager {
         self.free_pool += taken;
         if taken > 0 {
             self.stats.reclaims += 1;
+            #[cfg(feature = "trace")]
+            self.trace(f, TraceKind::CreditReclaim, taken);
         }
         debug_assert!(self.conserved(), "reclaim broke Eq. 1 conservation");
         taken
@@ -386,6 +460,10 @@ impl CreditManager {
         let granted = amount.min(self.free_pool);
         fc.credits += granted;
         self.free_pool -= granted;
+        #[cfg(feature = "trace")]
+        if granted > 0 {
+            self.trace(f, TraceKind::CreditPoolGrant, granted);
+        }
         debug_assert!(self.conserved(), "grant broke Eq. 1 conservation");
         granted
     }

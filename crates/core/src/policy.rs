@@ -29,6 +29,9 @@ use ceio_host::{DrainRequest, HostState, IoPolicy, SteerDecision};
 use ceio_net::{FlowId, Packet};
 use ceio_nic::SteerAction;
 use ceio_sim::Time;
+use ceio_telemetry::SnapshotBuilder;
+#[cfg(feature = "trace")]
+use ceio_telemetry::{merge_events, TraceEvent, TraceKind, TraceRing};
 use std::collections::HashMap;
 
 /// Per-flow controller bookkeeping.
@@ -84,6 +87,10 @@ pub struct CeioPolicy {
     rr_cursor: usize,
     next_rr: Time,
     stats: CeioStats,
+    /// Controller-level trace recorder (rule rewrites, phase
+    /// transitions, lazy releases); `None` until armed.
+    #[cfg(feature = "trace")]
+    tracer: Option<TraceRing>,
 }
 
 impl CeioPolicy {
@@ -102,6 +109,8 @@ impl CeioPolicy {
             next_rr: Time::ZERO + cfg.rr_reactivate_interval,
             cfg,
             stats: CeioStats::default(),
+            #[cfg(feature = "trace")]
+            tracer: None,
         }
     }
 
@@ -117,9 +126,48 @@ impl CeioPolicy {
 
     /// Rewrite a flow's steering rule if it differs, charging the ARM core.
     fn sync_rule(&mut self, st: &mut HostState, now: Time, flow: FlowId, want: SteerAction) {
-        if st.rmt.action(&flow) != Some(want) && st.rmt.set_action(&flow, want) {
+        let prev = st.rmt.action(&flow);
+        if prev != Some(want) && st.rmt.set_action(&flow, want) {
             st.nic_arm.execute(now, st.cfg.nic.arm_table_update);
             self.stats.rule_rewrites += 1;
+            #[cfg(feature = "trace")]
+            self.trace_rewrite(now, flow, prev, want);
+        }
+    }
+
+    /// Record a rule rewrite — and, because the RMT rule *is* the phase
+    /// under phase exclusivity, the matching slow-phase span edge.
+    #[cfg(feature = "trace")]
+    fn trace_rewrite(
+        &mut self,
+        now: Time,
+        flow: FlowId,
+        prev: Option<SteerAction>,
+        want: SteerAction,
+    ) {
+        let Some(r) = self.tracer.as_mut() else {
+            return;
+        };
+        let ev = |kind: TraceKind, value: u64| TraceEvent {
+            at: now,
+            flow: Some(flow.0),
+            kind,
+            value,
+        };
+        match want {
+            SteerAction::SlowPath => {
+                r.push(ev(TraceKind::RuleRewriteSlow, 0));
+                if matches!(prev, Some(SteerAction::FastPath { .. })) {
+                    r.push(ev(TraceKind::PhaseSlowEnter, 0));
+                }
+            }
+            SteerAction::FastPath { queue } => {
+                r.push(ev(TraceKind::RuleRewriteFast, queue as u64));
+                if matches!(prev, Some(SteerAction::SlowPath)) {
+                    r.push(ev(TraceKind::PhaseSlowExit, 0));
+                }
+            }
+            SteerAction::Drop => {}
         }
     }
 }
@@ -157,6 +205,8 @@ impl IoPolicy for CeioPolicy {
     }
 
     fn on_flow_stop(&mut self, st: &mut HostState, now: Time, flow: FlowId) {
+        #[cfg(feature = "trace")]
+        self.credits.set_trace_now(now);
         st.rmt.remove(&flow);
         st.nic_arm.execute(now, st.cfg.nic.arm_table_update);
         // Assigned credits return to the pool; credits held by still
@@ -176,6 +226,8 @@ impl IoPolicy for CeioPolicy {
     }
 
     fn steer(&mut self, st: &mut HostState, now: Time, pkt: &Packet) -> SteerDecision {
+        #[cfg(feature = "trace")]
+        self.credits.set_trace_now(now);
         let flow = pkt.flow;
         // Count the hit on the RMT rule (the hardware datapath).
         st.rmt.steer(&flow);
@@ -230,6 +282,8 @@ impl IoPolicy for CeioPolicy {
     }
 
     fn on_fast_drop(&mut self, _st: &mut HostState, _now: Time, flow: FlowId) {
+        #[cfg(feature = "trace")]
+        self.credits.set_trace_now(_now);
         // The dropped packet's credit must not leak.
         self.credits.release(flow, 1);
     }
@@ -244,6 +298,8 @@ impl IoPolicy for CeioPolicy {
         msgs: u32,
     ) {
         let _ = slow_pkts;
+        #[cfg(feature = "trace")]
+        self.credits.set_trace_now(now);
         // Lazy release (§4.1): credits return only when the driver sees a
         // completion — and for RDMA-style flows that is the
         // write-with-immediate at a *message* boundary. Consumed credits
@@ -277,6 +333,15 @@ impl IoPolicy for CeioPolicy {
                 self.credits.release(flow, pending);
             }
             st.nic_arm.execute(now, st.cfg.nic.arm_credit_op);
+            #[cfg(feature = "trace")]
+            if let Some(r) = self.tracer.as_mut() {
+                r.push(TraceEvent {
+                    at: now,
+                    flow: Some(flow.0),
+                    kind: TraceKind::CreditLazyRelease,
+                    value: pending,
+                });
+            }
         }
         if let Some(c) = self.ctl.get_mut(&flow) {
             c.last_activity = now;
@@ -320,6 +385,8 @@ impl IoPolicy for CeioPolicy {
     }
 
     fn on_controller_poll(&mut self, st: &mut HostState, now: Time) {
+        #[cfg(feature = "trace")]
+        self.credits.set_trace_now(now);
         let ids: Vec<FlowId> = self.ctl.keys().copied().collect();
         let mut active: Vec<FlowId> = Vec::new();
         let mut to_mark: Vec<FlowId> = Vec::new();
@@ -449,6 +516,97 @@ impl IoPolicy for CeioPolicy {
 
     fn controller_interval(&self) -> Option<ceio_sim::Duration> {
         Some(self.cfg.controller_interval)
+    }
+
+    fn fill_metrics(&self, out: &mut SnapshotBuilder) {
+        out.counter(
+            "ceio_ctl_rule_rewrites_total",
+            "Steering-rule rewrites performed by the controller.",
+            self.stats.rule_rewrites,
+        );
+        out.counter(
+            "ceio_ctl_cca_triggers_total",
+            "CCA triggers due to slow-path overload.",
+            self.stats.cca_triggers,
+        );
+        out.counter(
+            "ceio_ctl_reclaims_total",
+            "Inactive-flow credit reclaim events.",
+            self.stats.reclaims,
+        );
+        out.counter(
+            "ceio_ctl_deprioritized_marks_total",
+            "Flows classified as bypass-like by the controller.",
+            self.stats.deprioritized_marks,
+        );
+        out.counter(
+            "ceio_ctl_rr_reactivations_total",
+            "Round-robin fairness re-activations.",
+            self.stats.rr_reactivations,
+        );
+        let cm = &self.credits;
+        let cs = cm.stats();
+        out.counter(
+            "ceio_credit_consumed_total",
+            "Successful credit consumptions (fast-path admissions).",
+            cs.consumed,
+        );
+        out.counter(
+            "ceio_credit_denied_total",
+            "Denied credit consumptions (slow-path degradations).",
+            cs.denied,
+        );
+        out.counter(
+            "ceio_credit_debts_repaid_total",
+            "Credits repaid through the owed ledger.",
+            cs.debts_repaid,
+        );
+        out.counter(
+            "ceio_credit_reclaims_total",
+            "Credit reclaim operations.",
+            cs.reclaims,
+        );
+        out.gauge(
+            "ceio_credit_total",
+            "Configured credit total (Eq. 1 budget).",
+            cm.total() as f64,
+        );
+        out.gauge(
+            "ceio_credit_free_pool",
+            "Credits currently in the free pool.",
+            cm.free_pool() as f64,
+        );
+        out.gauge(
+            "ceio_credit_outstanding",
+            "Credits held by in-flight packets.",
+            cm.outstanding() as f64,
+        );
+        out.gauge(
+            "ceio_credit_assigned",
+            "Credits currently assigned to flows.",
+            cm.assigned_total() as f64,
+        );
+    }
+
+    #[cfg(feature = "trace")]
+    fn arm_trace(&mut self, cap: usize) {
+        self.tracer = Some(TraceRing::new(cap));
+        self.credits.arm_trace(cap);
+    }
+
+    #[cfg(feature = "trace")]
+    fn take_trace(&mut self) -> (Vec<TraceEvent>, u64) {
+        let mut parts: Vec<Vec<TraceEvent>> = Vec::new();
+        let mut dropped = 0u64;
+        if let Some(r) = self.tracer.as_mut() {
+            parts.push(r.events());
+            dropped += r.dropped();
+            r.clear();
+        }
+        let (evs, d) = self.credits.trace_take();
+        parts.push(evs);
+        dropped += d;
+        (merge_events(parts), dropped)
     }
 
     /// Audit the CEIO-internal ledgers (the state only this policy can

@@ -34,6 +34,7 @@ pub mod flowstate;
 pub mod machine;
 pub mod measure;
 pub mod policy;
+pub mod telemetry;
 
 #[cfg(feature = "audit")]
 pub use audit::HostAuditor;
@@ -42,3 +43,5 @@ pub use flowstate::{FlowState, ReadyPkt, SlowPkt};
 pub use machine::{run_to_report, AppFactory, Event, HostState, Machine};
 pub use measure::{ClassSample, Measurements, RunReport};
 pub use policy::{DrainRequest, IoPolicy, SteerDecision, UnmanagedPolicy};
+#[cfg(feature = "trace")]
+pub use telemetry::HostTrace;

@@ -32,6 +32,7 @@ use ceio_net::{
 use ceio_nic::{ArmCore, OnboardMemory, RmtEngine, SteerAction};
 use ceio_pcie::DmaEngine;
 use ceio_sim::{Bandwidth, EventQueue, Histogram, Model, Rng, Simulation, Time};
+use ceio_telemetry::{Stage, TraceKind};
 use std::collections::{HashMap, VecDeque};
 
 /// Machine events.
@@ -161,6 +162,9 @@ pub struct HostState {
     /// End-to-end latency of slow-path deliveries (post-warmup).
     pub slow_latency: Histogram,
     pacing: Pacing,
+    /// Event-trace recorder; `None` until [`Machine::arm_trace`] arms it.
+    #[cfg(feature = "trace")]
+    pub(crate) trace: Option<Box<crate::telemetry::HostTrace>>,
 }
 
 impl HostState {
@@ -285,6 +289,9 @@ impl HostState {
             involved_mpps_series: self.meas.involved_mpps.clone(),
             bypass_gbps_series: self.meas.bypass_gbps.clone(),
             miss_series: self.meas.miss_rate.clone(),
+            fast_gbps_series: self.meas.fast_gbps.clone(),
+            slow_gbps_series: self.meas.slow_gbps.clone(),
+            drops_series: self.meas.drops.clone(),
         }
     }
 }
@@ -347,6 +354,8 @@ impl<P: IoPolicy> Machine<P> {
             fast_latency: Histogram::new(),
             slow_latency: Histogram::new(),
             pacing: Pacing::Poisson,
+            #[cfg(feature = "trace")]
+            trace: None,
             cfg,
         };
         let mut sim = Simulation::new(Machine {
@@ -469,6 +478,9 @@ impl<P: IoPolicy> Machine<P> {
             IngressOutcome::Dropped => {
                 // Network drop, visible to the sender as loss.
                 self.st.dropped_total += 1;
+                self.st.meas.record_drop();
+                self.st
+                    .trace_event(now, Some(id.0), TraceKind::Drop, pkt.bytes);
                 if let Some(f) = self.st.flows.get_mut(&id) {
                     f.counters.dropped += 1;
                     f.accounted += 1;
@@ -482,6 +494,9 @@ impl<P: IoPolicy> Machine<P> {
     fn on_nic_rx(&mut self, now: Time, pkt: Packet, queue: &mut EventQueue<Event>) {
         if !self.st.flows.contains_key(&pkt.flow) {
             self.st.dropped_total += 1;
+            self.st.meas.record_drop();
+            self.st
+                .trace_event(now, Some(pkt.flow.0), TraceKind::Drop, pkt.bytes);
             return;
         }
         let decision = self.policy.steer(&mut self.st, now, &pkt);
@@ -499,6 +514,9 @@ impl<P: IoPolicy> Machine<P> {
                     f.counters.dropped += 1;
                     f.accounted += 1;
                     self.st.dropped_total += 1;
+                    self.st.meas.record_drop();
+                    self.st
+                        .trace_event(now, Some(pkt.flow.0), TraceKind::Drop, pkt.bytes);
                     self.st.signal_loss(now, pkt.flow);
                     self.policy.on_fast_drop(&mut self.st, now, pkt.flow);
                     return;
@@ -513,6 +531,9 @@ impl<P: IoPolicy> Machine<P> {
                     f.counters.dropped += 1;
                     f.accounted += 1;
                     self.st.dropped_total += 1;
+                    self.st.meas.record_drop();
+                    self.st
+                        .trace_event(now, Some(pkt.flow.0), TraceKind::Drop, pkt.bytes);
                     self.st.signal_loss(now, pkt.flow);
                     self.policy.on_fast_drop(&mut self.st, now, pkt.flow);
                     return;
@@ -549,6 +570,8 @@ impl<P: IoPolicy> Machine<P> {
                             ready_at_nic,
                         });
                         f.counters.slow_pkts += 1;
+                        self.st
+                            .trace_event(now, Some(pkt.flow.0), TraceKind::SlowPark, pkt.bytes);
                     }
                     None => {
                         let f =
@@ -558,6 +581,9 @@ impl<P: IoPolicy> Machine<P> {
                         f.counters.dropped += 1;
                         f.accounted += 1;
                         self.st.dropped_total += 1;
+                        self.st.meas.record_drop();
+                        self.st
+                            .trace_event(now, Some(pkt.flow.0), TraceKind::Drop, pkt.bytes);
                         self.st.signal_loss(now, pkt.flow);
                     }
                 }
@@ -571,6 +597,9 @@ impl<P: IoPolicy> Machine<P> {
                 f.counters.dropped += 1;
                 f.accounted += 1;
                 self.st.dropped_total += 1;
+                self.st.meas.record_drop();
+                self.st
+                    .trace_event(now, Some(pkt.flow.0), TraceKind::Drop, pkt.bytes);
                 if loss {
                     self.st.signal_loss(now, pkt.flow);
                 }
@@ -598,6 +627,10 @@ impl<P: IoPolicy> Machine<P> {
                         .pop_front()
                         .expect("invariant: loop guard ensured `nic_pending` is non-empty");
                     self.st.nic_pending_bytes -= bytes;
+                    let flow = Some(pd.pkt.flow.0);
+                    self.st
+                        .trace_stage(flow, Stage::NicQueue, now.since(pd.pkt.arrived_nic));
+                    self.st.trace_stage(flow, Stage::Dma, arrival.since(now));
                     if let Some(pace) = self.st.dma_pace {
                         let gap = pace.transfer_time(bytes);
                         self.st.dma_pace_until = self.st.dma_pace_until.max(now) + gap;
@@ -629,6 +662,12 @@ impl<P: IoPolicy> Machine<P> {
         if self.st.memctrl.stage(pkt.bytes) {
             if !via_slow {
                 self.st.dma.complete_write();
+                self.st.trace_event(
+                    now,
+                    Some(pkt.flow.0),
+                    TraceKind::DmaWriteComplete,
+                    pkt.bytes,
+                );
             }
             // Slow-path drain completions retire uncached (straight to
             // DRAM): cold-path data must not flush fast-path LLC residents.
@@ -637,6 +676,8 @@ impl<P: IoPolicy> Machine<P> {
             } else {
                 self.st.memctrl.retire(now, buf, pkt.bytes).0
             };
+            self.st
+                .trace_stage(Some(pkt.flow.0), Stage::Retire, done.since(now));
             queue.schedule_at(
                 done,
                 Event::HostRetire {
@@ -708,12 +749,20 @@ impl<P: IoPolicy> Machine<P> {
                 self.st.iio_pending.pop_front();
                 if !front.via_slow {
                     self.st.dma.complete_write();
+                    self.st.trace_event(
+                        now,
+                        Some(front.pkt.flow.0),
+                        TraceKind::DmaWriteComplete,
+                        front.pkt.bytes,
+                    );
                 }
                 let done = if front.via_slow {
                     self.st.memctrl.retire_uncached(now, front.pkt.bytes)
                 } else {
                     self.st.memctrl.retire(now, front.buf, front.pkt.bytes).0
                 };
+                self.st
+                    .trace_stage(Some(front.pkt.flow.0), Stage::Retire, done.since(now));
                 queue.schedule_at(
                     done,
                     Event::HostRetire {
@@ -771,6 +820,15 @@ impl<P: IoPolicy> Machine<P> {
                 f.slow_fetch_inflight += batch.len() as u32;
                 let data_ready = self.st.onboard.read(at_nic, total);
                 let at_host = self.st.dma.read_completion(data_ready, total);
+                self.st
+                    .trace_event(now, Some(flow.0), TraceKind::SlowFetch, batch.len() as u64);
+                for sp in &batch {
+                    self.st.trace_stage(
+                        Some(flow.0),
+                        Stage::SlowResidency,
+                        now.since(sp.pkt.arrived_nic),
+                    );
+                }
                 Some((at_host, batch))
             }
             Err(_) => {
@@ -940,16 +998,22 @@ impl<P: IoPolicy> Machine<P> {
             if rp.pkt.msg_last {
                 msgs += 1;
             }
+            self.st
+                .trace_stage(Some(flow_id.0), Stage::RingWait, now.since(rp.ready));
             if rp.via_slow {
                 slow += 1;
                 self.st
                     .slow_latency
                     .record_duration(t.since(rp.pkt.sent_at));
+                self.st
+                    .trace_event(t, Some(flow_id.0), TraceKind::SlowDrain, rp.pkt.bytes);
             } else {
                 fast += 1;
                 self.st
                     .fast_latency
                     .record_duration(t.since(rp.pkt.sent_at));
+                self.st
+                    .trace_event(t, Some(flow_id.0), TraceKind::Delivery, rp.pkt.bytes);
             }
             self.st
                 .meas

@@ -31,6 +31,12 @@ pub struct Measurements {
     window_start: Time,
     involved: WindowAcc,
     bypass: WindowAcc,
+    /// Per-window fast-path delivery accumulator.
+    fast: WindowAcc,
+    /// Per-window slow-path delivery accumulator.
+    slow: WindowAcc,
+    /// Drops observed in the current window.
+    window_drops: u64,
     /// LLC lookup totals at the previous window close (for window miss rate).
     last_hits: u64,
     last_misses: u64,
@@ -40,6 +46,12 @@ pub struct Measurements {
     pub bypass_gbps: TimeSeries,
     /// Time series: LLC miss rate per window.
     pub miss_rate: TimeSeries,
+    /// Time series: fast-path delivered Gbps per window.
+    pub fast_gbps: TimeSeries,
+    /// Time series: slow-path delivered Gbps per window.
+    pub slow_gbps: TimeSeries,
+    /// Time series: packets dropped per window.
+    pub drops: TimeSeries,
     /// Totals since measurement start.
     pub total_involved_pkts: u64,
     /// Total CPU-involved bytes delivered.
@@ -72,11 +84,17 @@ impl Measurements {
             window_start: Time::ZERO,
             involved: WindowAcc::default(),
             bypass: WindowAcc::default(),
+            fast: WindowAcc::default(),
+            slow: WindowAcc::default(),
+            window_drops: 0,
             last_hits: 0,
             last_misses: 0,
             involved_mpps: TimeSeries::new("cpu-involved Mpps"),
             bypass_gbps: TimeSeries::new("cpu-bypass Gbps"),
             miss_rate: TimeSeries::new("LLC miss rate"),
+            fast_gbps: TimeSeries::new("fast-path Gbps"),
+            slow_gbps: TimeSeries::new("slow-path Gbps"),
+            drops: TimeSeries::new("drops per window"),
             total_involved_pkts: 0,
             total_involved_bytes: 0,
             total_bypass_pkts: 0,
@@ -102,9 +120,13 @@ impl Measurements {
         if via_slow {
             self.slow_path_pkts += 1;
             self.slow_path_bytes += bytes;
+            self.slow.pkts += 1;
+            self.slow.bytes += bytes;
         } else {
             self.fast_path_pkts += 1;
             self.fast_path_bytes += bytes;
+            self.fast.pkts += 1;
+            self.fast.bytes += bytes;
         }
         let acc = match class {
             FlowClass::CpuInvolved => {
@@ -120,6 +142,13 @@ impl Measurements {
         };
         acc.pkts += 1;
         acc.bytes += bytes;
+    }
+
+    /// Record one packet dropped anywhere on the receive path (feeds the
+    /// per-window drop series; the lifetime total lives in the machine).
+    #[inline]
+    pub fn record_drop(&mut self) {
+        self.window_drops += 1;
     }
 
     /// Close the window ending at `now`, appending time-series points.
@@ -140,11 +169,19 @@ impl Measurements {
                 dm as f64 / (dh + dm) as f64
             };
             self.miss_rate.push(now, rate);
+            self.fast_gbps
+                .push(now, self.fast.bytes as f64 * 8.0 / secs / 1e9);
+            self.slow_gbps
+                .push(now, self.slow.bytes as f64 * 8.0 / secs / 1e9);
+            self.drops.push(now, self.window_drops as f64);
         }
         self.last_hits = hits;
         self.last_misses = misses;
         self.involved = WindowAcc::default();
         self.bypass = WindowAcc::default();
+        self.fast = WindowAcc::default();
+        self.slow = WindowAcc::default();
+        self.window_drops = 0;
         self.window_start = now;
     }
 
@@ -153,6 +190,9 @@ impl Measurements {
     pub fn reset(&mut self, now: Time, hits: u64, misses: u64) {
         self.involved = WindowAcc::default();
         self.bypass = WindowAcc::default();
+        self.fast = WindowAcc::default();
+        self.slow = WindowAcc::default();
+        self.window_drops = 0;
         self.window_start = now;
         self.started_at = now;
         self.last_hits = hits;
@@ -162,6 +202,9 @@ impl Measurements {
         self.involved_mpps.points.clear();
         self.bypass_gbps.points.clear();
         self.miss_rate.points.clear();
+        self.fast_gbps.points.clear();
+        self.slow_gbps.points.clear();
+        self.drops.points.clear();
         self.total_involved_pkts = 0;
         self.total_involved_bytes = 0;
         self.total_bypass_pkts = 0;
@@ -216,6 +259,12 @@ pub struct RunReport {
     pub bypass_gbps_series: TimeSeries,
     /// Miss-rate time series.
     pub miss_series: TimeSeries,
+    /// Fast-path Gbps time series.
+    pub fast_gbps_series: TimeSeries,
+    /// Slow-path Gbps time series.
+    pub slow_gbps_series: TimeSeries,
+    /// Per-window drop-count time series.
+    pub drops_series: TimeSeries,
 }
 
 impl RunReport {
@@ -288,5 +337,70 @@ mod tests {
         m.close_window(Time(1_000_000), 0, 0);
         assert_eq!(m.involved_mpps.points[0].1, 0.0);
         assert_eq!(m.miss_rate.points[0].1, 0.0);
+        assert_eq!(m.fast_gbps.points[0].1, 0.0);
+        assert_eq!(m.drops.points[0].1, 0.0);
+    }
+
+    #[test]
+    fn zero_length_window_pushes_no_points() {
+        // Closing a window at its own start instant must not divide by the
+        // zero span or emit bogus points — but accumulators still reset.
+        let mut m = Measurements::new(Duration::millis(1));
+        m.record_delivery(FlowClass::CpuInvolved, 512, false);
+        m.record_drop();
+        m.close_window(Time::ZERO, 0, 0);
+        assert!(m.involved_mpps.points.is_empty());
+        assert!(m.fast_gbps.points.is_empty());
+        assert!(m.drops.points.is_empty());
+        // Accumulators were cleared: a later real window sees only its own.
+        m.close_window(Time(1_000_000), 0, 0);
+        assert_eq!(m.involved_mpps.points[0].1, 0.0);
+        assert_eq!(m.drops.points[0].1, 0.0);
+    }
+
+    #[test]
+    fn reset_mid_window_discards_partial_accumulation() {
+        let mut m = Measurements::new(Duration::millis(1));
+        for _ in 0..100 {
+            m.record_delivery(FlowClass::CpuInvolved, 512, false);
+            m.record_delivery(FlowClass::CpuBypass, 2048, true);
+        }
+        for _ in 0..7 {
+            m.record_drop();
+        }
+        // Reset in the middle of the first window, before any close.
+        m.reset(Time(500_000), 40, 10);
+        assert_eq!(m.total_involved_pkts, 0);
+        assert_eq!(m.fast_path_pkts, 0);
+        assert_eq!(m.slow_path_pkts, 0);
+        assert!(m.slow_gbps.points.is_empty());
+        // The next window reflects only post-reset activity.
+        m.record_delivery(FlowClass::CpuInvolved, 512, false);
+        m.close_window(Time(1_500_000), 40, 10);
+        let (_, mpps) = m.involved_mpps.points[0];
+        assert!((mpps - 0.001).abs() < 1e-9, "1 pkt / 1 ms = 0.001 Mpps");
+        assert_eq!(m.drops.points[0].1, 0.0, "pre-reset drops discarded");
+        let (_, miss) = m.miss_rate.points[0];
+        assert_eq!(miss, 0.0, "pre-reset LLC totals became the baseline");
+    }
+
+    #[test]
+    fn fast_slow_series_split_by_path() {
+        let mut m = Measurements::new(Duration::millis(1));
+        for _ in 0..1000 {
+            m.record_delivery(FlowClass::CpuInvolved, 500, false);
+        }
+        for _ in 0..200 {
+            m.record_delivery(FlowClass::CpuInvolved, 500, true);
+        }
+        for _ in 0..3 {
+            m.record_drop();
+        }
+        m.close_window(Time(1_000_000), 0, 0);
+        let (_, fast) = m.fast_gbps.points[0];
+        let (_, slow) = m.slow_gbps.points[0];
+        assert!((fast - 4.0).abs() < 1e-9, "1000*500B*8/1ms = 4 Gbps");
+        assert!((slow - 0.8).abs() < 1e-9, "200*500B*8/1ms = 0.8 Gbps");
+        assert_eq!(m.drops.points[0].1, 3.0);
     }
 }

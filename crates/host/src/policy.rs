@@ -8,6 +8,9 @@
 use crate::machine::HostState;
 use ceio_net::{FlowId, Packet};
 use ceio_sim::{Duration, Time};
+use ceio_telemetry::SnapshotBuilder;
+#[cfg(feature = "trace")]
+use ceio_telemetry::TraceEvent;
 
 /// Steering decision for one packet at the NIC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,6 +119,27 @@ pub trait IoPolicy {
     /// loop (legacy).
     fn controller_interval(&self) -> Option<Duration> {
         None
+    }
+
+    /// Contribute policy-private metrics (credit ledgers, controller
+    /// state, software-ring depths) to a machine snapshot. The default
+    /// contributes nothing.
+    fn fill_metrics(&self, out: &mut SnapshotBuilder) {
+        let _ = out;
+    }
+
+    /// Arm the policy's own trace recorders (credit manager, software
+    /// rings) with ring capacity `cap`. The default records nothing.
+    #[cfg(feature = "trace")]
+    fn arm_trace(&mut self, cap: usize) {
+        let _ = cap;
+    }
+
+    /// Drain the policy's trace recorders: events plus the count evicted
+    /// by ring overflow. The default recorded nothing.
+    #[cfg(feature = "trace")]
+    fn take_trace(&mut self) -> (Vec<TraceEvent>, u64) {
+        (Vec::new(), 0)
     }
 
     /// Audit hook (the `audit` feature): verify policy-internal invariants

@@ -1,0 +1,424 @@
+//! Machine-level observability: the metrics registry funnel and the
+//! event-trace recorder.
+//!
+//! Two export surfaces, per DESIGN.md §8:
+//!
+//! * [`Machine::snapshot`] — always available: one [`Snapshot`] gathering
+//!   every component's `*Stats` struct (ingress, RMT, on-NIC memory, ARM
+//!   core, DMA, LLC/IIO/DRAM, CPU cores), the machine's own counters and
+//!   latency histograms, the measurement time series, the policy's private
+//!   metrics, and — when the `audit` feature is armed — the invariant
+//!   auditor's report.
+//! * Event tracing — behind the `trace` cargo feature: a per-machine
+//!   [`TraceRing`] plus a per-flow [`BreakdownSet`], fed by hooks in the
+//!   event handlers. With the feature off, [`HostState::trace_event`] and
+//!   [`HostState::trace_stage`] are empty inline functions (same
+//!   signatures — `ceio-telemetry` types are always nameable), so the hot
+//!   path compiles to nothing: no recorder allocation, no branch per
+//!   delivery.
+
+use crate::machine::{HostState, Machine};
+use crate::policy::IoPolicy;
+use ceio_sim::{Duration, Time};
+#[cfg(feature = "trace")]
+use ceio_telemetry::{merge_events, BreakdownSet, TraceEvent, TraceRing};
+use ceio_telemetry::{Snapshot, SnapshotBuilder, Stage, TraceKind};
+
+/// The machine's trace recorder: one merged event ring for machine-level
+/// events plus the per-flow path breakdown. Boxed inside [`HostState`] so
+/// an unarmed run carries a single null pointer.
+#[cfg(feature = "trace")]
+#[derive(Debug)]
+pub struct HostTrace {
+    /// Machine-level event ring (drops, deliveries, stage transitions).
+    pub ring: TraceRing,
+    /// Per-flow latency breakdown histograms.
+    pub breakdown: BreakdownSet,
+    /// Ring capacity, reused when arming late-joining components.
+    pub cap: usize,
+}
+
+#[cfg(feature = "trace")]
+impl HostState {
+    /// Record one machine-level trace event (no-op until armed).
+    #[inline]
+    pub(crate) fn trace_event(&mut self, at: Time, flow: Option<u32>, kind: TraceKind, value: u64) {
+        if let Some(tr) = self.trace.as_mut() {
+            tr.ring.push(TraceEvent {
+                at,
+                flow,
+                kind,
+                value,
+            });
+        }
+    }
+
+    /// Record one path-stage duration into the breakdown (no-op until
+    /// armed).
+    #[inline]
+    pub(crate) fn trace_stage(&mut self, flow: Option<u32>, stage: Stage, d: Duration) {
+        if let Some(tr) = self.trace.as_mut() {
+            tr.breakdown.record(flow, stage, d);
+        }
+    }
+}
+
+#[cfg(not(feature = "trace"))]
+impl HostState {
+    /// Trace hook (feature `trace` disabled): compiles to nothing.
+    #[inline(always)]
+    pub(crate) fn trace_event(&mut self, at: Time, flow: Option<u32>, kind: TraceKind, value: u64) {
+        let _ = (at, flow, kind, value);
+    }
+
+    /// Breakdown hook (feature `trace` disabled): compiles to nothing.
+    #[inline(always)]
+    pub(crate) fn trace_stage(&mut self, flow: Option<u32>, stage: Stage, d: Duration) {
+        let _ = (flow, stage, d);
+    }
+}
+
+impl<P: IoPolicy> Machine<P> {
+    /// Take a full metrics snapshot at `now`: every component's stats,
+    /// the machine counters and latency summaries, the measurement
+    /// series, the policy's own metrics, and (when armed) the audit
+    /// outcome. Always available — tracing is not required.
+    pub fn snapshot(&self, now: Time) -> Snapshot {
+        let st = &self.st;
+        let mut b = SnapshotBuilder::new(now);
+
+        // Ingress link (wire-side admission).
+        let ig = st.ingress.stats();
+        b.counter(
+            "ceio_ingress_admitted_total",
+            "Packets admitted by the ingress port queue.",
+            ig.admitted,
+        );
+        b.counter(
+            "ceio_ingress_dropped_total",
+            "Packets dropped at the ingress port queue.",
+            ig.dropped,
+        );
+        b.counter(
+            "ceio_ingress_bytes_total",
+            "Wire bytes delivered by the ingress link.",
+            ig.bytes,
+        );
+        b.counter(
+            "ceio_ingress_ecn_marked_total",
+            "Packets ECN-marked at the ingress port.",
+            ig.ecn_marked,
+        );
+
+        // RMT steering engine.
+        let rmt = st.rmt.stats();
+        b.counter(
+            "ceio_rmt_matched_total",
+            "RMT lookups that matched an installed rule.",
+            rmt.matched,
+        );
+        b.counter(
+            "ceio_rmt_defaulted_total",
+            "RMT lookups that fell through to the default action.",
+            rmt.defaulted,
+        );
+        b.counter(
+            "ceio_rmt_updates_total",
+            "RMT rule-action rewrites performed.",
+            rmt.updates,
+        );
+        b.counter(
+            "ceio_rmt_rewrites_to_slow_total",
+            "Rule rewrites that left the fast path.",
+            rmt.rewrites_to_slow,
+        );
+        b.counter(
+            "ceio_rmt_rewrites_to_fast_total",
+            "Rule rewrites that restored the fast path.",
+            rmt.rewrites_to_fast,
+        );
+        b.gauge(
+            "ceio_rmt_rules",
+            "Steering rules currently installed.",
+            st.rmt.len() as f64,
+        );
+
+        // On-NIC elastic memory.
+        let ob = st.onboard.stats();
+        b.counter(
+            "ceio_onboard_bytes_written_total",
+            "Bytes written into on-NIC elastic memory.",
+            ob.bytes_written,
+        );
+        b.counter(
+            "ceio_onboard_bytes_read_total",
+            "Bytes drained out of on-NIC elastic memory.",
+            ob.bytes_read,
+        );
+        b.counter(
+            "ceio_onboard_capacity_rejections_total",
+            "On-NIC writes refused for lack of capacity.",
+            ob.capacity_rejections,
+        );
+        b.gauge(
+            "ceio_onboard_peak_bytes",
+            "On-NIC memory occupancy high-water mark.",
+            ob.peak_bytes as f64,
+        );
+        b.gauge(
+            "ceio_onboard_occupancy_bytes",
+            "Bytes currently parked in on-NIC memory.",
+            st.onboard.occupancy() as f64,
+        );
+
+        // NIC ARM control core.
+        let arm = st.nic_arm.stats();
+        b.counter(
+            "ceio_arm_ops_total",
+            "Control-plane operations executed on the NIC ARM core.",
+            arm.ops,
+        );
+        b.counter(
+            "ceio_arm_busy_ns_total",
+            "Busy nanoseconds of the NIC ARM core.",
+            arm.busy_ns,
+        );
+
+        // PCIe DMA engine.
+        let dma = st.dma.stats();
+        b.counter(
+            "ceio_dma_writes_total",
+            "Posted DMA writes issued NIC-to-host.",
+            dma.writes,
+        );
+        b.counter(
+            "ceio_dma_reads_total",
+            "Non-posted DMA reads issued host-to-NIC.",
+            dma.reads,
+        );
+        b.counter(
+            "ceio_dma_write_stalls_total",
+            "DMA writes stalled for lack of posted credits.",
+            dma.write_stalls,
+        );
+        b.counter(
+            "ceio_dma_read_stalls_total",
+            "DMA reads stalled for lack of non-posted credits.",
+            dma.read_stalls,
+        );
+
+        // Host memory hierarchy: LLC (DDIO), IIO buffer, DRAM.
+        let llc = st.memctrl.llc.stats();
+        b.counter(
+            "ceio_llc_insertions_total",
+            "DMA insertions into the LLC I/O partition.",
+            llc.insertions,
+        );
+        b.counter(
+            "ceio_llc_hits_total",
+            "CPU reads that hit the LLC.",
+            llc.hits,
+        );
+        b.counter(
+            "ceio_llc_misses_total",
+            "CPU reads that missed the LLC.",
+            llc.misses,
+        );
+        b.counter(
+            "ceio_llc_evictions_total",
+            "I/O buffers evicted before consumption.",
+            llc.evictions,
+        );
+        b.counter(
+            "ceio_llc_evicted_bytes_total",
+            "Bytes evicted from the LLC I/O partition to DRAM.",
+            llc.evicted_bytes,
+        );
+        b.gauge(
+            "ceio_llc_miss_rate",
+            "Lifetime LLC miss rate of CPU I/O reads.",
+            llc.miss_rate(),
+        );
+        let iio = st.memctrl.iio.stats();
+        b.counter(
+            "ceio_iio_accepted_total",
+            "DMA arrivals accepted by the IIO buffer.",
+            iio.accepted,
+        );
+        b.counter(
+            "ceio_iio_rejected_total",
+            "DMA arrivals rejected by a full IIO buffer.",
+            iio.rejected,
+        );
+        b.gauge(
+            "ceio_iio_peak_bytes",
+            "IIO buffer occupancy high-water mark.",
+            iio.peak_bytes as f64,
+        );
+        let dram = st.memctrl.dram.stats();
+        b.counter(
+            "ceio_dram_bytes_served_total",
+            "Bytes served by the DRAM bandwidth server.",
+            dram.bytes_served,
+        );
+        b.counter(
+            "ceio_dram_requests_total",
+            "Requests served by the DRAM bandwidth server.",
+            dram.requests,
+        );
+        b.gauge(
+            "ceio_dram_mean_queueing_ns",
+            "Mean DRAM queueing delay per request.",
+            dram.mean_queueing().0 as f64,
+        );
+
+        // CPU cores (labeled per core).
+        for (i, core) in st.cores.iter().enumerate() {
+            let cs = core.stats();
+            let lbl = [("core", i.to_string())];
+            b.counter_with(
+                "ceio_core_packets_total",
+                "Packets fully processed by the core.",
+                &lbl,
+                cs.packets,
+            );
+            b.counter_with(
+                "ceio_core_busy_ns_total",
+                "Busy nanoseconds (compute plus memory stalls).",
+                &lbl,
+                cs.busy_ns,
+            );
+            b.counter_with(
+                "ceio_core_empty_polls_total",
+                "Polls that found no deliverable work.",
+                &lbl,
+                cs.empty_polls,
+            );
+            b.counter_with(
+                "ceio_core_productive_polls_total",
+                "Polls that delivered at least one packet.",
+                &lbl,
+                cs.productive_polls,
+            );
+        }
+
+        // Machine-level counters and end-to-end latency summaries.
+        b.counter(
+            "ceio_dropped_total",
+            "Packets dropped anywhere on the receive path.",
+            st.dropped_total,
+        );
+        b.counter(
+            "ceio_ordering_stalls_total",
+            "Deliveries stalled by an ordering gap while later data was ready.",
+            st.ordering_stalls,
+        );
+        b.counter(
+            "ceio_fast_path_pkts_total",
+            "Packets delivered via the fast path.",
+            st.meas.fast_path_pkts,
+        );
+        b.counter(
+            "ceio_slow_path_pkts_total",
+            "Packets delivered via the slow path.",
+            st.meas.slow_path_pkts,
+        );
+        b.summary(
+            "ceio_fast_latency_ns",
+            "End-to-end latency of fast-path deliveries.",
+            &st.fast_latency,
+        );
+        b.summary(
+            "ceio_slow_latency_ns",
+            "End-to-end latency of slow-path deliveries.",
+            &st.slow_latency,
+        );
+
+        // Path-stage breakdown (populated only while tracing is armed).
+        #[cfg(feature = "trace")]
+        if let Some(tr) = st.trace.as_ref() {
+            for stage in Stage::ALL {
+                b.summary_with(
+                    "ceio_path_stage_ns",
+                    "Per-stage latency breakdown of the NIC-to-app path.",
+                    &[("stage", stage.label().to_string())],
+                    tr.breakdown.total.stage(stage),
+                );
+            }
+        }
+
+        // Measurement time series.
+        b.series(&st.meas.involved_mpps);
+        b.series(&st.meas.bypass_gbps);
+        b.series(&st.meas.miss_rate);
+        b.series(&st.meas.fast_gbps);
+        b.series(&st.meas.slow_gbps);
+        b.series(&st.meas.drops);
+
+        // Policy-private metrics (credits, controller state, ...).
+        self.policy.fill_metrics(&mut b);
+
+        // Audit outcome, when the auditor is armed.
+        #[cfg(feature = "audit")]
+        if let Some(rep) = self.audit_report() {
+            b.counter(
+                "ceio_audit_violations_total",
+                "Invariant violations detected by the armed auditor.",
+                rep.total_violations,
+            );
+            b.audit(ceio_telemetry::AuditSummary {
+                events_checked: rep.events_checked,
+                invariants: rep.invariants.iter().map(|s| s.to_string()).collect(),
+                total_violations: rep.total_violations,
+                violations: rep.violations.iter().map(|v| v.to_string()).collect(),
+            });
+        }
+
+        b.finish()
+    }
+}
+
+#[cfg(feature = "trace")]
+impl<P: IoPolicy> Machine<P> {
+    /// Arm event tracing with a drop-oldest ring of `cap` events per
+    /// recorder (machine, DMA engine, on-NIC memory, and the policy's own
+    /// recorders). Idempotent: re-arming replaces the recorders.
+    pub fn arm_trace(&mut self, cap: usize) {
+        self.st.trace = Some(Box::new(HostTrace {
+            ring: TraceRing::new(cap),
+            breakdown: BreakdownSet::new(),
+            cap,
+        }));
+        self.st.dma.arm_trace(cap);
+        self.st.onboard.arm_trace(cap);
+        self.policy.arm_trace(cap);
+    }
+
+    /// Drain all recorders into one time-ordered event stream. Returns
+    /// the merged events plus the total number of records evicted by ring
+    /// overflow across every recorder.
+    pub fn trace_events(&mut self) -> (Vec<TraceEvent>, u64) {
+        let mut parts: Vec<Vec<TraceEvent>> = Vec::new();
+        let mut dropped = 0u64;
+        if let Some(tr) = self.st.trace.as_mut() {
+            parts.push(tr.ring.events());
+            dropped += tr.ring.dropped();
+            tr.ring.clear();
+        }
+        let (evs, d) = self.st.dma.trace_take();
+        parts.push(evs);
+        dropped += d;
+        let (evs, d) = self.st.onboard.trace_take();
+        parts.push(evs);
+        dropped += d;
+        let (evs, d) = self.policy.take_trace();
+        parts.push(evs);
+        dropped += d;
+        (merge_events(parts), dropped)
+    }
+
+    /// The per-flow path breakdown, if tracing is armed.
+    pub fn breakdown(&self) -> Option<&BreakdownSet> {
+        self.st.trace.as_deref().map(|t| &t.breakdown)
+    }
+}

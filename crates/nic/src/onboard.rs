@@ -8,6 +8,8 @@
 //! experiments verify the elastic buffer never exceeds the device.
 
 use ceio_sim::{Bandwidth, Duration, Time};
+#[cfg(feature = "trace")]
+use ceio_telemetry::{TraceEvent, TraceKind, TraceRing};
 use serde::Serialize;
 
 /// On-NIC memory statistics.
@@ -32,6 +34,8 @@ pub struct OnboardMemory {
     base_latency: Duration,
     busy_until: Time,
     stats: OnboardStats,
+    #[cfg(feature = "trace")]
+    tracer: Option<TraceRing>,
 }
 
 impl OnboardMemory {
@@ -44,6 +48,41 @@ impl OnboardMemory {
             base_latency,
             busy_until: Time::ZERO,
             stats: OnboardStats::default(),
+            #[cfg(feature = "trace")]
+            tracer: None,
+        }
+    }
+
+    /// Arm event recording into a fresh drop-oldest ring of `cap` events.
+    #[cfg(feature = "trace")]
+    pub fn arm_trace(&mut self, cap: usize) {
+        self.tracer = Some(TraceRing::new(cap));
+    }
+
+    /// Drain recorded events (and the dropped count), if armed.
+    #[cfg(feature = "trace")]
+    pub fn trace_take(&mut self) -> (Vec<TraceEvent>, u64) {
+        match self.tracer.as_mut() {
+            Some(r) => {
+                let evs = r.events();
+                let dropped = r.dropped();
+                r.clear();
+                (evs, dropped)
+            }
+            None => (Vec::new(), 0),
+        }
+    }
+
+    #[cfg(feature = "trace")]
+    #[inline]
+    fn trace(&mut self, at: Time, kind: TraceKind, value: u64) {
+        if let Some(r) = self.tracer.as_mut() {
+            r.push(TraceEvent {
+                at,
+                flow: None,
+                kind,
+                value,
+            });
         }
     }
 
@@ -58,6 +97,8 @@ impl OnboardMemory {
         self.occupancy += bytes;
         self.stats.bytes_written += bytes;
         self.stats.peak_bytes = self.stats.peak_bytes.max(self.occupancy);
+        #[cfg(feature = "trace")]
+        self.trace(now, TraceKind::OnboardWrite, bytes);
         Some(self.serve(now, bytes))
     }
 
@@ -71,6 +112,8 @@ impl OnboardMemory {
         );
         self.occupancy = self.occupancy.saturating_sub(bytes);
         self.stats.bytes_read += bytes;
+        #[cfg(feature = "trace")]
+        self.trace(now, TraceKind::OnboardRead, bytes);
         self.serve(now, bytes)
     }
 

@@ -42,6 +42,10 @@ pub struct RmtStats {
     pub defaulted: u64,
     /// Rule-action rewrites performed.
     pub updates: u64,
+    /// Rewrites that left the fast path (fast → slow/drop).
+    pub rewrites_to_slow: u64,
+    /// Rewrites that restored the fast path (slow/drop → fast).
+    pub rewrites_to_fast: u64,
 }
 
 /// The match-action steering table, keyed by flow identifier `K`.
@@ -83,6 +87,13 @@ impl<K: Eq + Hash + Clone> RmtEngine<K> {
     pub fn set_action(&mut self, key: &K, action: SteerAction) -> bool {
         match self.rules.get_mut(key) {
             Some(r) => {
+                let was_fast = matches!(r.action, SteerAction::FastPath { .. });
+                let is_fast = matches!(action, SteerAction::FastPath { .. });
+                if was_fast && !is_fast {
+                    self.stats.rewrites_to_slow += 1;
+                } else if !was_fast && is_fast {
+                    self.stats.rewrites_to_fast += 1;
+                }
                 r.action = action;
                 self.stats.updates += 1;
                 true
@@ -176,6 +187,19 @@ mod tests {
         assert_eq!(rmt.steer(&1), SteerAction::SlowPath);
         assert!(!rmt.set_action(&9, SteerAction::SlowPath));
         assert_eq!(rmt.stats().updates, 1);
+    }
+
+    #[test]
+    fn rewrite_direction_counters() {
+        let mut rmt = RmtEngine::new(SteerAction::Drop);
+        rmt.install(1u64, SteerAction::FastPath { queue: 0 });
+        rmt.set_action(&1, SteerAction::SlowPath);
+        rmt.set_action(&1, SteerAction::FastPath { queue: 1 });
+        // Fast→fast queue change is neither direction.
+        rmt.set_action(&1, SteerAction::FastPath { queue: 2 });
+        assert_eq!(rmt.stats().rewrites_to_slow, 1);
+        assert_eq!(rmt.stats().rewrites_to_fast, 1);
+        assert_eq!(rmt.stats().updates, 3);
     }
 
     #[test]

@@ -10,6 +10,8 @@
 use crate::link::{Direction, PcieLink};
 use crate::params::PcieParams;
 use ceio_sim::Time;
+#[cfg(feature = "trace")]
+use ceio_telemetry::{TraceEvent, TraceKind, TraceRing};
 use serde::Serialize;
 
 /// Why a DMA could not be issued.
@@ -53,6 +55,8 @@ pub struct DmaEngine {
     inflight_writes: u32,
     inflight_reads: u32,
     stats: DmaStats,
+    #[cfg(feature = "trace")]
+    tracer: Option<TraceRing>,
 }
 
 impl DmaEngine {
@@ -63,6 +67,42 @@ impl DmaEngine {
             inflight_writes: 0,
             inflight_reads: 0,
             stats: DmaStats::default(),
+            #[cfg(feature = "trace")]
+            tracer: None,
+        }
+    }
+
+    /// Arm event recording into a fresh drop-oldest ring of `cap` events.
+    #[cfg(feature = "trace")]
+    pub fn arm_trace(&mut self, cap: usize) {
+        self.tracer = Some(TraceRing::new(cap));
+    }
+
+    /// Drain recorded events (and the dropped count), if armed.
+    #[cfg(feature = "trace")]
+    pub fn trace_take(&mut self) -> (Vec<TraceEvent>, u64) {
+        match self.tracer.as_mut() {
+            Some(r) => {
+                let evs = r.events();
+                let dropped = r.dropped();
+                r.clear();
+                (evs, dropped)
+            }
+            None => (Vec::new(), 0),
+        }
+    }
+
+    #[cfg(feature = "trace")]
+    #[inline]
+    fn trace(&mut self, at: Time, kind: TraceKind, value: u64) {
+        if let Some(r) = self.tracer.as_mut() {
+            r.push(TraceEvent {
+                at,
+                // The engine sees payloads, not flows.
+                flow: None,
+                kind,
+                value,
+            });
         }
     }
 
@@ -71,10 +111,14 @@ impl DmaEngine {
     pub fn try_write(&mut self, now: Time, payload: u64) -> Result<Time, DmaError> {
         if self.inflight_writes >= self.link.params().max_inflight_writes {
             self.stats.write_stalls += 1;
+            #[cfg(feature = "trace")]
+            self.trace(now, TraceKind::DmaWriteStall, payload);
             return Err(DmaError::NoWriteCredit);
         }
         self.inflight_writes += 1;
         self.stats.writes += 1;
+        #[cfg(feature = "trace")]
+        self.trace(now, TraceKind::DmaWriteIssue, payload);
         Ok(self.link.transfer(now, Direction::ToHost, payload))
     }
 
@@ -90,10 +134,14 @@ impl DmaEngine {
     pub fn try_read_request(&mut self, now: Time) -> Result<Time, DmaError> {
         if self.inflight_reads >= self.link.params().max_inflight_reads {
             self.stats.read_stalls += 1;
+            #[cfg(feature = "trace")]
+            self.trace(now, TraceKind::DmaReadStall, 0);
             return Err(DmaError::NoReadCredit);
         }
         self.inflight_reads += 1;
         self.stats.reads += 1;
+        #[cfg(feature = "trace")]
+        self.trace(now, TraceKind::DmaReadIssue, 0);
         // A read request TLP carries no payload.
         Ok(self.link.transfer(now, Direction::ToNic, 0))
     }
@@ -104,6 +152,8 @@ impl DmaEngine {
     pub fn read_completion(&mut self, nic_time: Time, payload: u64) -> Time {
         debug_assert!(self.inflight_reads > 0, "read completion underflow");
         self.inflight_reads = self.inflight_reads.saturating_sub(1);
+        #[cfg(feature = "trace")]
+        self.trace(nic_time, TraceKind::DmaReadComplete, payload);
         self.link.transfer(nic_time, Direction::ToHost, payload)
     }
 

@@ -313,6 +313,50 @@ impl Histogram {
         self.max_seen
     }
 
+    /// Values at several quantiles (each in `[0, 1]`) in **one pass** over
+    /// the buckets, returned in the same order as `qs`.
+    ///
+    /// [`Histogram::quantile`] scans the bucket array per call; experiment
+    /// tables ask for 4–5 quantiles per histogram, so the per-call scans
+    /// add up. This walks the counts once regardless of how many
+    /// quantiles are requested. An empty histogram yields all zeros.
+    pub fn quantiles(&self, qs: &[f64]) -> Vec<u64> {
+        let mut out = vec![0u64; qs.len()];
+        if self.total == 0 || qs.is_empty() {
+            return out;
+        }
+        // Rank target for each requested quantile, then visit them in
+        // ascending-target order during a single bucket sweep.
+        let targets: Vec<u64> = qs
+            .iter()
+            .map(|q| {
+                let q = q.clamp(0.0, 1.0);
+                ((q * self.total as f64).ceil() as u64).clamp(1, self.total)
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..qs.len()).collect();
+        order.sort_by_key(|&i| targets[i]);
+
+        let mut seen = 0u64;
+        let mut next = 0usize; // index into `order`
+        for (i, &c) in self.counts.iter().enumerate() {
+            if next >= order.len() {
+                break;
+            }
+            seen += c;
+            while next < order.len() && seen >= targets[order[next]] {
+                out[order[next]] = self.value_of(i).min(self.max_seen);
+                next += 1;
+            }
+        }
+        // Any remainder (only possible via counting edge cases): the max.
+        while next < order.len() {
+            out[order[next]] = self.max_seen;
+            next += 1;
+        }
+        out
+    }
+
     /// P50 convenience.
     pub fn p50(&self) -> u64 {
         self.quantile(0.50)
@@ -324,6 +368,13 @@ impl Histogram {
     /// P99.9 convenience.
     pub fn p999(&self) -> u64 {
         self.quantile(0.999)
+    }
+
+    /// Sum of all recorded values (u128: immune to u64 overflow even for
+    /// nanosecond sums over long runs).
+    #[inline]
+    pub fn sum(&self) -> u128 {
+        self.sum
     }
 
     /// Merge another histogram of the same precision into this one.
@@ -351,6 +402,24 @@ impl Histogram {
 impl Default for Histogram {
     fn default() -> Self {
         Histogram::new()
+    }
+}
+
+impl std::fmt::Display for Histogram {
+    /// One-line summary: `count=N mean=M p50=A p99=B p999=C max=D`
+    /// (a single [`Histogram::quantiles`] sweep; used by `ceio-inspect`).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let qs = self.quantiles(&[0.50, 0.99, 0.999]);
+        write!(
+            f,
+            "count={} mean={:.1} p50={} p99={} p999={} max={}",
+            self.total,
+            self.mean(),
+            qs[0],
+            qs[1],
+            qs[2],
+            self.max_seen
+        )
     }
 }
 
@@ -468,6 +537,35 @@ mod tests {
         let got = h.p50();
         let err = (got as f64 - 5_000.0).abs() / 5_000.0;
         assert!(err < 0.02, "got {got}");
+    }
+
+    #[test]
+    fn quantiles_single_pass_matches_per_call() {
+        let mut h = Histogram::new();
+        for i in 0..10_000u64 {
+            h.record(i * 7 % 50_000);
+        }
+        // Unsorted request order exercises the order-index mapping.
+        let qs = [0.99, 0.5, 0.999, 0.0, 1.0, 0.9];
+        let batch = h.quantiles(&qs);
+        for (q, got) in qs.iter().zip(&batch) {
+            assert_eq!(*got, h.quantile(*q), "q={q}");
+        }
+        assert!(h.quantiles(&[]).is_empty());
+        assert_eq!(Histogram::new().quantiles(&[0.5, 0.99]), vec![0, 0]);
+    }
+
+    #[test]
+    fn histogram_sum_and_display() {
+        let mut h = Histogram::new();
+        h.record(100);
+        h.record(300);
+        assert_eq!(h.sum(), 400);
+        let line = format!("{h}");
+        assert!(line.contains("count=2"), "{line}");
+        assert!(line.contains("mean=200.0"), "{line}");
+        assert!(line.contains("max=300"), "{line}");
+        assert!(!line.contains('\n'));
     }
 
     #[test]

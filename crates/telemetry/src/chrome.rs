@@ -1,0 +1,164 @@
+//! Chrome trace-event JSON export, loadable in Perfetto / `chrome://tracing`.
+//!
+//! Each [`TraceEvent`] becomes one trace-event object. Mapping:
+//!
+//! - `ts` is microseconds (simulated nanoseconds / 1000, three decimals).
+//! - `ph` comes from [`TraceKind::phase`]: `"i"` instants for most kinds,
+//!   `"B"`/`"E"` spans for phase-exclusivity enter/exit so the slow phase
+//!   renders as a named bar per flow in Perfetto's track view.
+//! - `pid` is always 1 (one simulated machine); `tid` is `flow + 1`, with
+//!   tid 0 reserved for non-attributable substrate events (DMA engine,
+//!   on-NIC memory). `thread_name` metadata events label each track.
+//! - the kind-specific payload lands in `args.value`, and truncation is
+//!   reported honestly via `otherData.dropped_events`.
+
+use crate::event::{Phase, TraceEvent};
+use crate::json::escape;
+
+fn tid_of(ev: &TraceEvent) -> u64 {
+    match ev.flow {
+        Some(f) => u64::from(f) + 1,
+        None => 0,
+    }
+}
+
+fn track_name(tid: u64) -> String {
+    if tid == 0 {
+        "substrate".to_string()
+    } else {
+        format!("flow-{}", tid - 1)
+    }
+}
+
+/// Serialize events (plus the recorder's dropped-record count) as a
+/// Chrome trace-event JSON document. Events should already be merged and
+/// time-ordered — see [`crate::event::merge_events`].
+pub fn chrome_trace_json(events: &[TraceEvent], dropped: u64) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 256);
+    out.push_str("{\"traceEvents\":[");
+
+    // Name each track first so Perfetto labels rows even for empty tails.
+    let mut tids: Vec<u64> = events.iter().map(tid_of).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    let mut first = true;
+    for tid in &tids {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape(&track_name(*tid))
+        ));
+    }
+
+    for ev in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let ph = match ev.kind.phase() {
+            Phase::Instant => "i",
+            Phase::Begin => "B",
+            Phase::End => "E",
+        };
+        let us_whole = ev.at.0 / 1000;
+        let ns_frac = ev.at.0 % 1000;
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"ph\":\"{ph}\",\"ts\":{us_whole}.{ns_frac:03},\
+             \"pid\":1,\"tid\":{}",
+            escape(ev.kind.label()),
+            tid_of(ev)
+        ));
+        if ph == "i" {
+            // Instant scope: thread-local, keeps markers compact.
+            out.push_str(",\"s\":\"t\"");
+        }
+        out.push_str(&format!(",\"args\":{{\"value\":{}", ev.value));
+        if let Some(f) = ev.flow {
+            out.push_str(&format!(",\"flow\":{f}"));
+        }
+        out.push_str("}}");
+    }
+
+    out.push_str(&format!(
+        "],\"displayTimeUnit\":\"ns\",\"otherData\":{{\"dropped_events\":{dropped}}}}}"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceKind;
+    use crate::json::validate;
+    use ceio_sim::Time;
+
+    fn ev(at: u64, flow: Option<u32>, kind: TraceKind, value: u64) -> TraceEvent {
+        TraceEvent {
+            at: Time(at),
+            flow,
+            kind,
+            value,
+        }
+    }
+
+    #[test]
+    fn emits_valid_json() {
+        let events = vec![
+            ev(1_500, Some(0), TraceKind::CreditGrant, 1),
+            ev(2_000, Some(0), TraceKind::PhaseSlowEnter, 0),
+            ev(9_250, Some(0), TraceKind::PhaseSlowExit, 0),
+            ev(500, None, TraceKind::DmaWriteIssue, 512),
+        ];
+        let doc = chrome_trace_json(&events, 3);
+        assert!(validate(&doc).is_ok(), "{:?}", validate(&doc));
+        assert!(doc.contains("\"traceEvents\":["));
+        assert!(doc.contains("\"dropped_events\":3"));
+    }
+
+    #[test]
+    fn timestamps_are_microseconds() {
+        let doc = chrome_trace_json(&[ev(1_500, Some(2), TraceKind::Delivery, 64)], 0);
+        assert!(doc.contains("\"ts\":1.500"), "{doc}");
+        assert!(doc.contains("\"tid\":3"), "{doc}");
+        assert!(doc.contains("\"flow\":2"), "{doc}");
+    }
+
+    #[test]
+    fn phase_events_form_spans() {
+        let doc = chrome_trace_json(
+            &[
+                ev(10, Some(1), TraceKind::PhaseSlowEnter, 0),
+                ev(20, Some(1), TraceKind::PhaseSlowExit, 0),
+            ],
+            0,
+        );
+        assert!(doc.contains("\"ph\":\"B\""));
+        assert!(doc.contains("\"ph\":\"E\""));
+        // Both share the span name.
+        assert_eq!(doc.matches("\"name\":\"slow-phase\"").count(), 2);
+    }
+
+    #[test]
+    fn tracks_are_named() {
+        let doc = chrome_trace_json(
+            &[
+                ev(1, None, TraceKind::DmaReadIssue, 0),
+                ev(2, Some(7), TraceKind::Delivery, 64),
+            ],
+            0,
+        );
+        assert!(doc.contains("\"name\":\"substrate\""));
+        assert!(doc.contains("\"name\":\"flow-7\""));
+    }
+
+    #[test]
+    fn empty_stream_is_valid() {
+        let doc = chrome_trace_json(&[], 0);
+        assert!(validate(&doc).is_ok());
+        assert!(doc.contains("\"traceEvents\":[]"));
+    }
+}

@@ -1,0 +1,472 @@
+//! The unified metrics registry: one labeled, serializable snapshot.
+//!
+//! Every component of the simulated host keeps its own `*Stats` struct
+//! (RMT, ARM, onboard memory, DMA, LLC, IIO, DRAM, CPU cores, ingress,
+//! credits, controller). A [`Snapshot`] aggregates all of them — plus the
+//! run's time series and, when armed, the audit report — behind one type
+//! with two hand-written exporters:
+//!
+//! * [`Snapshot::to_prom_text`] — Prometheus text exposition (`# HELP` /
+//!   `# TYPE` preambles, labeled samples, summary quantiles), scrapeable
+//!   or diffable;
+//! * [`Snapshot::to_json`] — a stable JSON document for programmatic
+//!   consumption.
+//!
+//! Serialization is hand-rolled because the workspace builds offline
+//! against a no-op `serde` stub; the emitters are small, deterministic
+//! (insertion-ordered), and covered by golden-file tests.
+
+use crate::json::{escape, fmt_f64};
+use ceio_sim::{Histogram, Time, TimeSeries};
+use std::fmt::Write as _;
+
+/// The value of one metric sample.
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    /// Monotonic count.
+    Counter(u64),
+    /// Point-in-time level.
+    Gauge(f64),
+    /// Distribution summary: pre-computed quantiles plus sum and count
+    /// (rendered as a Prometheus `summary`).
+    Summary {
+        /// `(q, value)` pairs in ascending `q` order.
+        quantiles: Vec<(f64, u64)>,
+        /// Sum of all recorded values.
+        sum: u128,
+        /// Number of recorded values.
+        count: u64,
+    },
+}
+
+impl MetricValue {
+    fn type_name(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Summary { .. } => "summary",
+        }
+    }
+}
+
+/// One metric sample: name, help text, labels, value.
+#[derive(Debug, Clone)]
+pub struct Metric {
+    /// Prometheus-style metric name (`ceio_<component>_<what>[_total]`).
+    pub name: String,
+    /// One-line description (the `# HELP` text).
+    pub help: &'static str,
+    /// Label pairs, e.g. `[("flow", "3")]`.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: MetricValue,
+}
+
+/// Condensed audit outcome carried inside a snapshot (mirrors
+/// `ceio_audit::AuditReport` without depending on that crate, keeping the
+/// telemetry layer dependency-free for every other crate).
+#[derive(Debug, Clone, Default)]
+pub struct AuditSummary {
+    /// Events the auditor inspected.
+    pub events_checked: u64,
+    /// Registered invariant names.
+    pub invariants: Vec<String>,
+    /// Total violations observed (including ones beyond the detail cap).
+    pub total_violations: u64,
+    /// Rendered violation records (possibly capped).
+    pub violations: Vec<String>,
+}
+
+/// A complete, self-describing telemetry snapshot of one run.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Simulated instant the snapshot was taken.
+    pub at: Time,
+    /// All metric samples, in registration order.
+    pub metrics: Vec<Metric>,
+    /// Time series captured during the run (measurement windows).
+    pub series: Vec<TimeSeries>,
+    /// Audit outcome, when an auditor was armed.
+    pub audit: Option<AuditSummary>,
+}
+
+impl Snapshot {
+    /// Render the snapshot in the Prometheus text exposition format.
+    ///
+    /// `# HELP`/`# TYPE` preambles are emitted once per metric name, at
+    /// its first occurrence; samples keep registration order, so output
+    /// is deterministic and golden-testable. Audit violations, if any,
+    /// are appended as comment lines after the samples — armed runs
+    /// surface them in every export instead of dropping them.
+    pub fn to_prom_text(&self) -> String {
+        let mut out = String::new();
+        let mut seen: Vec<&str> = Vec::new();
+        for m in &self.metrics {
+            if !seen.contains(&m.name.as_str()) {
+                seen.push(&m.name);
+                let _ = writeln!(out, "# HELP {} {}", m.name, m.help);
+                let _ = writeln!(out, "# TYPE {} {}", m.name, m.value.type_name());
+            }
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{}{} {}", m.name, prom_labels(&m.labels, None), v);
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        m.name,
+                        prom_labels(&m.labels, None),
+                        fmt_f64(*v)
+                    );
+                }
+                MetricValue::Summary {
+                    quantiles,
+                    sum,
+                    count,
+                } => {
+                    for (q, v) in quantiles {
+                        let _ =
+                            writeln!(out, "{}{} {}", m.name, prom_labels(&m.labels, Some(*q)), v);
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        m.name,
+                        prom_labels(&m.labels, None),
+                        sum
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        m.name,
+                        prom_labels(&m.labels, None),
+                        count
+                    );
+                }
+            }
+        }
+        if let Some(a) = &self.audit {
+            let _ = writeln!(
+                out,
+                "# audit: {} invariant(s) checked over {} event(s), {} violation(s)",
+                a.invariants.len(),
+                a.events_checked,
+                a.total_violations
+            );
+            for v in &a.violations {
+                for line in v.lines() {
+                    let _ = writeln!(out, "# audit-violation: {line}");
+                }
+            }
+        }
+        out
+    }
+
+    /// Render the snapshot as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"at_ns\":{}", self.at.nanos());
+        out.push_str(",\"metrics\":[");
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"help\":\"{}\",\"type\":\"{}\"",
+                escape(&m.name),
+                escape(m.help),
+                m.value.type_name()
+            );
+            if !m.labels.is_empty() {
+                out.push_str(",\"labels\":{");
+                for (j, (k, v)) in m.labels.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{}\":\"{}\"", escape(k), escape(v));
+                }
+                out.push('}');
+            }
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, ",\"value\":{v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = write!(out, ",\"value\":{}", fmt_f64(*v));
+                }
+                MetricValue::Summary {
+                    quantiles,
+                    sum,
+                    count,
+                } => {
+                    out.push_str(",\"quantiles\":{");
+                    for (j, (q, v)) in quantiles.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "\"{}\":{}", fmt_f64(*q), v);
+                    }
+                    let _ = write!(out, "}},\"sum\":{sum},\"count\":{count}");
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("],\"series\":[");
+        for (i, s) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"name\":\"{}\",\"points\":[", escape(&s.name));
+            for (j, (t, v)) in s.points.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{},{}]", t.nanos(), fmt_f64(*v));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],\"audit\":");
+        match &self.audit {
+            None => out.push_str("null"),
+            Some(a) => {
+                let _ = write!(
+                    out,
+                    "{{\"events_checked\":{},\"total_violations\":{},\"invariants\":[",
+                    a.events_checked, a.total_violations
+                );
+                for (i, inv) in a.invariants.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{}\"", escape(inv));
+                }
+                out.push_str("],\"violations\":[");
+                for (i, v) in a.violations.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{}\"", escape(v));
+                }
+                out.push_str("]}");
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Render a Prometheus label set, optionally with a `quantile` label.
+fn prom_labels(labels: &[(String, String)], quantile: Option<f64>) -> String {
+    if labels.is_empty() && quantile.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{}=\"{}\"", k, escape(v));
+    }
+    if let Some(q) = quantile {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "quantile=\"{}\"", fmt_f64(q));
+    }
+    out.push('}');
+    out
+}
+
+/// Incremental [`Snapshot`] construction. Components contribute their
+/// counters through one funnel; the builder owns naming discipline.
+#[derive(Debug)]
+pub struct SnapshotBuilder {
+    snap: Snapshot,
+}
+
+/// Quantiles exported for every histogram summary.
+pub const SUMMARY_QUANTILES: [f64; 4] = [0.5, 0.9, 0.99, 0.999];
+
+impl SnapshotBuilder {
+    /// A builder for a snapshot taken at `at`.
+    pub fn new(at: Time) -> SnapshotBuilder {
+        SnapshotBuilder {
+            snap: Snapshot {
+                at,
+                metrics: Vec::new(),
+                series: Vec::new(),
+                audit: None,
+            },
+        }
+    }
+
+    /// Register an unlabeled counter.
+    pub fn counter(&mut self, name: &str, help: &'static str, v: u64) {
+        self.counter_with(name, help, &[], v);
+    }
+
+    /// Register a labeled counter.
+    pub fn counter_with(
+        &mut self,
+        name: &str,
+        help: &'static str,
+        labels: &[(&str, String)],
+        v: u64,
+    ) {
+        self.snap.metrics.push(Metric {
+            name: name.to_string(),
+            help,
+            labels: own_labels(labels),
+            value: MetricValue::Counter(v),
+        });
+    }
+
+    /// Register an unlabeled gauge.
+    pub fn gauge(&mut self, name: &str, help: &'static str, v: f64) {
+        self.gauge_with(name, help, &[], v);
+    }
+
+    /// Register a labeled gauge.
+    pub fn gauge_with(
+        &mut self,
+        name: &str,
+        help: &'static str,
+        labels: &[(&str, String)],
+        v: f64,
+    ) {
+        self.snap.metrics.push(Metric {
+            name: name.to_string(),
+            help,
+            labels: own_labels(labels),
+            value: MetricValue::Gauge(v),
+        });
+    }
+
+    /// Register a histogram as a summary (p50/p90/p99/p99.9 + sum/count),
+    /// using the histogram's single-pass quantile scan.
+    pub fn summary(&mut self, name: &str, help: &'static str, h: &Histogram) {
+        self.summary_with(name, help, &[], h);
+    }
+
+    /// Register a labeled histogram summary.
+    pub fn summary_with(
+        &mut self,
+        name: &str,
+        help: &'static str,
+        labels: &[(&str, String)],
+        h: &Histogram,
+    ) {
+        let values = h.quantiles(&SUMMARY_QUANTILES);
+        let quantiles = SUMMARY_QUANTILES.iter().copied().zip(values).collect();
+        self.snap.metrics.push(Metric {
+            name: name.to_string(),
+            help,
+            labels: own_labels(labels),
+            value: MetricValue::Summary {
+                quantiles,
+                sum: h.sum(),
+                count: h.count(),
+            },
+        });
+    }
+
+    /// Attach a time series (cloned; the live run keeps its own).
+    pub fn series(&mut self, s: &TimeSeries) {
+        self.snap.series.push(s.clone());
+    }
+
+    /// Attach the audit outcome.
+    pub fn audit(&mut self, a: AuditSummary) {
+        self.snap.audit = Some(a);
+    }
+
+    /// Finish building.
+    pub fn finish(self) -> Snapshot {
+        self.snap
+    }
+}
+
+fn own_labels(labels: &[(&str, String)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate;
+
+    fn sample() -> Snapshot {
+        let mut b = SnapshotBuilder::new(Time(3_000_000));
+        b.counter("ceio_dma_writes_total", "Writes issued.", 42);
+        b.gauge_with(
+            "ceio_flow_credits",
+            "Credits currently assigned.",
+            &[("flow", "3".to_string())],
+            17.0,
+        );
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v * 10);
+        }
+        b.summary("ceio_fast_latency_ns", "Fast-path delivery latency.", &h);
+        let mut ts = TimeSeries::new("cpu-involved Mpps");
+        ts.push(Time(1_000), 1.5);
+        ts.push(Time(2_000), 2.5);
+        b.series(&ts);
+        b.finish()
+    }
+
+    #[test]
+    fn prom_text_has_preambles_and_samples() {
+        let text = sample().to_prom_text();
+        assert!(text.contains("# HELP ceio_dma_writes_total Writes issued."));
+        assert!(text.contains("# TYPE ceio_dma_writes_total counter"));
+        assert!(text.contains("ceio_dma_writes_total 42"));
+        assert!(text.contains("ceio_flow_credits{flow=\"3\"} 17"));
+        assert!(text.contains("ceio_fast_latency_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("ceio_fast_latency_ns_count 100"));
+    }
+
+    #[test]
+    fn json_is_valid_and_contains_sections() {
+        let json = sample().to_json();
+        validate(&json).expect("snapshot JSON must parse");
+        assert!(json.contains("\"at_ns\":3000000"));
+        assert!(json.contains("\"metrics\":["));
+        assert!(json.contains("\"series\":["));
+        assert!(json.contains("\"audit\":null"));
+    }
+
+    #[test]
+    fn audit_violations_surface_in_both_exports() {
+        let mut b = SnapshotBuilder::new(Time(0));
+        b.counter("ceio_audit_violations_total", "Audit violations.", 2);
+        b.audit(AuditSummary {
+            events_checked: 9,
+            invariants: vec!["credit-conservation".to_string()],
+            total_violations: 2,
+            violations: vec!["t=5ns credit-conservation: Eq. 1 violated".to_string()],
+        });
+        let s = b.finish();
+        let text = s.to_prom_text();
+        assert!(text.contains("# audit: 1 invariant(s) checked over 9 event(s), 2 violation(s)"));
+        assert!(text.contains("# audit-violation: t=5ns credit-conservation"));
+        let json = s.to_json();
+        validate(&json).expect("audit JSON must parse");
+        assert!(json.contains("\"total_violations\":2"));
+    }
+
+    #[test]
+    fn empty_snapshot_exports_cleanly() {
+        let s = SnapshotBuilder::new(Time(0)).finish();
+        assert_eq!(s.to_prom_text(), "");
+        validate(&s.to_json()).expect("empty snapshot JSON must parse");
+    }
+}

@@ -21,6 +21,9 @@ echo "==> cargo clippy (audit + mutation-hooks)"
 cargo clippy --workspace --all-targets --offline \
     --features "audit ceio-core/mutation-hooks" -- -D warnings
 
+echo "==> cargo clippy (trace)"
+cargo clippy --workspace --all-targets --offline --features trace -- -D warnings
+
 echo "==> cargo build --release"
 cargo build --workspace --release --offline
 
@@ -29,5 +32,32 @@ cargo test --workspace --offline -q
 
 echo "==> cargo test (audit enabled)"
 cargo test --workspace --offline -q --features audit
+
+echo "==> cargo test (trace enabled)"
+cargo test --workspace --offline -q --features trace
+
+echo "==> telemetry smoke (ceio-inspect)"
+cargo build --offline -p ceio-bench --features trace --bin ceio-inspect
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+target/debug/ceio-inspect --scenario kv --millis 3 \
+    --trace-out "$smoke_dir/trace.json" --prom-out "$smoke_dir/metrics.prom" \
+    > "$smoke_dir/stdout.txt"
+# ceio-inspect already self-validates both JSON documents before writing;
+# here we assert the *content*: the trace must carry the paper's mechanism
+# events and the metrics must span the whole pipeline.
+for ev in credit-grant credit-deny slow-phase slow-park slow-fetch \
+          rule-rewrite-slow dma-write-issue delivery; do
+    grep -q "\"name\":\"$ev\"" "$smoke_dir/trace.json" \
+        || { echo "telemetry smoke: trace is missing '$ev' events"; exit 1; }
+done
+for metric in ceio_ingress_admitted_total ceio_rmt_updates_total \
+              ceio_onboard_bytes_written_total ceio_dma_writes_total \
+              ceio_llc_miss_rate ceio_dram_requests_total \
+              ceio_core_packets_total ceio_credit_consumed_total; do
+    grep -q "^# TYPE $metric " "$smoke_dir/metrics.prom" \
+        || { echo "telemetry smoke: metrics are missing '$metric'"; exit 1; }
+done
+echo "telemetry smoke passed"
 
 echo "All checks passed."
