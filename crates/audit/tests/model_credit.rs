@@ -29,7 +29,7 @@
 //!
 //! Violations are reported as structured [`ceio_audit::Violation`]s. A
 //! mutation test proves the harness can fail: a deliberately leaked credit
-//! (via ceio-core's `mutation-hooks` feature) is flagged immediately.
+//! (via ceio-core's `chaos`-gated mutation hooks) is flagged immediately.
 
 use ceio_audit::{AuditCtx, AuditRegistry, AuditSink, FnInvariant};
 use ceio_core::CreditManager;
@@ -389,4 +389,296 @@ fn injected_mint_breaks_model_checker() {
         checker.sink.violations()[0].invariant,
         "credit-conservation"
     );
+}
+
+// ===================================================================
+// Leased extension: the same bounded exploration with per-grant credit
+// leases armed and a time-advancing watchdog op in the alphabet.
+// ===================================================================
+
+/// The leased model: alongside the manager we mirror the lease table as
+/// per-flow FIFOs of absolute expiry ticks plus the naive outstanding
+/// counter, and replay the documented semantics:
+///
+/// * `try_consume` success pushes a lease expiring `TTL` ticks out;
+/// * `release`/`release_to_pool` return only as many credits as the flow
+///   has *live* leases (stale returns are dropped — the watchdog already
+///   reclaimed those grants);
+/// * `advance+expire` moves every lease with `expiry <= now` from
+///   outstanding back to the pool.
+///
+/// Canonicalisation uses expiries *relative to now*, so the state graph
+/// stays finite even though absolute time only grows.
+mod leased {
+    use super::{assert_clean, AuditSink, Checker, CreditManager, FlowId, HashSet, VecDeque};
+    use ceio_sim::{Duration, Time};
+    use std::collections::HashMap;
+
+    const TOTAL: u64 = 3;
+    const FLOWS: [FlowId; 2] = [FlowId(0), FlowId(1)];
+    /// Lease TTL in ticks; `AdvanceExpire` moves time one tick.
+    const TTL: u64 = 2;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Op {
+        Add(FlowId),
+        Remove(FlowId),
+        TryConsume(FlowId),
+        Release(FlowId),
+        ReleaseToPool(FlowId),
+        Reclaim(FlowId),
+        Grant(FlowId),
+        AdvanceExpire,
+    }
+
+    fn alphabet() -> Vec<Op> {
+        let mut ops = Vec::new();
+        for f in FLOWS {
+            ops.push(Op::Add(f));
+            ops.push(Op::Remove(f));
+            ops.push(Op::TryConsume(f));
+            ops.push(Op::Release(f));
+            ops.push(Op::ReleaseToPool(f));
+            ops.push(Op::Reclaim(f));
+            ops.push(Op::Grant(f));
+        }
+        ops.push(Op::AdvanceExpire);
+        ops
+    }
+
+    /// Reference lease ledger mirrored beside the manager.
+    #[derive(Debug, Clone, Default)]
+    struct RefLeases {
+        now: u64,
+        q: HashMap<u32, VecDeque<u64>>,
+        outstanding: u64,
+    }
+
+    impl RefLeases {
+        fn live(&self) -> u64 {
+            self.q.values().map(|q| q.len() as u64).sum()
+        }
+        /// Pop up to `gamma` oldest live leases of `f`; the return value
+        /// is how many credits the release is worth.
+        fn take(&mut self, f: FlowId, gamma: u64) -> u64 {
+            let Some(q) = self.q.get_mut(&f.0) else {
+                return 0;
+            };
+            let take = gamma.min(q.len() as u64);
+            for _ in 0..take {
+                q.pop_front();
+            }
+            if q.is_empty() {
+                self.q.remove(&f.0);
+            }
+            take
+        }
+        fn expire(&mut self) -> u64 {
+            let now = self.now;
+            let mut expired = 0u64;
+            self.q.retain(|_, q| {
+                while q.front().is_some_and(|&e| e <= now) {
+                    q.pop_front();
+                    expired += 1;
+                }
+                !q.is_empty()
+            });
+            expired
+        }
+    }
+
+    /// Canonical key: ledger state plus the lease queues as remaining
+    /// TTLs (relative, so time's absolute value never grows the graph).
+    fn canon(cm: &CreditManager, r: &RefLeases) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(s, "p{}|o{}", cm.free_pool(), cm.outstanding());
+        for f in FLOWS {
+            let _ = write!(
+                s,
+                "|{}:c{}d{}i{}",
+                f.0,
+                cm.credits(f),
+                cm.debt_of(f),
+                u8::from(cm.in_insufficient(f))
+            );
+            let _ = write!(s, "[");
+            if let Some(q) = r.q.get(&f.0) {
+                for &e in q {
+                    let _ = write!(s, "{},", e.saturating_sub(r.now));
+                }
+            }
+            let _ = write!(s, "]");
+        }
+        let _ = write!(s, "|n{}|l{}", cm.flow_count(), cm.live_leases());
+        s
+    }
+
+    /// Apply one op to both models; returns violations via the checker.
+    fn apply(
+        checker: &mut Checker,
+        depth: usize,
+        op: Op,
+        cm: &mut CreditManager,
+        r: &mut RefLeases,
+    ) {
+        match op {
+            Op::Add(f) => cm.add_flows(&[f]),
+            Op::Remove(f) => cm.remove_flow(f),
+            Op::TryConsume(f) => {
+                if cm.try_consume(f) {
+                    r.q.entry(f.0).or_default().push_back(r.now + TTL);
+                    r.outstanding += 1;
+                }
+            }
+            Op::Release(f) => {
+                cm.release(f, 1);
+                r.outstanding -= r.take(f, 1).min(r.outstanding);
+            }
+            Op::ReleaseToPool(f) => {
+                cm.release_to_pool(f, 1);
+                r.outstanding -= r.take(f, 1).min(r.outstanding);
+            }
+            Op::Reclaim(f) => {
+                let _ = cm.reclaim(f);
+            }
+            Op::Grant(f) => {
+                let _ = cm.grant(f, 1);
+            }
+            Op::AdvanceExpire => {
+                r.now += 1;
+                cm.set_now(Time(r.now));
+                let reclaimed = cm.expire_leases();
+                let ref_reclaimed = r.expire();
+                r.outstanding -= ref_reclaimed.min(r.outstanding);
+                if reclaimed != ref_reclaimed {
+                    checker.violate(
+                        depth,
+                        "lease-watchdog",
+                        format!(
+                            "expire_leases reclaimed {reclaimed}, reference expired {ref_reclaimed}"
+                        ),
+                        cm,
+                    );
+                }
+            }
+        }
+        // Shared invariants (conservation, ledgers) plus lease-specific:
+        // the manager's live-lease count must track the reference table.
+        checker.check_state(depth, cm, r.outstanding);
+        if cm.live_leases() != r.live() {
+            checker.violate(
+                depth,
+                "lease-ledger",
+                format!(
+                    "live_leases() {} != reference {}",
+                    cm.live_leases(),
+                    r.live()
+                ),
+                cm,
+            );
+        }
+        if cm.live_leases() > cm.outstanding() {
+            checker.violate(
+                depth,
+                "lease-ledger",
+                format!(
+                    "live leases {} exceed outstanding grants {}",
+                    cm.live_leases(),
+                    cm.outstanding()
+                ),
+                cm,
+            );
+        }
+    }
+
+    fn explore(max_depth: usize) -> (Checker, usize) {
+        let ops = alphabet();
+        let mut checker = Checker {
+            sink: AuditSink::with_capacity(8),
+            states: 0,
+        };
+        let mut root = CreditManager::new(TOTAL);
+        root.enable_leases(Duration::nanos(TTL));
+        let ref_root = RefLeases::default();
+        checker.check_state(0, &root, 0);
+        let mut visited: HashSet<String> = HashSet::new();
+        visited.insert(canon(&root, &ref_root));
+        let mut frontier: VecDeque<(CreditManager, RefLeases, usize)> = VecDeque::new();
+        frontier.push_back((root, ref_root, 0));
+        while let Some((cm, r, depth)) = frontier.pop_front() {
+            if depth == max_depth || checker.sink.total() > 0 {
+                continue;
+            }
+            for &op in &ops {
+                let mut next = cm.clone();
+                let mut next_ref = r.clone();
+                apply(&mut checker, depth + 1, op, &mut next, &mut next_ref);
+                if visited.insert(canon(&next, &next_ref)) {
+                    frontier.push_back((next, next_ref, depth + 1));
+                }
+            }
+        }
+        (checker, visited.len())
+    }
+
+    /// Note the checker super-invariant this inherits: `check_state`
+    /// recomputes Eq. 1 from public accessors at every reached state, so
+    /// a watchdog that reclaimed without crediting the pool (or a stale
+    /// release that double-credited) is caught immediately.
+    #[test]
+    fn leased_ledger_exhaustive_depth8() {
+        let (checker, distinct) = explore(8);
+        assert_clean(&checker);
+        assert!(
+            distinct > 200,
+            "only {distinct} distinct leased states reached — universe too \
+             small to mean anything"
+        );
+        assert!(
+            checker.states > 2_000,
+            "only {} transitions checked",
+            checker.states
+        );
+    }
+
+    /// Saturation: relative-TTL canonicalisation keeps the graph finite,
+    /// so two generous depth bounds reaching the same count is full
+    /// verification of the leased small model.
+    #[test]
+    fn leased_ledger_saturates() {
+        let (_, d28) = explore(28);
+        let (checker, d34) = explore(34);
+        assert_clean(&checker);
+        assert_eq!(
+            d28, d34,
+            "leased state graph still growing at depth 34 — not saturated"
+        );
+    }
+
+    /// Mutation test: a watchdog semantics bug must be caught. Simulate a
+    /// "double credit" by releasing a grant whose lease already expired
+    /// *and* pretending the reference still considers it live — the
+    /// lease-ledger cross-check must flag the divergence.
+    #[test]
+    fn stale_release_returns_nothing() {
+        let mut cm = CreditManager::new(TOTAL);
+        cm.enable_leases(Duration::nanos(TTL));
+        cm.add_flows(&[FlowId(0)]);
+        assert!(cm.try_consume(FlowId(0)));
+        assert_eq!(cm.outstanding(), 1);
+        // Watchdog fires past the TTL: the grant's credit returns to the
+        // pool without a release.
+        cm.set_now(Time(TTL + 1));
+        assert_eq!(cm.expire_leases(), 1);
+        assert_eq!(cm.outstanding(), 0);
+        let pool_before = cm.free_pool();
+        // The straggler release arrives late: it must be recognised as
+        // stale and dropped, not double-credited.
+        cm.release(FlowId(0), 1);
+        assert_eq!(cm.free_pool(), pool_before, "stale release double-credited");
+        assert_eq!(cm.stats().stale_releases, 1);
+        assert_eq!(cm.stats().lease_reclaims, 1);
+        assert!(cm.conserved());
+    }
 }

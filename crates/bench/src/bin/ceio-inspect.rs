@@ -14,8 +14,15 @@
 //! ceio-inspect [--policy baseline|hostcc|shring|ceio] \
 //!              [--scenario kv|mixed|dynamic|burst]    \
 //!              [--millis N] [--warmup-ms N] [--ring N] \
-//!              [--trace-out FILE] [--prom-out FILE]
+//!              [--trace-out FILE] [--prom-out FILE]    \
+//!              [--seed N] [--fault-plan SPEC]
 //! ```
+//!
+//! `--fault-plan` arms a deterministic fault-injection schedule (canned
+//! name or `key=value` spec; see `ceio-chaos`) seeded by `--seed`, so a
+//! faulty run's trace and metrics are exactly reproducible. A malformed
+//! spec exits 2, as does requesting a plan from a binary built without
+//! the `chaos` feature.
 //!
 //! Both exports are validated with the telemetry layer's own JSON checker
 //! before they are written; an invalid document is a bug and exits 1.
@@ -27,8 +34,9 @@
 // internal error) is the intended operator-facing behavior.
 #![allow(clippy::exit)]
 
-use ceio_bench::runner::PolicyKind;
+use ceio_bench::runner::{PolicyKind, CHAOS_COMPILED};
 use ceio_bench::workloads::{self, AppKind, Transport};
+use ceio_chaos::FaultPlan;
 use ceio_host::Machine;
 use ceio_sim::{Duration, Time};
 use ceio_telemetry::{chrome_trace_json, json};
@@ -43,6 +51,7 @@ struct Args {
     ring: usize,
     trace_out: String,
     prom_out: String,
+    plan: Option<FaultPlan>,
 }
 
 /// Parse a required numeric flag value; exit(2) when missing or malformed.
@@ -59,6 +68,26 @@ fn parse_num(flag: &str, value: Option<&String>) -> u64 {
     }
 }
 
+/// Resolve `--seed`/`--fault-plan` into an armed plan, exiting 2 on a
+/// malformed spec or on a plan this build cannot apply.
+fn resolve_fault_plan(spec: Option<&String>, seed: u64) -> Option<FaultPlan> {
+    let spec = spec?;
+    if !CHAOS_COMPILED {
+        eprintln!(
+            "--fault-plan requires a binary built with `--features chaos` \
+             (this build would silently ignore the plan)"
+        );
+        std::process::exit(2);
+    }
+    match FaultPlan::parse(spec, seed) {
+        Ok(p) => Some(p),
+        Err(e) => {
+            eprintln!("--fault-plan {spec:?}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn parse_args() -> Args {
     let mut a = Args {
         policy: PolicyKind::Ceio,
@@ -68,7 +97,10 @@ fn parse_args() -> Args {
         ring: 1 << 16,
         trace_out: "ceio-inspect-trace.json".to_string(),
         prom_out: "ceio-inspect-metrics.prom".to_string(),
+        plan: None,
     };
+    let mut seed = 0u64;
+    let mut plan_spec: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -122,6 +154,20 @@ fn parse_args() -> Args {
                     }
                 };
             }
+            "--seed" => {
+                i += 1;
+                seed = parse_num("--seed", args.get(i));
+            }
+            "--fault-plan" => {
+                i += 1;
+                plan_spec = match args.get(i) {
+                    Some(s) => Some(s.clone()),
+                    None => {
+                        eprintln!("--fault-plan requires a spec (canned name or key=value list)");
+                        std::process::exit(2);
+                    }
+                };
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -129,6 +175,7 @@ fn parse_args() -> Args {
         }
         i += 1;
     }
+    a.plan = resolve_fault_plan(plan_spec.as_ref(), seed);
     a
 }
 
@@ -192,6 +239,12 @@ fn main() {
     sim.model.arm_trace(a.ring);
     #[cfg(not(feature = "trace"))]
     eprintln!("note: built without the `trace` feature; the event trace will be empty");
+    #[cfg(feature = "chaos")]
+    if let Some(plan) = a.plan.as_ref() {
+        sim.model.arm_chaos(plan);
+    }
+    #[cfg(not(feature = "chaos"))]
+    debug_assert!(a.plan.is_none(), "resolve_fault_plan exits without chaos");
 
     let warmup = Duration::millis(a.warmup_ms);
     let measure = Duration::millis(a.millis);

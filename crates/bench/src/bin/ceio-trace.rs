@@ -4,19 +4,29 @@
 //! ```text
 //! ceio-trace [--policy baseline|hostcc|shring|ceio] \
 //!            [--scenario kv|mixed|dynamic|burst]    \
-//!            [--millis N] [--warmup-ms N] [--out FILE]
+//!            [--millis N] [--warmup-ms N] [--out FILE] \
+//!            [--seed N] [--fault-plan SPEC]
 //! ```
 //!
 //! Columns: `t_ms, involved_mpps, bypass_gbps, llc_miss_rate, fast_gbps,
 //! slow_gbps, drops`.
+//!
+//! `--fault-plan` accepts a canned plan name (`smoke`, `credit-storm`,
+//! `dma-flaky`, `nic-pressure`) or a comma-separated `key=value` spec
+//! (`dma-write-fault=0.05,consumer-pause=10us`); `--seed` fixes the
+//! injection RNG so two invocations with the same flags emit
+//! byte-identical CSV. A malformed spec exits 2, as does requesting a
+//! plan from a binary built without the `chaos` feature (silently
+//! ignoring a requested fault schedule would misreport the experiment).
 
 // CLI entry point: exiting with status 2 on a bad argument is the intended
 // operator-facing behavior (the workspace denies `clippy::exit` for library
 // code, where aborting the process is never acceptable).
 #![allow(clippy::exit)]
 
-use ceio_bench::runner::{run_one, PolicyKind};
+use ceio_bench::runner::{run_one_faulted, series_csv, PolicyKind, CHAOS_COMPILED};
 use ceio_bench::workloads::{self, AppKind, Transport};
+use ceio_chaos::FaultPlan;
 use ceio_sim::Duration;
 use std::io::Write;
 
@@ -27,7 +37,7 @@ fn parse_millis(flag: &str, value: Option<&String>) -> u64 {
         Some(Ok(v)) => v,
         Some(Err(_)) | None => {
             eprintln!(
-                "{flag} requires a numeric millisecond value, got {:?}",
+                "{flag} requires a numeric value, got {:?}",
                 value.map(String::as_str).unwrap_or("<missing>")
             );
             std::process::exit(2);
@@ -35,12 +45,41 @@ fn parse_millis(flag: &str, value: Option<&String>) -> u64 {
     }
 }
 
-fn parse_args() -> (PolicyKind, String, u64, u64, Option<String>) {
+/// Resolve `--seed`/`--fault-plan` into an armed plan, exiting 2 on a
+/// malformed spec or on a plan this build cannot apply.
+fn resolve_fault_plan(spec: Option<&String>, seed: u64) -> Option<FaultPlan> {
+    let spec = spec?;
+    if !CHAOS_COMPILED {
+        eprintln!(
+            "--fault-plan requires a binary built with `--features chaos` \
+             (this build would silently ignore the plan)"
+        );
+        std::process::exit(2);
+    }
+    match FaultPlan::parse(spec, seed) {
+        Ok(p) => Some(p),
+        Err(e) => {
+            eprintln!("--fault-plan {spec:?}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_args() -> (
+    PolicyKind,
+    String,
+    u64,
+    u64,
+    Option<String>,
+    Option<FaultPlan>,
+) {
     let mut policy = PolicyKind::Ceio;
     let mut scenario = "kv".to_string();
     let mut millis = 10u64;
     let mut warmup_ms = 1u64;
     let mut out = None;
+    let mut seed = 0u64;
+    let mut plan_spec: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -74,6 +113,20 @@ fn parse_args() -> (PolicyKind, String, u64, u64, Option<String>) {
                 i += 1;
                 out = args.get(i).cloned();
             }
+            "--seed" => {
+                i += 1;
+                seed = parse_millis("--seed", args.get(i));
+            }
+            "--fault-plan" => {
+                i += 1;
+                plan_spec = match args.get(i) {
+                    Some(s) => Some(s.clone()),
+                    None => {
+                        eprintln!("--fault-plan requires a spec (canned name or key=value list)");
+                        std::process::exit(2);
+                    }
+                };
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -81,11 +134,12 @@ fn parse_args() -> (PolicyKind, String, u64, u64, Option<String>) {
         }
         i += 1;
     }
-    (policy, scenario, millis, warmup_ms, out)
+    let plan = resolve_fault_plan(plan_spec.as_ref(), seed);
+    (policy, scenario, millis, warmup_ms, out, plan)
 }
 
 fn main() {
-    let (policy, scenario, millis, warmup_ms, out) = parse_args();
+    let (policy, scenario, millis, warmup_ms, out, plan) = parse_args();
     let mut host = workloads::contended_host(Transport::Dpdk);
     host.sample_window = Duration::micros(100);
     let link = host.net.link_bandwidth;
@@ -103,44 +157,18 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let report = run_one(
+    let report = run_one_faulted(
         host,
         policy,
         scen,
         workloads::app_factory(app),
         Duration::millis(warmup_ms),
         Duration::millis(millis),
+        plan.as_ref(),
     );
 
-    let mut csv =
-        String::from("t_ms,involved_mpps,bypass_gbps,llc_miss_rate,fast_gbps,slow_gbps,drops\n");
-    let series = [
-        &report.involved_mpps_series,
-        &report.bypass_gbps_series,
-        &report.miss_series,
-        &report.fast_gbps_series,
-        &report.slow_gbps_series,
-        &report.drops_series,
-    ];
-    let n = series.iter().map(|s| s.points.len()).min().unwrap_or(0);
-    for i in 0..n {
-        let (t, mpps) = series[0].points[i];
-        let (_, gbps) = series[1].points[i];
-        let (_, miss) = series[2].points[i];
-        let (_, fast) = series[3].points[i];
-        let (_, slow) = series[4].points[i];
-        let (_, drops) = series[5].points[i];
-        csv.push_str(&format!(
-            "{:.3},{:.4},{:.4},{:.4},{:.4},{:.4},{:.0}\n",
-            t.as_millis_f64(),
-            mpps,
-            gbps,
-            miss,
-            fast,
-            slow,
-            drops
-        ));
-    }
+    let csv = series_csv(&report);
+    let n = csv.lines().count().saturating_sub(1);
     match out {
         Some(path) => {
             let mut f = std::fs::File::create(&path).expect("create output file");

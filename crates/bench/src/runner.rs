@@ -8,6 +8,7 @@
 //! independent runs only.
 
 use ceio_baselines::{HostCcConfig, HostCcPolicy, ShRingConfig, ShRingPolicy, UnmanagedPolicy};
+use ceio_chaos::FaultPlan;
 use ceio_core::{CeioConfig, CeioPolicy};
 use ceio_host::{
     run_to_report, AppFactory, DrainRequest, HostConfig, HostState, IoPolicy, Machine, RunReport,
@@ -156,11 +157,19 @@ impl IoPolicy for AnyPolicy {
     fn arm_trace(&mut self, cap: usize) {
         delegate!(self, p => p.arm_trace(cap))
     }
+    #[cfg(feature = "chaos")]
+    fn arm_chaos(&mut self, st: &mut HostState, plan: &ceio_chaos::FaultPlan) {
+        delegate!(self, p => p.arm_chaos(st, plan))
+    }
     #[cfg(feature = "trace")]
     fn take_trace(&mut self) -> (Vec<ceio_telemetry::TraceEvent>, u64) {
         delegate!(self, p => p.take_trace())
     }
 }
+
+/// Whether fault injection is compiled into this build. CLIs use this to
+/// refuse a `--fault-plan` they could only silently ignore.
+pub const CHAOS_COMPILED: bool = cfg!(feature = "chaos");
 
 /// One experiment run: build the machine, warm up, measure, report.
 pub fn run_one(
@@ -171,10 +180,22 @@ pub fn run_one(
     warmup: Duration,
     measure: Duration,
 ) -> RunReport {
-    let policy = kind.build(&host);
-    let mut sim = Machine::build(host, policy, scenario, factory);
-    let mut report = run_to_report(&mut sim, warmup, measure);
-    report.policy = kind.name().to_string();
+    run_one_faulted(host, kind, scenario, factory, warmup, measure, None)
+}
+
+/// [`run_one`] with an optional fault plan armed across every machine
+/// layer before the run starts. Without the `chaos` feature the plan
+/// cannot be applied and is ignored (callers gate on [`CHAOS_COMPILED`]).
+pub fn run_one_faulted(
+    host: HostConfig,
+    kind: PolicyKind,
+    scenario: Scenario,
+    factory: AppFactory,
+    warmup: Duration,
+    measure: Duration,
+    plan: Option<&FaultPlan>,
+) -> RunReport {
+    let (report, _sim) = run_one_keep_faulted(host, kind, scenario, factory, warmup, measure, plan);
     report
 }
 
@@ -188,11 +209,66 @@ pub fn run_one_keep(
     warmup: Duration,
     measure: Duration,
 ) -> (RunReport, ceio_sim::Simulation<Machine<AnyPolicy>>) {
+    run_one_keep_faulted(host, kind, scenario, factory, warmup, measure, None)
+}
+
+/// [`run_one_keep`] with an optional fault plan (see [`run_one_faulted`]).
+pub fn run_one_keep_faulted(
+    host: HostConfig,
+    kind: PolicyKind,
+    scenario: Scenario,
+    factory: AppFactory,
+    warmup: Duration,
+    measure: Duration,
+    plan: Option<&FaultPlan>,
+) -> (RunReport, ceio_sim::Simulation<Machine<AnyPolicy>>) {
     let policy = kind.build(&host);
     let mut sim = Machine::build(host, policy, scenario, factory);
+    #[cfg(feature = "chaos")]
+    if let Some(p) = plan {
+        sim.model.arm_chaos(p);
+    }
+    #[cfg(not(feature = "chaos"))]
+    let _ = plan;
     let mut report = run_to_report(&mut sim, warmup, measure);
     report.policy = kind.name().to_string();
     (report, sim)
+}
+
+/// Render a report's measurement time series as the `ceio-trace` CSV
+/// document (shared by the CLI and the determinism tests so "byte
+/// identical CSV" means the real output format).
+pub fn series_csv(report: &RunReport) -> String {
+    let mut csv =
+        String::from("t_ms,involved_mpps,bypass_gbps,llc_miss_rate,fast_gbps,slow_gbps,drops\n");
+    let series = [
+        &report.involved_mpps_series,
+        &report.bypass_gbps_series,
+        &report.miss_series,
+        &report.fast_gbps_series,
+        &report.slow_gbps_series,
+        &report.drops_series,
+    ];
+    let n = series.iter().map(|s| s.points.len()).min().unwrap_or(0);
+    for i in 0..n {
+        let (t, mpps) = series[0].points[i];
+        let (_, gbps) = series[1].points[i];
+        let (_, miss) = series[2].points[i];
+        let (_, fast) = series[3].points[i];
+        let (_, slow) = series[4].points[i];
+        let (_, drops) = series[5].points[i];
+        csv.push_str(&format!(
+            "{:.3},{:.4},{:.4},{:.4},{:.4},{:.4},{:.0}\n",
+            t.as_millis_f64(),
+            mpps,
+            gbps,
+            miss,
+            fast,
+            slow,
+            drops
+        ));
+    }
+    csv
 }
 
 /// Run independent jobs in parallel (one OS thread each, results returned

@@ -49,6 +49,20 @@ pub struct CeioConfig {
     /// per-packet ECN marks on slow-path arrivals and as a controller-poll
     /// trigger (§4.1 Q2). Sized like a shallow DCTCP marking threshold.
     pub slow_overload_threshold: usize,
+    /// On-NIC elastic-store occupancy fraction at which the controller
+    /// enters *degraded mode*: the slow path is judged unusable (the store
+    /// is about to reject writes) and CEIO falls back to the drop-based
+    /// DDIO behaviour of the legacy datapath — fast path while credits
+    /// last, drops otherwise — instead of parking into a full store.
+    pub degraded_enter_fraction: f64,
+    /// Occupancy fraction the store must fall back under before the
+    /// controller *starts counting* calm polls toward leaving degraded
+    /// mode (hysteresis: strictly below the enter threshold so the mode
+    /// cannot flap at the boundary).
+    pub degraded_exit_fraction: f64,
+    /// Consecutive calm controller polls (occupancy under the exit
+    /// fraction, no new store rejections) required to leave degraded mode.
+    pub degraded_exit_polls: u32,
 }
 
 impl Default for CeioConfig {
@@ -65,6 +79,9 @@ impl Default for CeioConfig {
             credit_low_watermark: 64,
             bypass_msg_threshold: 64,
             slow_overload_threshold: 32,
+            degraded_enter_fraction: 0.9,
+            degraded_exit_fraction: 0.5,
+            degraded_exit_polls: 3,
         }
     }
 }

@@ -25,12 +25,11 @@
 //!   pool and are re-granted evenly to active flows.
 
 use ceio_net::FlowId;
-#[cfg(feature = "trace")]
-use ceio_sim::Time;
+use ceio_sim::{Duration, Time};
 #[cfg(feature = "trace")]
 use ceio_telemetry::{TraceEvent, TraceKind, TraceRing};
 use serde::Serialize;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 /// Per-flow credit state.
 #[derive(Debug, Default, Clone, Serialize)]
@@ -51,6 +50,37 @@ pub struct CreditStats {
     pub debts_repaid: u64,
     /// Reclaim operations (inactive-flow recycling).
     pub reclaims: u64,
+    /// Credits reclaimed by the lease watchdog (a grant whose release
+    /// never arrived within the TTL).
+    pub lease_reclaims: u64,
+    /// Late releases dropped because the watchdog had already reclaimed
+    /// their grant (double-return prevention).
+    pub stale_releases: u64,
+}
+
+/// Per-grant expiry tracking, armed at runtime via
+/// [`CreditManager::enable_leases`].
+///
+/// Every successful [`CreditManager::try_consume`] records a lease that
+/// expires `ttl` after the grant; the controller's watchdog
+/// ([`CreditManager::expire_leases`]) moves expired grants from
+/// `outstanding` back to the free pool, so a *lost* lazy release can no
+/// longer strand credits forever. A release that arrives *after* its
+/// lease expired finds no live lease and is ignored (the credits were
+/// already reclaimed) — this is what keeps Eq. 1 conservation exact in
+/// the face of both loss and late delivery.
+///
+/// Grants are pushed in nondecreasing time order, so each per-flow queue
+/// is sorted and expiry is a prefix pop.
+#[derive(Debug, Clone)]
+struct LeaseTable {
+    ttl: Duration,
+    now: Time,
+    /// Expiry instants of live leases, per flow, oldest first.
+    expiries: HashMap<FlowId, VecDeque<Time>>,
+    /// Live leases across all flows (== `outstanding` when armed from the
+    /// first grant; asserted by the audit layer).
+    live: u64,
 }
 
 /// The CEIO credit manager (Algorithm 1).
@@ -84,6 +114,8 @@ pub struct CreditManager {
     free_pool: u64,
     /// Credits currently held by in-flight packets.
     outstanding: u64,
+    /// Per-grant leases (`None` until armed; one pointer test per hook).
+    leases: Option<Box<LeaseTable>>,
     stats: CreditStats,
     #[cfg(feature = "trace")]
     tracer: Option<TraceRing>,
@@ -103,6 +135,7 @@ impl CreditManager {
             insufficient: BTreeSet::new(),
             free_pool: total,
             outstanding: 0,
+            leases: None,
             stats: CreditStats::default(),
             #[cfg(feature = "trace")]
             tracer: None,
@@ -217,6 +250,123 @@ impl CreditManager {
     #[must_use]
     pub fn conserved(&self) -> bool {
         self.assigned_total() + self.free_pool + self.outstanding == self.total
+    }
+
+    /// Arm per-grant credit leases with the given time-to-live.
+    ///
+    /// From this point every successful [`CreditManager::try_consume`]
+    /// carries a lease; [`CreditManager::expire_leases`] (the controller
+    /// watchdog) reclaims grants whose release never arrived within `ttl`.
+    /// Arm before the first consumption so `live_leases() == outstanding`
+    /// holds throughout (pre-existing outstanding grants are unleased and
+    /// can still only return via their release).
+    pub fn enable_leases(&mut self, ttl: Duration) {
+        self.leases = Some(Box::new(LeaseTable {
+            ttl,
+            now: Time::ZERO,
+            expiries: HashMap::new(),
+            live: 0,
+        }));
+    }
+
+    /// Whether leases are armed.
+    #[must_use]
+    pub fn leases_enabled(&self) -> bool {
+        self.leases.is_some()
+    }
+
+    /// Live (unexpired, unreleased) leases across all flows. 0 when
+    /// leases are disarmed.
+    #[must_use]
+    pub fn live_leases(&self) -> u64 {
+        self.leases.as_ref().map(|l| l.live).unwrap_or(0)
+    }
+
+    /// Stamp the simulated clock used for lease grants and expiry. The
+    /// manager is clockless, so the policy stamps this at hook entry;
+    /// calls are monotone because simulation time is.
+    #[inline]
+    pub fn set_now(&mut self, now: Time) {
+        if let Some(l) = self.leases.as_mut() {
+            l.now = now;
+        }
+    }
+
+    /// Consume up to `gamma` live leases of flow `f` (oldest first) and
+    /// return how many were actually live. The difference is the number
+    /// of *stale* returns: grants the watchdog already reclaimed, whose
+    /// credits must not be returned a second time.
+    #[inline]
+    fn take_leases(&mut self, f: FlowId, gamma: u64) -> u64 {
+        let Some(l) = self.leases.as_mut() else {
+            return gamma;
+        };
+        let Some(q) = l.expiries.get_mut(&f) else {
+            self.stats.stale_releases += gamma;
+            return 0;
+        };
+        let take = gamma.min(q.len() as u64);
+        for _ in 0..take {
+            q.pop_front();
+        }
+        if q.is_empty() {
+            l.expiries.remove(&f);
+        }
+        l.live -= take;
+        self.stats.stale_releases += gamma - take;
+        take
+    }
+
+    /// Lease watchdog: reclaim every grant whose TTL elapsed, moving its
+    /// credit from `outstanding` back to the free pool. Returns the
+    /// number of credits reclaimed. Call from the controller poll (the
+    /// natural periodic hook); a no-op when leases are disarmed or
+    /// nothing expired.
+    #[must_use]
+    pub fn expire_leases(&mut self) -> u64 {
+        let Some(l) = self.leases.as_mut() else {
+            return 0;
+        };
+        let now = l.now;
+        let mut expired_total = 0u64;
+        #[cfg(feature = "trace")]
+        let mut per_flow: Vec<(FlowId, u64)> = Vec::new();
+        l.expiries.retain(|_f, q| {
+            let mut expired = 0u64;
+            while let Some(&e) = q.front() {
+                if e <= now {
+                    q.pop_front();
+                    expired += 1;
+                } else {
+                    break;
+                }
+            }
+            if expired > 0 {
+                #[cfg(feature = "trace")]
+                per_flow.push((*_f, expired));
+                expired_total += expired;
+            }
+            !q.is_empty()
+        });
+        if expired_total > 0 {
+            l.live -= expired_total;
+            debug_assert!(
+                expired_total <= self.outstanding,
+                "lease ledger exceeds outstanding grants"
+            );
+            self.outstanding -= expired_total.min(self.outstanding);
+            self.free_pool += expired_total;
+            self.stats.lease_reclaims += expired_total;
+            #[cfg(feature = "trace")]
+            {
+                per_flow.sort_unstable_by_key(|&(f, _)| f);
+                for (f, n) in per_flow {
+                    self.trace(f, TraceKind::CreditLeaseReclaim, n);
+                }
+            }
+        }
+        debug_assert!(self.conserved(), "expire_leases broke Eq. 1 conservation");
+        expired_total
     }
 
     /// Algorithm 1, assignment: admit `new` flows, redistributing credits
@@ -338,6 +488,10 @@ impl CreditManager {
                 fc.credits -= 1;
                 self.outstanding += 1;
                 self.stats.consumed += 1;
+                if let Some(l) = self.leases.as_mut() {
+                    l.expiries.entry(f).or_default().push_back(l.now + l.ttl);
+                    l.live += 1;
+                }
                 true
             }
             _ => {
@@ -361,8 +515,13 @@ impl CreditManager {
 
     /// Algorithm 1, release: `gamma` credits return from consumed packets
     /// of flow `f`. Debtors repay creditors first, evenly.
+    ///
+    /// With leases armed, only grants whose lease is still live actually
+    /// return; a late release racing the watchdog is dropped (counted in
+    /// [`CreditStats::stale_releases`]) because its credits were already
+    /// reclaimed to the pool.
     pub fn release(&mut self, f: FlowId, gamma: u64) {
-        let gamma = gamma.min(self.outstanding);
+        let gamma = self.take_leases(f, gamma).min(self.outstanding);
         self.outstanding -= gamma;
         let Some(fc) = self.flows.get_mut(&f) else {
             // Flow torn down: returned credits go to the pool.
@@ -424,8 +583,8 @@ impl CreditManager {
     /// instead of back to the flow — the §4.1 Q3 reallocation applied to a
     /// flow detected as slow-path resident (likely CPU-bypass): its
     /// returning credits fund fast-path flows rather than re-admitting it.
-    pub fn release_to_pool(&mut self, _f: FlowId, gamma: u64) {
-        let gamma = gamma.min(self.outstanding);
+    pub fn release_to_pool(&mut self, f: FlowId, gamma: u64) {
+        let gamma = self.take_leases(f, gamma).min(self.outstanding);
         self.outstanding -= gamma;
         self.free_pool += gamma;
         debug_assert!(self.conserved(), "release_to_pool broke Eq. 1 conservation");
@@ -496,17 +655,19 @@ impl CreditManager {
     /// Deliberately leak one credit from the free pool **without**
     /// adjusting any other account — a conservation (Eq. 1) violation.
     ///
-    /// Only compiled under the `mutation-hooks` feature; the audit test
-    /// suite uses it to prove the invariant layer catches real bugs
-    /// (a check that can never fire verifies nothing).
-    #[cfg(feature = "mutation-hooks")]
+    /// Only compiled in test builds or under the `chaos` feature; the
+    /// audit test suite uses it to prove the invariant layer catches real
+    /// bugs (a check that can never fire verifies nothing). Release
+    /// builds without `chaos` cannot leak or mint credits.
+    #[cfg(any(test, feature = "chaos"))]
     pub fn leak_credit_for_tests(&mut self) {
         self.free_pool = self.free_pool.saturating_sub(1);
     }
 
     /// Deliberately mint one credit for flow `f` out of thin air (an
-    /// overdraft-enabling mutation). Only compiled under `mutation-hooks`.
-    #[cfg(feature = "mutation-hooks")]
+    /// overdraft-enabling mutation). Only compiled in test builds or
+    /// under the `chaos` feature.
+    #[cfg(any(test, feature = "chaos"))]
     pub fn mint_credit_for_tests(&mut self, f: FlowId) {
         if let Some(fc) = self.flows.get_mut(&f) {
             fc.credits += 1;
@@ -681,6 +842,135 @@ mod tests {
         let sum: u64 = (0..40).map(|i| cm.credits(FlowId(i))).sum();
         assert!(sum <= 3072);
         assert!(sum > 3072 - 80, "rounding loss bounded, sum={sum}");
+    }
+
+    #[test]
+    fn lease_expiry_reclaims_lost_release() {
+        let mut cm = CreditManager::new(4);
+        cm.enable_leases(Duration::nanos(100));
+        cm.add_flows(&ids(&[1]));
+        cm.set_now(Time(0));
+        assert!(cm.try_consume(FlowId(1)));
+        assert!(cm.try_consume(FlowId(1)));
+        assert_eq!(cm.live_leases(), 2);
+        assert_eq!(cm.outstanding(), 2);
+        // Both releases are lost. Before the TTL nothing happens…
+        cm.set_now(Time(99));
+        assert_eq!(cm.expire_leases(), 0);
+        // …after it the watchdog moves the grants back to the pool.
+        cm.set_now(Time(150));
+        assert_eq!(cm.expire_leases(), 2);
+        assert_eq!(cm.live_leases(), 0);
+        assert_eq!(cm.outstanding(), 0);
+        assert_eq!(cm.free_pool(), 2);
+        assert_eq!(cm.stats().lease_reclaims, 2);
+        assert!(cm.conserved());
+    }
+
+    #[test]
+    fn late_release_after_reclaim_is_dropped() {
+        let mut cm = CreditManager::new(4);
+        cm.enable_leases(Duration::nanos(50));
+        cm.add_flows(&ids(&[1]));
+        cm.set_now(Time(0));
+        assert!(cm.try_consume(FlowId(1)));
+        cm.set_now(Time(100));
+        assert_eq!(cm.expire_leases(), 1);
+        let pool = cm.free_pool();
+        let credits = cm.credits(FlowId(1));
+        // The delayed release finally lands: its grant is gone, so the
+        // credit must NOT return twice.
+        cm.release(FlowId(1), 1);
+        assert_eq!(cm.free_pool(), pool);
+        assert_eq!(cm.credits(FlowId(1)), credits);
+        assert_eq!(cm.stats().stale_releases, 1);
+        assert!(cm.conserved());
+    }
+
+    #[test]
+    fn timely_release_pops_lease_and_returns_normally() {
+        let mut cm = CreditManager::new(4);
+        cm.enable_leases(Duration::nanos(100));
+        cm.add_flows(&ids(&[1]));
+        cm.set_now(Time(0));
+        assert!(cm.try_consume(FlowId(1)));
+        cm.set_now(Time(40));
+        cm.release(FlowId(1), 1);
+        assert_eq!(cm.live_leases(), 0);
+        assert_eq!(cm.credits(FlowId(1)), 4);
+        assert_eq!(cm.stats().stale_releases, 0);
+        // Nothing left for the watchdog.
+        cm.set_now(Time(500));
+        assert_eq!(cm.expire_leases(), 0);
+        assert!(cm.conserved());
+    }
+
+    #[test]
+    fn partial_expiry_pops_only_old_grants() {
+        let mut cm = CreditManager::new(4);
+        cm.enable_leases(Duration::nanos(100));
+        cm.add_flows(&ids(&[1]));
+        cm.set_now(Time(0));
+        assert!(cm.try_consume(FlowId(1)));
+        cm.set_now(Time(80));
+        assert!(cm.try_consume(FlowId(1)));
+        cm.set_now(Time(120)); // first lease (expiry 100) is dead, second (180) alive
+        assert_eq!(cm.expire_leases(), 1);
+        assert_eq!(cm.live_leases(), 1);
+        assert_eq!(cm.outstanding(), 1);
+        // The live grant still releases normally.
+        cm.release(FlowId(1), 1);
+        assert_eq!(cm.outstanding(), 0);
+        assert!(cm.conserved());
+    }
+
+    #[test]
+    fn release_to_pool_consumes_leases_too() {
+        let mut cm = CreditManager::new(4);
+        cm.enable_leases(Duration::nanos(100));
+        cm.add_flows(&ids(&[1]));
+        cm.set_now(Time(0));
+        assert!(cm.try_consume(FlowId(1)));
+        cm.release_to_pool(FlowId(1), 1);
+        assert_eq!(cm.live_leases(), 0);
+        assert_eq!(cm.free_pool(), 1);
+        // Watchdog finds nothing: no double return.
+        cm.set_now(Time(500));
+        assert_eq!(cm.expire_leases(), 0);
+        assert!(cm.conserved());
+    }
+
+    #[test]
+    fn leases_survive_flow_removal() {
+        let mut cm = CreditManager::new(4);
+        cm.enable_leases(Duration::nanos(50));
+        cm.add_flows(&ids(&[1]));
+        cm.set_now(Time(0));
+        assert!(cm.try_consume(FlowId(1)));
+        cm.remove_flow(FlowId(1));
+        assert_eq!(cm.outstanding(), 1);
+        // The in-flight grant's release was lost and the flow is gone:
+        // only the watchdog can recover the credit.
+        cm.set_now(Time(100));
+        assert_eq!(cm.expire_leases(), 1);
+        assert_eq!(cm.outstanding(), 0);
+        assert_eq!(cm.free_pool(), 4);
+        assert!(cm.conserved());
+    }
+
+    #[test]
+    fn disarmed_leases_are_inert() {
+        let mut cm = CreditManager::new(4);
+        cm.add_flows(&ids(&[1]));
+        assert!(!cm.leases_enabled());
+        assert!(cm.try_consume(FlowId(1)));
+        assert_eq!(cm.live_leases(), 0);
+        cm.set_now(Time(1_000_000));
+        assert_eq!(cm.expire_leases(), 0);
+        cm.release(FlowId(1), 1);
+        assert_eq!(cm.credits(FlowId(1)), 4);
+        assert_eq!(cm.stats().stale_releases, 0);
+        assert!(cm.conserved());
     }
 
     #[test]

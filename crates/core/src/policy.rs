@@ -25,6 +25,8 @@
 
 use crate::config::CeioConfig;
 use crate::credit::CreditManager;
+#[cfg(feature = "chaos")]
+use ceio_chaos::{FaultInjector, FaultSite};
 use ceio_host::{DrainRequest, HostState, IoPolicy, SteerDecision};
 use ceio_net::{FlowId, Packet};
 use ceio_nic::SteerAction;
@@ -75,6 +77,41 @@ pub struct CeioStats {
     pub deprioritized_marks: u64,
     /// Round-robin re-activations.
     pub rr_reactivations: u64,
+    /// Entries into degraded (drop-fallback) mode.
+    pub degraded_entries: u64,
+    /// Exits from degraded mode (hysteretic recovery).
+    pub degraded_exits: u64,
+}
+
+/// Controller operating mode (graceful degradation, ROADMAP item: the
+/// elastic store can become unusable — injected exhaustion or a genuinely
+/// full device — and CEIO must fail *back to* legacy DDIO drop behaviour
+/// rather than parking packets into a full store).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Normal operation: elastic buffering absorbs credit exhaustion.
+    Normal,
+    /// Drop-fallback: slow path unusable, behave like the legacy datapath.
+    Degraded,
+}
+
+/// A lazy release parked in flight by an injected delay fault.
+#[cfg(feature = "chaos")]
+#[derive(Debug, Clone)]
+struct DelayedRelease {
+    at: Time,
+    flow: FlowId,
+    credits: u64,
+    to_pool: bool,
+}
+
+/// Policy-side chaos state: the injector stream plus releases currently
+/// delayed on the (simulated) NIC-host control path.
+#[cfg(feature = "chaos")]
+#[derive(Debug)]
+struct PolicyChaos {
+    injector: FaultInjector,
+    delayed: Vec<DelayedRelease>,
 }
 
 /// The CEIO policy.
@@ -87,6 +124,11 @@ pub struct CeioPolicy {
     rr_cursor: usize,
     next_rr: Time,
     stats: CeioStats,
+    mode: Mode,
+    calm_polls: u32,
+    rejections_at_last_poll: u64,
+    #[cfg(feature = "chaos")]
+    chaos: Option<Box<PolicyChaos>>,
     /// Controller-level trace recorder (rule rewrites, phase
     /// transitions, lazy releases); `None` until armed.
     #[cfg(feature = "trace")]
@@ -109,9 +151,28 @@ impl CeioPolicy {
             next_rr: Time::ZERO + cfg.rr_reactivate_interval,
             cfg,
             stats: CeioStats::default(),
+            mode: Mode::Normal,
+            calm_polls: 0,
+            rejections_at_last_poll: 0,
+            #[cfg(feature = "chaos")]
+            chaos: None,
             #[cfg(feature = "trace")]
             tracer: None,
         }
+    }
+
+    /// Whether the controller is in degraded (drop-fallback) mode.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        self.mode == Mode::Degraded
+    }
+
+    /// Per-site injection counters of the policy's chaos stream (`None`
+    /// until [`IoPolicy::arm_chaos`] arms it).
+    #[cfg(feature = "chaos")]
+    #[must_use]
+    pub fn chaos_stats(&self) -> Option<&ceio_chaos::ChaosStats> {
+        self.chaos.as_ref().map(|ch| ch.injector.stats())
     }
 
     /// Controller statistics.
@@ -125,13 +186,167 @@ impl CeioPolicy {
     }
 
     /// Rewrite a flow's steering rule if it differs, charging the ARM core.
+    /// An armed chaos plan may inject an RMT install delay: the table
+    /// update takes extra ARM time (modelling a slow firmware path), which
+    /// delays this and every later control-plane operation.
     fn sync_rule(&mut self, st: &mut HostState, now: Time, flow: FlowId, want: SteerAction) {
         let prev = st.rmt.action(&flow);
         if prev != Some(want) && st.rmt.set_action(&flow, want) {
             st.nic_arm.execute(now, st.cfg.nic.arm_table_update);
+            #[cfg(feature = "chaos")]
+            if let Some(ch) = self.chaos.as_mut() {
+                if ch.injector.fire(FaultSite::RmtInstallDelay) {
+                    let extra = ch.injector.plan().rmt_delay;
+                    st.nic_arm.execute(now, extra);
+                    #[cfg(feature = "trace")]
+                    if let Some(r) = self.tracer.as_mut() {
+                        r.push(TraceEvent {
+                            at: now,
+                            flow: Some(flow.0),
+                            kind: TraceKind::RmtDelay,
+                            value: extra.as_nanos(),
+                        });
+                    }
+                }
+            }
             self.stats.rule_rewrites += 1;
             #[cfg(feature = "trace")]
             self.trace_rewrite(now, flow, prev, want);
+        }
+    }
+
+    /// Enter degraded mode (idempotent).
+    fn enter_degraded(&mut self, now: Time) {
+        if self.mode == Mode::Degraded {
+            return;
+        }
+        self.mode = Mode::Degraded;
+        self.calm_polls = 0;
+        self.stats.degraded_entries += 1;
+        #[cfg(feature = "trace")]
+        if let Some(r) = self.tracer.as_mut() {
+            r.push(TraceEvent {
+                at: now,
+                flow: None,
+                kind: TraceKind::DegradedEnter,
+                value: 0,
+            });
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = now;
+    }
+
+    /// Leave degraded mode (idempotent).
+    fn exit_degraded(&mut self, now: Time) {
+        if self.mode == Mode::Normal {
+            return;
+        }
+        self.mode = Mode::Normal;
+        self.calm_polls = 0;
+        self.stats.degraded_exits += 1;
+        #[cfg(feature = "trace")]
+        if let Some(r) = self.tracer.as_mut() {
+            r.push(TraceEvent {
+                at: now,
+                flow: None,
+                kind: TraceKind::DegradedExit,
+                value: 0,
+            });
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = now;
+    }
+
+    /// Degraded-mode entry check: the elastic store is (nearly) full, or it
+    /// rejected a write since the last check. `rejections_at_last_poll` is
+    /// advanced only by the controller poll, so per-packet checks between
+    /// polls all see the same baseline — cheap and deterministic.
+    fn check_store_pressure(&mut self, st: &HostState, now: Time) {
+        if self.mode == Mode::Degraded {
+            return;
+        }
+        let cap = st.onboard.capacity().max(1);
+        let frac = st.onboard.occupancy() as f64 / cap as f64;
+        let rejected = st.onboard.stats().capacity_rejections > self.rejections_at_last_poll;
+        if frac >= self.cfg.degraded_enter_fraction || rejected {
+            self.enter_degraded(now);
+        }
+    }
+
+    /// Deliver one lazy credit release, subject to chaos: the release may
+    /// be lost on the NIC-host control path (the manager never hears of it;
+    /// the lease watchdog reclaims the grants at TTL expiry) or delayed
+    /// (parked until a later controller poll re-delivers it — by which time
+    /// the leases may already have been reclaimed, in which case the stale
+    /// release is dropped rather than double-credited).
+    fn deliver_release(&mut self, now: Time, flow: FlowId, credits: u64, to_pool: bool) {
+        #[cfg(feature = "chaos")]
+        if let Some(ch) = self.chaos.as_mut() {
+            if ch.injector.fire(FaultSite::CreditReleaseLoss) {
+                #[cfg(feature = "trace")]
+                if let Some(r) = self.tracer.as_mut() {
+                    r.push(TraceEvent {
+                        at: now,
+                        flow: Some(flow.0),
+                        kind: TraceKind::CreditReleaseLost,
+                        value: credits,
+                    });
+                }
+                return;
+            }
+            if ch.injector.fire(FaultSite::CreditReleaseDelay) {
+                let at = now + ch.injector.plan().release_delay;
+                ch.delayed.push(DelayedRelease {
+                    at,
+                    flow,
+                    credits,
+                    to_pool,
+                });
+                #[cfg(feature = "trace")]
+                if let Some(r) = self.tracer.as_mut() {
+                    r.push(TraceEvent {
+                        at: now,
+                        flow: Some(flow.0),
+                        kind: TraceKind::CreditReleaseDelayed,
+                        value: credits,
+                    });
+                }
+                return;
+            }
+        }
+        #[cfg(not(feature = "chaos"))]
+        let _ = now;
+        if to_pool {
+            self.credits.release_to_pool(flow, credits);
+        } else {
+            self.credits.release(flow, credits);
+        }
+    }
+
+    /// Re-deliver delayed releases whose injected delay has elapsed.
+    #[cfg(feature = "chaos")]
+    fn deliver_matured_releases(&mut self, now: Time) {
+        let Some(ch) = self.chaos.as_mut() else {
+            return;
+        };
+        if ch.delayed.is_empty() {
+            return;
+        }
+        let mut due: Vec<DelayedRelease> = Vec::new();
+        let mut i = 0;
+        while i < ch.delayed.len() {
+            if ch.delayed[i].at <= now {
+                due.push(ch.delayed.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        for d in due {
+            if d.to_pool {
+                self.credits.release_to_pool(d.flow, d.credits);
+            } else {
+                self.credits.release(d.flow, d.credits);
+            }
         }
     }
 
@@ -228,6 +443,7 @@ impl IoPolicy for CeioPolicy {
     fn steer(&mut self, st: &mut HostState, now: Time, pkt: &Packet) -> SteerDecision {
         #[cfg(feature = "trace")]
         self.credits.set_trace_now(now);
+        self.credits.set_now(now);
         let flow = pkt.flow;
         // Count the hit on the RMT rule (the hardware datapath).
         st.rmt.steer(&flow);
@@ -249,6 +465,26 @@ impl IoPolicy for CeioPolicy {
         // (§4.1 Q2). Without this the elastic buffer would just absorb an
         // unbounded standing queue.
         let mark = slow_len > self.cfg.slow_overload_threshold;
+        // Graceful degradation: when the elastic store is (about to be)
+        // unusable, parking would either fail outright or stand up an
+        // undrainable queue. Fall back to the legacy drop-based DDIO
+        // datapath — fast path while credits and descriptors last, loss
+        // otherwise — until the controller's hysteresis re-enables the
+        // slow path. Flows with parked slow-path packets keep their fast
+        // path paused (phase exclusivity still holds), so their arrivals
+        // drop rather than overtake the parked backlog.
+        self.check_store_pressure(st, now);
+        if self.mode == Mode::Degraded {
+            if parked > 0 && self.cfg.phase_exclusivity {
+                return SteerDecision::Drop { loss: true };
+            }
+            if ring_free > 0 && self.credits.try_consume(flow) {
+                self.sync_rule(st, now, flow, SteerAction::FastPath { queue: core });
+                return SteerDecision::FastPath { mark };
+            }
+            self.sync_rule(st, now, flow, SteerAction::Drop);
+            return SteerDecision::Drop { loss: true };
+        }
         // Phase exclusivity: the fast path stays paused while slow-path
         // packets exist, preserving order across the transition (§4.2).
         // The re-enable fires once the parked backlog is nearly drained
@@ -327,11 +563,7 @@ impl IoPolicy for CeioPolicy {
                     .get(&flow)
                     .map(|c| c.deprioritized)
                     .unwrap_or(false);
-            if divert {
-                self.credits.release_to_pool(flow, pending);
-            } else {
-                self.credits.release(flow, pending);
-            }
+            self.deliver_release(now, flow, pending, divert);
             st.nic_arm.execute(now, st.cfg.nic.arm_credit_op);
             #[cfg(feature = "trace")]
             if let Some(r) = self.tracer.as_mut() {
@@ -387,6 +619,14 @@ impl IoPolicy for CeioPolicy {
     fn on_controller_poll(&mut self, st: &mut HostState, now: Time) {
         #[cfg(feature = "trace")]
         self.credits.set_trace_now(now);
+        self.credits.set_now(now);
+        // Recovery bookkeeping before the control loop proper: releases
+        // whose injected delay elapsed arrive now, then the lease watchdog
+        // reclaims any grant whose release never arrived at all.
+        #[cfg(feature = "chaos")]
+        self.deliver_matured_releases(now);
+        // Reclaim count is already folded into `CreditStats::lease_reclaims`.
+        let _ = self.credits.expire_leases();
         let ids: Vec<FlowId> = self.ctl.keys().copied().collect();
         let mut active: Vec<FlowId> = Vec::new();
         let mut to_mark: Vec<FlowId> = Vec::new();
@@ -511,11 +751,47 @@ impl IoPolicy for CeioPolicy {
                 }
             }
         }
+        // Degraded-mode hysteresis: entry is immediate (per-packet pressure
+        // checks and the poll below), exit requires several consecutive
+        // calm polls — store drained below the exit fraction and no new
+        // rejections — so the mode cannot flap at the boundary.
+        let rejections = st.onboard.stats().capacity_rejections;
+        if self.mode == Mode::Degraded {
+            let cap = st.onboard.capacity().max(1);
+            let frac = st.onboard.occupancy() as f64 / cap as f64;
+            let calm = frac <= self.cfg.degraded_exit_fraction
+                && rejections == self.rejections_at_last_poll;
+            if calm {
+                self.calm_polls += 1;
+                if self.calm_polls >= self.cfg.degraded_exit_polls {
+                    self.exit_degraded(now);
+                }
+            } else {
+                self.calm_polls = 0;
+            }
+        } else {
+            self.check_store_pressure(st, now);
+        }
+        self.rejections_at_last_poll = rejections;
         debug_assert!(self.credits.conserved(), "credit conservation violated");
     }
 
     fn controller_interval(&self) -> Option<ceio_sim::Duration> {
         Some(self.cfg.controller_interval)
+    }
+
+    /// Arm the policy's chaos stream and — when the plan carries a lease
+    /// TTL — the credit-lease watchdog that recovers lost releases.
+    #[cfg(feature = "chaos")]
+    fn arm_chaos(&mut self, st: &mut HostState, plan: &ceio_chaos::FaultPlan) {
+        let _ = st;
+        if let Some(ttl) = plan.lease_ttl {
+            self.credits.enable_leases(ttl);
+        }
+        self.chaos = Some(Box::new(PolicyChaos {
+            injector: plan.injector("policy"),
+            delayed: Vec::new(),
+        }));
     }
 
     fn fill_metrics(&self, out: &mut SnapshotBuilder) {
@@ -586,6 +862,58 @@ impl IoPolicy for CeioPolicy {
             "Credits currently assigned to flows.",
             cm.assigned_total() as f64,
         );
+        out.counter(
+            "ceio_credit_lease_reclaims_total",
+            "Credits reclaimed by the lease watchdog (lost releases).",
+            cs.lease_reclaims,
+        );
+        out.counter(
+            "ceio_credit_stale_releases_total",
+            "Late releases dropped because their leases were reclaimed.",
+            cs.stale_releases,
+        );
+        out.gauge(
+            "ceio_credit_live_leases",
+            "Grants currently covered by a live lease (0 when disarmed).",
+            cm.live_leases() as f64,
+        );
+        out.gauge(
+            "ceio_credit_conserved",
+            "1 when Eq. 1 holds (assigned + pool + outstanding == total).",
+            if cm.conserved() { 1.0 } else { 0.0 },
+        );
+        out.counter(
+            "ceio_ctl_degraded_entries_total",
+            "Entries into degraded (drop-fallback) mode.",
+            self.stats.degraded_entries,
+        );
+        out.counter(
+            "ceio_ctl_degraded_exits_total",
+            "Hysteretic exits from degraded mode.",
+            self.stats.degraded_exits,
+        );
+        out.gauge(
+            "ceio_degraded_mode",
+            "1 while the controller is in degraded (drop-fallback) mode.",
+            if self.mode == Mode::Degraded {
+                1.0
+            } else {
+                0.0
+            },
+        );
+        #[cfg(feature = "chaos")]
+        if let Some(ch) = self.chaos.as_ref() {
+            out.counter(
+                "ceio_chaos_policy_injected_total",
+                "Faults injected from the policy's chaos stream.",
+                ch.injector.stats().total(),
+            );
+            out.gauge(
+                "ceio_chaos_delayed_releases",
+                "Credit releases currently parked by an injected delay.",
+                ch.delayed.len() as f64,
+            );
+        }
     }
 
     #[cfg(feature = "trace")]

@@ -342,3 +342,191 @@ fn ablation_without_optimizations_is_worse_but_still_beats_baseline() {
         without.involved_mpps
     );
 }
+
+#[test]
+fn exhausted_elastic_store_degrades_to_drop_mode_and_recovers() {
+    // A deliberately tiny on-NIC store plus zero credits forces every
+    // packet onto the slow path until the store fills: the controller must
+    // enter degraded (drop-fallback) mode instead of parking into a full
+    // store, and — once the backlog drains after the sender stops — leave
+    // it again through the calm-poll hysteresis.
+    let mut cfg = thrash_cfg();
+    cfg.nic.onboard_capacity = 8 * 1024; // four packets of 2 KB
+    let ceio_conf = CeioConfig {
+        credit_total: 0, // everything slow: the store is the only path
+        ..ceio_cfg(&cfg)
+    };
+    let mut s = Scenario::new();
+    let mut spec = FlowSpec::new(0, FlowClass::CpuInvolved, 2048, 1, Bandwidth::gbps(50));
+    spec.stop = Time::ZERO + Duration::millis(4);
+    s.start_at(Time::ZERO, spec);
+    let mut sim = Machine::build(cfg, CeioPolicy::new(ceio_conf), s.build(), app_factory(500));
+    sim.run_until(Time::ZERO + Duration::millis(8), u64::MAX);
+    let policy = &sim.model.policy;
+    let st = &sim.model.st;
+    assert!(
+        policy.stats().degraded_entries > 0,
+        "a full store must trip degraded mode"
+    );
+    assert!(
+        policy.stats().degraded_exits > 0,
+        "the drained store must re-enable elastic buffering"
+    );
+    assert!(
+        !policy.degraded(),
+        "the controller must be back to normal once traffic ends"
+    );
+    assert!(
+        st.dropped_total > 0,
+        "degraded mode drops, like legacy DDIO"
+    );
+    let f = st.flows.values().next().unwrap();
+    assert!(f.counters.consumed_pkts > 0, "delivery must continue");
+    assert!(policy.credits.conserved(), "Eq. 1 must survive degradation");
+    assert_eq!(
+        f.gen.emitted(),
+        f.counters.consumed_pkts + st.dropped_total,
+        "every packet is delivered or counted dropped"
+    );
+}
+
+#[cfg(feature = "chaos")]
+mod chaos {
+    use super::*;
+    use ceio_chaos::{FaultPlan, FaultSite};
+    use ceio_net::Scenario;
+
+    fn one_flow(stop_ms: u64) -> Scenario {
+        let mut s = Scenario::new();
+        let mut spec = FlowSpec::new(0, FlowClass::CpuInvolved, 2048, 1, Bandwidth::gbps(25));
+        spec.stop = Time::ZERO + Duration::millis(stop_ms);
+        s.start_at(Time::ZERO, spec);
+        s
+    }
+
+    #[test]
+    fn lost_releases_are_reclaimed_by_the_lease_watchdog() {
+        // 30% of lazy credit releases vanish on the NIC-host path. Without
+        // leases the flow would bleed credits until fully degraded; the
+        // watchdog reclaims every lost grant at TTL expiry, so the flow
+        // keeps consuming fast-path credits and Eq. 1 holds throughout.
+        let cfg = thrash_cfg();
+        let plan = FaultPlan::new(21).with_rate(FaultSite::CreditReleaseLoss, 0.3);
+        let mut sim = Machine::build(
+            cfg.clone(),
+            CeioPolicy::new(ceio_cfg(&cfg)),
+            one_flow(4).build(),
+            app_factory(500),
+        );
+        sim.model.arm_chaos(&plan);
+        sim.run_until(Time::ZERO + Duration::millis(8), u64::MAX);
+        let cm = &sim.model.policy.credits;
+        assert!(cm.leases_enabled(), "the plan's TTL must arm leases");
+        assert!(
+            cm.stats().lease_reclaims > 0,
+            "lost releases must be recovered by the watchdog"
+        );
+        assert!(cm.conserved(), "Eq. 1 must hold under release loss");
+        let f = sim.model.st.flows.values().next().unwrap();
+        assert!(
+            f.counters.consumed_pkts > 1000,
+            "recovered credits keep the fast path alive: {}",
+            f.counters.consumed_pkts
+        );
+    }
+
+    #[test]
+    fn delayed_releases_do_not_double_credit() {
+        // Releases delayed past the lease TTL race the watchdog: the
+        // reclaim wins and the late release must be dropped as stale, not
+        // credited a second time. A short TTL makes the race frequent.
+        let cfg = thrash_cfg();
+        let plan = FaultPlan::new(5)
+            .with_rate(FaultSite::CreditReleaseDelay, 0.5)
+            .with_lease_ttl(Some(ceio_sim::Duration::micros(30)));
+        let mut sim = Machine::build(
+            cfg.clone(),
+            CeioPolicy::new(ceio_cfg(&cfg)),
+            one_flow(4).build(),
+            app_factory(500),
+        );
+        sim.model.arm_chaos(&plan);
+        sim.run_until(Time::ZERO + Duration::millis(8), u64::MAX);
+        let cm = &sim.model.policy.credits;
+        assert!(
+            cm.conserved(),
+            "delay/reclaim races must never mint credits"
+        );
+        assert!(
+            cm.outstanding() <= cm.total(),
+            "no overdraft under delayed releases"
+        );
+        let stats = sim.model.policy.chaos_stats().expect("chaos must be armed");
+        assert!(
+            stats.at(FaultSite::CreditReleaseDelay) > 0,
+            "delays must actually have been injected"
+        );
+    }
+
+    #[test]
+    fn rmt_install_delays_charge_the_arm_core() {
+        let cfg = thrash_cfg();
+        let run = |plan: Option<FaultPlan>| {
+            let ceio_conf = CeioConfig {
+                // Tight credits force frequent fast<->slow rewrites.
+                credit_total: 4,
+                ..ceio_cfg(&cfg)
+            };
+            let mut sim = Machine::build(
+                cfg.clone(),
+                CeioPolicy::new(ceio_conf),
+                one_flow(2).build(),
+                app_factory(500),
+            );
+            if let Some(p) = plan.as_ref() {
+                sim.model.arm_chaos(p);
+            }
+            sim.run_until(Time::ZERO + Duration::millis(4), u64::MAX);
+            (
+                sim.model.st.nic_arm.stats().busy_ns,
+                sim.model.policy.stats().rule_rewrites,
+            )
+        };
+        let (busy_clean, rewrites_clean) = run(None);
+        let (busy_chaos, _) = run(Some(
+            FaultPlan::new(9).with_rate(FaultSite::RmtInstallDelay, 1.0),
+        ));
+        assert!(rewrites_clean > 0, "the workload must rewrite rules");
+        assert!(
+            busy_chaos > busy_clean,
+            "injected RMT delays must show up as ARM-core busy time: \
+             clean {busy_clean} vs chaos {busy_chaos}"
+        );
+    }
+
+    #[test]
+    fn full_canned_storm_preserves_invariants() {
+        // Every fault site at once (the "smoke" canned plan): the run must
+        // stay conserved, keep delivering, and report recovery activity.
+        let cfg = thrash_cfg();
+        let plan = FaultPlan::canned("smoke", 1234).expect("smoke plan exists");
+        let mut sim = Machine::build(
+            cfg.clone(),
+            CeioPolicy::new(ceio_cfg(&cfg)),
+            one_flow(4).build(),
+            app_factory(500),
+        );
+        sim.model.arm_chaos(&plan);
+        sim.run_until(Time::ZERO + Duration::millis(10), u64::MAX);
+        assert!(
+            sim.model.injected_faults() > 0,
+            "the smoke plan must inject something"
+        );
+        assert!(
+            sim.model.policy.credits.conserved(),
+            "Eq. 1 under the storm"
+        );
+        let f = sim.model.st.flows.values().next().unwrap();
+        assert!(f.counters.consumed_pkts > 0, "the pipeline must survive");
+    }
+}

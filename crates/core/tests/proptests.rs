@@ -226,3 +226,92 @@ proptest! {
         let _ = fast_held;
     }
 }
+
+/// Operations against the *leased* credit manager: the base alphabet plus
+/// watchdog time advancement. Models a chaotic environment where lazy
+/// releases can be lost (a consume with no matching release) or arrive
+/// late (after the watchdog reclaimed the grant).
+#[derive(Debug, Clone)]
+enum LeasedOp {
+    Base(CreditOp),
+    /// Advance the lease clock by `ticks` nanoseconds and run the
+    /// watchdog.
+    AdvanceExpire(u8),
+}
+
+fn leased_op() -> impl Strategy<Value = LeasedOp> {
+    prop_oneof![
+        4 => credit_op().prop_map(LeasedOp::Base),
+        1 => (1u8..200).prop_map(LeasedOp::AdvanceExpire),
+    ]
+}
+
+proptest! {
+    /// Lease safety under arbitrary chaos: whatever interleaving of
+    /// consumes, (possibly stale) releases, reallocation, and watchdog
+    /// sweeps occurs, Eq. 1 conservation holds, the lease ledger tracks
+    /// `outstanding` exactly (leases are armed from birth, so every grant
+    /// carries one), and a final watchdog sweep past every TTL returns
+    /// *all* outstanding credits — lost releases can delay recycling but
+    /// never strand credit.
+    #[test]
+    fn leased_credit_manager_conserves_and_reclaims(
+        total in 1u64..2000,
+        ttl in 1u64..100,
+        ops in prop::collection::vec(leased_op(), 1..150),
+    ) {
+        use ceio_sim::{Duration, Time};
+        let mut cm = CreditManager::new(total);
+        cm.enable_leases(Duration::nanos(ttl));
+        let mut now = 0u64;
+        for op in ops {
+            match op {
+                LeasedOp::Base(CreditOp::AddFlows(ids)) => {
+                    let ids: Vec<FlowId> = ids.into_iter().map(|i| FlowId(i as u32)).collect();
+                    cm.add_flows(&ids);
+                }
+                LeasedOp::Base(CreditOp::Remove(f)) => cm.remove_flow(FlowId(f as u32)),
+                LeasedOp::Base(CreditOp::Consume(f, n)) => {
+                    for _ in 0..n {
+                        let _ = cm.try_consume(FlowId(f as u32));
+                    }
+                }
+                LeasedOp::Base(CreditOp::Release(f, n)) => cm.release(FlowId(f as u32), n as u64),
+                LeasedOp::Base(CreditOp::Reclaim(f)) => {
+                    let _ = cm.reclaim(FlowId(f as u32));
+                }
+                LeasedOp::Base(CreditOp::Grant(f, n)) => {
+                    let _ = cm.grant(FlowId(f as u32), n as u64);
+                }
+                LeasedOp::Base(CreditOp::GrantEvenly(ids)) => {
+                    let ids: Vec<FlowId> = ids.into_iter().map(|i| FlowId(i as u32)).collect();
+                    cm.grant_evenly(&ids);
+                }
+                LeasedOp::AdvanceExpire(ticks) => {
+                    now += ticks as u64;
+                    cm.set_now(Time(now));
+                    let _ = cm.expire_leases();
+                }
+            }
+            prop_assert!(cm.conserved(), "conservation violated after an op");
+            prop_assert_eq!(
+                cm.live_leases(),
+                cm.outstanding(),
+                "armed-from-birth: every outstanding grant must hold a lease"
+            );
+        }
+        // Final watchdog sweep past every possible TTL: nothing stays
+        // stranded in `outstanding`, however many releases were lost.
+        now += ttl + 1;
+        cm.set_now(Time(now));
+        let _ = cm.expire_leases();
+        prop_assert_eq!(cm.outstanding(), 0, "watchdog must reclaim every lost grant");
+        prop_assert!(cm.conserved());
+        // Late (stale) releases after the sweep are dropped, never
+        // double-credited.
+        let pool = cm.free_pool();
+        cm.release(FlowId(0), 5);
+        prop_assert_eq!(cm.free_pool(), pool, "stale release must not mint credit");
+        prop_assert!(cm.conserved());
+    }
+}

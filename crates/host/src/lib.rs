@@ -40,7 +40,7 @@ pub mod telemetry;
 pub use audit::HostAuditor;
 pub use config::HostConfig;
 pub use flowstate::{FlowState, ReadyPkt, SlowPkt};
-pub use machine::{run_to_report, AppFactory, Event, HostState, Machine};
+pub use machine::{run_to_report, AppFactory, Event, HostState, Machine, RecoveryStats};
 pub use measure::{ClassSample, Measurements, RunReport};
 pub use policy::{DrainRequest, IoPolicy, SteerDecision, UnmanagedPolicy};
 #[cfg(feature = "trace")]

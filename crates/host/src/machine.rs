@@ -22,6 +22,8 @@ use crate::config::HostConfig;
 use crate::flowstate::{FlowState, ReadyPkt, SlowPkt};
 use crate::measure::{Measurements, RunReport};
 use crate::policy::{IoPolicy, SteerDecision};
+#[cfg(feature = "chaos")]
+use ceio_chaos::{FaultInjector, FaultPlan, FaultSite};
 use ceio_cpu::{Application, CpuCore};
 use ceio_mem::{BufferId, MemoryController};
 use ceio_net::generator::Pacing;
@@ -30,9 +32,10 @@ use ceio_net::{
     Dctcp, FlowClass, FlowId, FlowSpec, IngressLink, Packet, Scenario, ScenarioEvent, TrafficGen,
 };
 use ceio_nic::{ArmCore, OnboardMemory, RmtEngine, SteerAction};
-use ceio_pcie::DmaEngine;
-use ceio_sim::{Bandwidth, EventQueue, Histogram, Model, Rng, Simulation, Time};
+use ceio_pcie::{DmaEngine, DmaError};
+use ceio_sim::{Bandwidth, Duration, EventQueue, Histogram, Model, Rng, Simulation, Time};
 use ceio_telemetry::{Stage, TraceKind};
+use serde::Serialize;
 use std::collections::{HashMap, VecDeque};
 
 /// Machine events.
@@ -112,6 +115,41 @@ struct PendingDma {
     via_slow: bool,
 }
 
+/// Fault-recovery statistics. Always compiled (and always zero without the
+/// `chaos` feature armed, since the substrate never fails on its own);
+/// exported through the telemetry snapshot so chaos experiments can assert
+/// that recovery actually ran.
+#[derive(Debug, Default, Clone, Serialize)]
+pub struct RecoveryStats {
+    /// DMA write issues retried after a transient fault.
+    pub dma_write_retries: u64,
+    /// DMA read issues retried after a transient fault.
+    pub dma_read_retries: u64,
+    /// Total nanoseconds spent in retry backoff (both directions).
+    pub dma_backoff_ns: u64,
+    /// Packets dropped after exhausting the DMA write retry budget.
+    pub dma_retry_drops: u64,
+    /// Injected consumer (driver-poll) pauses taken.
+    pub consumer_pauses: u64,
+    /// Total nanoseconds of injected consumer pause.
+    pub consumer_pause_ns: u64,
+}
+
+/// Retry budget for a single DMA write before the packet is dropped.
+const DMA_RETRY_LIMIT: u32 = 8;
+
+/// Base backoff after the first failed DMA attempt (doubles per attempt,
+/// capped at `base << 6`, plus deterministic jitter under chaos).
+const DMA_BACKOFF_BASE: Duration = Duration::nanos(100);
+
+/// Host-side chaos state: the injector stream feeding consumer pauses and
+/// retry-backoff jitter.
+#[cfg(feature = "chaos")]
+#[derive(Debug)]
+pub(crate) struct HostChaos {
+    injector: FaultInjector,
+}
+
 /// Everything in the machine except the policy. Policies receive
 /// `&mut HostState` in every hook.
 pub struct HostState {
@@ -161,6 +199,15 @@ pub struct HostState {
     pub fast_latency: Histogram,
     /// End-to-end latency of slow-path deliveries (post-warmup).
     pub slow_latency: Histogram,
+    /// Fault-recovery counters (DMA retries, backoff, consumer pauses).
+    pub recovery: RecoveryStats,
+    write_attempts: u32,
+    read_attempts: u32,
+    write_backoff_until: Time,
+    read_backoff_until: Time,
+    /// Host-side chaos injector; `None` until [`Machine::arm_chaos`].
+    #[cfg(feature = "chaos")]
+    pub(crate) chaos: Option<Box<HostChaos>>,
     pacing: Pacing,
     /// Event-trace recorder; `None` until [`Machine::arm_trace`] arms it.
     #[cfg(feature = "trace")]
@@ -232,6 +279,29 @@ impl HostState {
             .get(&flow)
             .map(|f| f.slow_queue.len())
             .unwrap_or(0)
+    }
+
+    /// Backoff before retry attempt `attempt` (1-based) of a faulted DMA
+    /// issue: exponential in the attempt count, capped, plus deterministic
+    /// jitter drawn from the host chaos stream (so concurrent retriers
+    /// desynchronise) and — for timeouts — the detection delay itself.
+    fn retry_backoff(&mut self, attempt: u32, timed_out: bool) -> Duration {
+        let exp = attempt.saturating_sub(1).min(6);
+        let backoff = Duration::nanos(DMA_BACKOFF_BASE.as_nanos() << exp);
+        #[cfg(feature = "chaos")]
+        let backoff = {
+            let mut backoff = backoff;
+            if let Some(ch) = self.chaos.as_mut() {
+                if timed_out {
+                    backoff += ch.injector.plan().dma_timeout;
+                }
+                backoff += ch.injector.jitter(DMA_BACKOFF_BASE);
+            }
+            backoff
+        };
+        #[cfg(not(feature = "chaos"))]
+        let _ = timed_out;
+        backoff
     }
 
     /// Reset all measurements at `now` (end of warmup).
@@ -353,6 +423,13 @@ impl<P: IoPolicy> Machine<P> {
             ordering_stalls: 0,
             fast_latency: Histogram::new(),
             slow_latency: Histogram::new(),
+            recovery: RecoveryStats::default(),
+            write_attempts: 0,
+            read_attempts: 0,
+            write_backoff_until: Time::ZERO,
+            read_backoff_until: Time::ZERO,
+            #[cfg(feature = "chaos")]
+            chaos: None,
             pacing: Pacing::Poisson,
             #[cfg(feature = "trace")]
             trace: None,
@@ -607,10 +684,24 @@ impl<P: IoPolicy> Machine<P> {
         }
     }
 
-    /// Issue as many pending DMA writes as credits and pacing allow.
+    /// Issue as many pending DMA writes as credits, pacing, and retry
+    /// backoff allow. Credit stalls wait for a completion; transient faults
+    /// (injected by an armed chaos plan) are retried with exponential
+    /// backoff up to [`DMA_RETRY_LIMIT`] attempts, after which the head
+    /// packet is dropped with full loss accounting so the queue cannot
+    /// wedge behind a poisoned issue.
     fn pump(&mut self, queue: &mut EventQueue<Event>, now: Time) {
         while let Some(front) = self.st.nic_pending.front() {
             let bytes = front.pkt.bytes;
+            let flow = front.pkt.flow;
+            // Retry-backoff gate (set after a transient DMA fault).
+            if self.st.write_backoff_until > now {
+                if !self.st.pump_scheduled {
+                    self.st.pump_scheduled = true;
+                    queue.schedule_at(self.st.write_backoff_until, Event::Pump);
+                }
+                break;
+            }
             // Pacing gate (HostCC throttle).
             if self.st.dma_pace.is_some() && self.st.dma_pace_until > now {
                 if !self.st.pump_scheduled {
@@ -621,6 +712,7 @@ impl<P: IoPolicy> Machine<P> {
             }
             match self.st.dma.try_write(now, bytes) {
                 Ok(arrival) => {
+                    self.st.write_attempts = 0;
                     let pd = self
                         .st
                         .nic_pending
@@ -645,7 +737,65 @@ impl<P: IoPolicy> Machine<P> {
                         },
                     );
                 }
-                Err(_) => break, // retried when a credit frees
+                // Credit stall: the issue retries when a completion frees a
+                // credit (`on_host_arrive` re-pumps).
+                Err(DmaError::NoWriteCredit | DmaError::NoReadCredit) => break,
+                // Transient fault: bounded retry with exponential backoff.
+                Err(
+                    err @ (DmaError::WriteFault
+                    | DmaError::WriteTimeout
+                    | DmaError::ReadFault
+                    | DmaError::ReadTimeout),
+                ) => {
+                    self.st.write_attempts += 1;
+                    if self.st.write_attempts > DMA_RETRY_LIMIT {
+                        // Retry budget exhausted: drop the head packet so
+                        // the rest of the staging queue can make progress.
+                        self.st.write_attempts = 0;
+                        let pd = self
+                            .st
+                            .nic_pending
+                            .pop_front()
+                            .expect("invariant: loop guard ensured `nic_pending` is non-empty");
+                        self.st.nic_pending_bytes -= bytes;
+                        self.st.recovery.dma_retry_drops += 1;
+                        if let Some(f) = self.st.flows.get_mut(&pd.pkt.flow) {
+                            f.ring_inflight = f.ring_inflight.saturating_sub(1);
+                            f.counters.dropped += 1;
+                            f.accounted += 1;
+                        }
+                        self.st.dropped_total += 1;
+                        self.st.meas.record_drop();
+                        self.st.trace_event(
+                            now,
+                            Some(pd.pkt.flow.0),
+                            TraceKind::DmaRetryDrop,
+                            pd.pkt.bytes,
+                        );
+                        self.st.trace_event(
+                            now,
+                            Some(pd.pkt.flow.0),
+                            TraceKind::Drop,
+                            pd.pkt.bytes,
+                        );
+                        self.st.signal_loss(now, pd.pkt.flow);
+                        self.policy.on_fast_drop(&mut self.st, now, pd.pkt.flow);
+                        continue;
+                    }
+                    let timed_out = matches!(err, DmaError::WriteTimeout | DmaError::ReadTimeout);
+                    let attempt = self.st.write_attempts;
+                    let backoff = self.st.retry_backoff(attempt, timed_out);
+                    self.st.recovery.dma_write_retries += 1;
+                    self.st.recovery.dma_backoff_ns += backoff.as_nanos();
+                    self.st.write_backoff_until = now + backoff;
+                    self.st
+                        .trace_event(now, Some(flow.0), TraceKind::DmaRetry, backoff.as_nanos());
+                    if !self.st.pump_scheduled {
+                        self.st.pump_scheduled = true;
+                        queue.schedule_at(self.st.write_backoff_until, Event::Pump);
+                    }
+                    break;
+                }
             }
         }
     }
@@ -791,6 +941,12 @@ impl<P: IoPolicy> Machine<P> {
         flow: FlowId,
         fetch: u32,
     ) -> Option<(Time, Vec<SlowPkt>)> {
+        // Retry-backoff gate: a transiently-faulted read is retried at the
+        // next driver poll after the backoff elapses. Parked packets stay
+        // parked — the slow path never drops on read faults.
+        if self.st.read_backoff_until > now {
+            return None;
+        }
         let f = self.st.flows.get_mut(&flow)?;
         let mut batch: Vec<SlowPkt> = Vec::new();
         let mut total = 0u64;
@@ -812,6 +968,7 @@ impl<P: IoPolicy> Machine<P> {
         }
         match self.st.dma.try_read_request(now) {
             Ok(at_nic) => {
+                self.st.read_attempts = 0;
                 let f = self
                     .st
                     .flows
@@ -831,8 +988,22 @@ impl<P: IoPolicy> Machine<P> {
                 }
                 Some((at_host, batch))
             }
-            Err(_) => {
-                // No read credit: return the batch to the queue, in order.
+            Err(err) => {
+                // Transient fault: arm a retry backoff before the next
+                // driver poll may reissue. Credit stalls simply wait for a
+                // read completion; either way the batch returns to the
+                // queue, in order, and nothing is lost.
+                if err.is_transient_fault() {
+                    self.st.read_attempts += 1;
+                    let timed_out = matches!(err, DmaError::ReadTimeout | DmaError::WriteTimeout);
+                    let attempt = self.st.read_attempts;
+                    let backoff = self.st.retry_backoff(attempt, timed_out);
+                    self.st.recovery.dma_read_retries += 1;
+                    self.st.recovery.dma_backoff_ns += backoff.as_nanos();
+                    self.st.read_backoff_until = now + backoff;
+                    self.st
+                        .trace_event(now, Some(flow.0), TraceKind::DmaRetry, backoff.as_nanos());
+                }
                 let f = self
                     .st
                     .flows
@@ -848,6 +1019,25 @@ impl<P: IoPolicy> Machine<P> {
 
     fn on_core_poll(&mut self, now: Time, core: usize, queue: &mut EventQueue<Event>) {
         self.st.poll_queued[core] = false;
+        // Injected consumer pause: the driver thread is descheduled for a
+        // while (GC pause, noisy neighbour). The poll is deferred — rings
+        // and the slow path back up, exercising the backpressure path.
+        #[cfg(feature = "chaos")]
+        {
+            let pause = self.st.chaos.as_mut().and_then(|ch| {
+                ch.injector
+                    .fire(FaultSite::ConsumerPause)
+                    .then(|| ch.injector.plan().consumer_pause)
+            });
+            if let Some(pause) = pause {
+                self.st.recovery.consumer_pauses += 1;
+                self.st.recovery.consumer_pause_ns += pause.as_nanos();
+                self.st
+                    .trace_event(now, None, TraceKind::ConsumerPause, pause.as_nanos());
+                self.schedule_poll(queue, now + pause, core);
+                return;
+            }
+        }
         // Drop finished-and-drained flows from this core's service list.
         self.st.core_flows[core].retain(|id| {
             self.st
@@ -1073,6 +1263,42 @@ pub fn run_to_report<P: IoPolicy>(
     sim.run_until(t_end, u64::MAX);
     let name = sim.model.policy.name().to_string();
     sim.model.st.report(t_end, &name)
+}
+
+#[cfg(feature = "chaos")]
+impl<P: IoPolicy> Machine<P> {
+    /// Arm deterministic fault injection across every substrate component
+    /// and the policy. Each component receives an independent injector
+    /// stream forked from the plan's seed (tag-hashed), so adding a fault
+    /// site to one component never perturbs another's schedule.
+    pub fn arm_chaos(&mut self, plan: &FaultPlan) {
+        self.st.dma.arm_chaos(plan.injector("dma"));
+        self.st.onboard.arm_chaos(plan.injector("onboard"));
+        self.st.nic_arm.arm_chaos(plan.injector("arm"));
+        self.st.chaos = Some(Box::new(HostChaos {
+            injector: plan.injector("host"),
+        }));
+        self.policy.arm_chaos(&mut self.st, plan);
+    }
+
+    /// Total faults injected across all armed component streams (the
+    /// policy reports its own through [`IoPolicy::fill_metrics`]).
+    pub fn injected_faults(&self) -> u64 {
+        let mut total = 0;
+        if let Some(s) = self.st.dma.chaos_stats() {
+            total += s.total();
+        }
+        if let Some(s) = self.st.onboard.chaos_stats() {
+            total += s.total();
+        }
+        if let Some(s) = self.st.nic_arm.chaos_stats() {
+            total += s.total();
+        }
+        if let Some(ch) = self.st.chaos.as_ref() {
+            total += ch.injector.stats().total();
+        }
+        total
+    }
 }
 
 #[cfg(feature = "audit")]

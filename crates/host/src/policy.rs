@@ -135,6 +135,15 @@ pub trait IoPolicy {
         let _ = cap;
     }
 
+    /// Arm the policy's own fault-injection stream (the `chaos` feature):
+    /// lost/delayed credit releases, RMT install delays, credit leases.
+    /// Called by [`crate::machine::Machine::arm_chaos`]; the default
+    /// injects nothing.
+    #[cfg(feature = "chaos")]
+    fn arm_chaos(&mut self, st: &mut HostState, plan: &ceio_chaos::FaultPlan) {
+        let _ = (st, plan);
+    }
+
     /// Drain the policy's trace recorders: events plus the count evicted
     /// by ring overflow. The default recorded nothing.
     #[cfg(feature = "trace")]

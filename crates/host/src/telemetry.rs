@@ -206,6 +206,70 @@ impl<P: IoPolicy> Machine<P> {
             "DMA reads stalled for lack of non-posted credits.",
             dma.read_stalls,
         );
+        b.counter(
+            "ceio_dma_write_faults_total",
+            "Posted DMA writes that failed or timed out (injected faults).",
+            dma.write_faults,
+        );
+        b.counter(
+            "ceio_dma_read_faults_total",
+            "DMA reads that failed or timed out (injected faults).",
+            dma.read_faults,
+        );
+
+        // Fault-recovery machinery (DESIGN.md §9): retry/backoff and
+        // consumer-pause absorption counters. All zero on a healthy run.
+        b.counter(
+            "ceio_recovery_dma_write_retries_total",
+            "Transient DMA write failures absorbed by bounded retry.",
+            st.recovery.dma_write_retries,
+        );
+        b.counter(
+            "ceio_recovery_dma_read_retries_total",
+            "Transient DMA read failures absorbed by bounded retry.",
+            st.recovery.dma_read_retries,
+        );
+        b.counter(
+            "ceio_recovery_dma_backoff_ns_total",
+            "Nanoseconds spent in DMA retry backoff.",
+            st.recovery.dma_backoff_ns,
+        );
+        b.counter(
+            "ceio_recovery_dma_retry_drops_total",
+            "Packets dropped after exhausting the DMA retry budget.",
+            st.recovery.dma_retry_drops,
+        );
+        b.counter(
+            "ceio_recovery_consumer_pauses_total",
+            "Core polls deferred by an injected consumer pause.",
+            st.recovery.consumer_pauses,
+        );
+        b.counter(
+            "ceio_recovery_consumer_pause_ns_total",
+            "Nanoseconds of injected consumer-pause deferral.",
+            st.recovery.consumer_pause_ns,
+        );
+
+        // Chaos injection counters, when the feature is compiled in.
+        // Zero unless a fault plan is armed.
+        #[cfg(feature = "chaos")]
+        {
+            b.counter(
+                "ceio_chaos_onboard_injected_rejections_total",
+                "On-NIC memory writes rejected by injected exhaustion.",
+                ob.injected_rejections,
+            );
+            b.counter(
+                "ceio_chaos_arm_injected_stall_ns_total",
+                "NIC ARM core stall nanoseconds injected by the fault plan.",
+                arm.injected_stall_ns,
+            );
+            b.counter(
+                "ceio_chaos_injected_total",
+                "Faults injected across every armed machine-level site.",
+                self.injected_faults(),
+            );
+        }
 
         // Host memory hierarchy: LLC (DDIO), IIO buffer, DRAM.
         let llc = st.memctrl.llc.stats();

@@ -236,6 +236,228 @@ fn iio_backpressure_preserves_conservation() {
     assert!(consumed > 0);
 }
 
+/// Chaos-mode regression tests: before the DMA retry path existed, `pump`
+/// matched `Err(_) => break` — a transient fault with no pending completion
+/// would have wedged the staging queue forever. These tests pin the
+/// recovery behaviour for every injected `DmaError` variant.
+#[cfg(feature = "chaos")]
+mod chaos {
+    use super::*;
+    use ceio_chaos::{FaultPlan, FaultSite};
+    use ceio_host::DrainRequest;
+    use ceio_net::Scenario;
+
+    fn one_flow_scenario(stop_ms: u64) -> Scenario {
+        let mut s = Scenario::new();
+        let mut spec = FlowSpec::new(0, FlowClass::CpuInvolved, 512, 1, Bandwidth::gbps(10));
+        spec.stop = Time::ZERO + Duration::millis(stop_ms);
+        s.start_at(Time::ZERO, spec);
+        s
+    }
+
+    #[test]
+    fn transient_write_faults_are_retried_and_absorbed() {
+        // A 5% write-fault rate: retries with backoff recover every issue
+        // (eight consecutive faults at 5% is a ~4e-11 event), so nothing
+        // is dropped by the retry path and throughput survives.
+        let plan = FaultPlan::new(42).with_rate(FaultSite::DmaWriteFault, 0.05);
+        let mut sim = Machine::build(
+            HostConfig::default(),
+            UnmanagedPolicy,
+            one_flow_scenario(1).build(),
+            cheap(),
+        );
+        sim.model.arm_chaos(&plan);
+        sim.run_until(Time::ZERO + Duration::millis(6), u64::MAX);
+        let st = &sim.model.st;
+        let f = st.flows.values().next().unwrap();
+        assert!(
+            st.recovery.dma_write_retries > 0,
+            "faults must have been injected and retried"
+        );
+        assert_eq!(
+            st.recovery.dma_retry_drops, 0,
+            "a 5% fault rate must never exhaust the retry budget"
+        );
+        assert!(st.recovery.dma_backoff_ns > 0, "backoff must be charged");
+        assert!(f.counters.consumed_pkts > 0, "flow still makes progress");
+        assert_eq!(f.gen.emitted(), f.counters.consumed_pkts + st.dropped_total);
+    }
+
+    #[test]
+    fn persistent_write_faults_drop_but_never_wedge() {
+        // Every write issue faults: after the retry budget, the head packet
+        // is dropped with full loss accounting. The regression here is the
+        // old `Err(_) => break`, which would have left `nic_pending`
+        // wedged and violated packet conservation.
+        let plan = FaultPlan::new(7).with_rate(FaultSite::DmaWriteFault, 1.0);
+        let mut sim = Machine::build(
+            HostConfig::default(),
+            UnmanagedPolicy,
+            one_flow_scenario(1).build(),
+            cheap(),
+        );
+        sim.model.arm_chaos(&plan);
+        sim.run_until(Time::ZERO + Duration::millis(20), u64::MAX);
+        let st = &sim.model.st;
+        let f = st.flows.values().next().unwrap();
+        assert!(
+            st.recovery.dma_retry_drops > 0,
+            "exhausted retry budgets must surface as counted drops"
+        );
+        assert_eq!(f.counters.consumed_pkts, 0, "nothing can get through");
+        assert_eq!(
+            f.gen.emitted(),
+            f.counters.consumed_pkts + st.dropped_total,
+            "conservation must hold even under total DMA failure"
+        );
+    }
+
+    #[test]
+    fn read_faults_delay_but_never_lose_parked_packets() {
+        // Slow-path steering with flaky DMA reads: fetches back off and
+        // retry; parked packets are delayed, never dropped.
+        struct SlowDrain;
+        impl IoPolicy for SlowDrain {
+            fn name(&self) -> &'static str {
+                "slow-drain"
+            }
+            fn on_flow_start(&mut self, _: &mut HostState, _: Time, _: FlowId) {}
+            fn on_flow_stop(&mut self, _: &mut HostState, _: Time, _: FlowId) {}
+            fn steer(&mut self, _: &mut HostState, _: Time, _: &Packet) -> SteerDecision {
+                SteerDecision::SlowPath { mark: false }
+            }
+            fn on_batch_consumed(
+                &mut self,
+                _: &mut HostState,
+                _: Time,
+                _: FlowId,
+                _: u32,
+                _: u32,
+                _: u32,
+            ) {
+            }
+            fn on_driver_poll(&mut self, _: &mut HostState, _: Time, _: FlowId) -> DrainRequest {
+                DrainRequest {
+                    fetch: 32,
+                    sync: false,
+                }
+            }
+        }
+        let plan = FaultPlan::new(11)
+            .with_rate(FaultSite::DmaReadFault, 0.2)
+            .with_rate(FaultSite::DmaReadTimeout, 0.1);
+        let mut sim = Machine::build(
+            HostConfig::default(),
+            SlowDrain,
+            one_flow_scenario(1).build(),
+            cheap(),
+        );
+        sim.model.arm_chaos(&plan);
+        sim.run_until(Time::ZERO + Duration::millis(20), u64::MAX);
+        let st = &sim.model.st;
+        let f = st.flows.values().next().unwrap();
+        assert!(
+            st.recovery.dma_read_retries > 0,
+            "read faults must have been retried"
+        );
+        assert!(f.counters.consumed_pkts > 0, "slow path still drains");
+        assert_eq!(
+            f.gen.emitted(),
+            f.counters.consumed_pkts + st.dropped_total,
+            "read faults may delay but never lose parked packets"
+        );
+    }
+
+    #[test]
+    fn consumer_pauses_defer_polls_without_loss() {
+        let plan = FaultPlan::new(3).with_rate(FaultSite::ConsumerPause, 0.05);
+        let mut sim = Machine::build(
+            HostConfig::default(),
+            UnmanagedPolicy,
+            one_flow_scenario(1).build(),
+            cheap(),
+        );
+        sim.model.arm_chaos(&plan);
+        sim.run_until(Time::ZERO + Duration::millis(6), u64::MAX);
+        let st = &sim.model.st;
+        let f = st.flows.values().next().unwrap();
+        assert!(st.recovery.consumer_pauses > 0, "pauses must inject");
+        assert!(
+            st.recovery.consumer_pause_ns > 0,
+            "pause time must be accounted"
+        );
+        assert!(f.counters.consumed_pkts > 0, "delivery survives pauses");
+        assert_eq!(f.gen.emitted(), f.counters.consumed_pkts + st.dropped_total);
+    }
+
+    #[test]
+    fn identical_plans_reproduce_identical_runs() {
+        let run = || {
+            let plan = FaultPlan::new(99)
+                .with_rate(FaultSite::DmaWriteFault, 0.1)
+                .with_rate(FaultSite::ConsumerPause, 0.02);
+            let mut sim = Machine::build(
+                HostConfig::default(),
+                UnmanagedPolicy,
+                one_flow_scenario(1).build(),
+                cheap(),
+            );
+            sim.model.arm_chaos(&plan);
+            sim.run_until(Time::ZERO + Duration::millis(6), u64::MAX);
+            let st = &sim.model.st;
+            let f = st.flows.values().next().unwrap();
+            (
+                f.counters.consumed_pkts,
+                st.dropped_total,
+                st.recovery.dma_write_retries,
+                st.recovery.dma_backoff_ns,
+                st.recovery.consumer_pauses,
+                sim.model.injected_faults(),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "chaos runs must be bit-for-bit deterministic");
+        assert!(a.5 > 0, "the plan must actually have injected faults");
+    }
+
+    #[test]
+    fn snapshot_exports_recovery_and_chaos_counters() {
+        // The telemetry funnel must surface the recovery machinery: a
+        // faulty run's snapshot carries nonzero retry/injection counters.
+        let plan = FaultPlan::new(21)
+            .with_rate(FaultSite::DmaWriteFault, 0.1)
+            .with_rate(FaultSite::ConsumerPause, 0.02);
+        let mut sim = Machine::build(
+            HostConfig::default(),
+            UnmanagedPolicy,
+            one_flow_scenario(1).build(),
+            cheap(),
+        );
+        sim.model.arm_chaos(&plan);
+        let end = Time::ZERO + Duration::millis(6);
+        sim.run_until(end, u64::MAX);
+        let snap = sim.model.snapshot(end);
+        let counter = |name: &str| -> u64 {
+            snap.metrics
+                .iter()
+                .find(|m| m.name == name)
+                .unwrap_or_else(|| panic!("snapshot must export {name}"))
+                .value
+                .as_u64()
+        };
+        assert!(counter("ceio_recovery_dma_write_retries_total") > 0);
+        assert!(counter("ceio_recovery_dma_backoff_ns_total") > 0);
+        assert!(counter("ceio_recovery_consumer_pauses_total") > 0);
+        assert!(counter("ceio_chaos_injected_total") > 0);
+        assert!(counter("ceio_dma_write_faults_total") > 0);
+        // Healthy sites stay at zero but are still present.
+        assert_eq!(counter("ceio_recovery_dma_retry_drops_total"), 0);
+        assert_eq!(counter("ceio_chaos_onboard_injected_rejections_total"), 0);
+    }
+}
+
 #[test]
 fn pcie_write_credit_exhaustion_backpressures_not_corrupts() {
     // One posted-write credit: DMA issues serialize one at a time; the

@@ -7,6 +7,8 @@
 //! control-plane work has a measurable (and, per Fig. 11, negligible) cost
 //! rather than being assumed free.
 
+#[cfg(feature = "chaos")]
+use ceio_chaos::{FaultInjector, FaultSite};
 use ceio_sim::{Duration, Time};
 use serde::Serialize;
 
@@ -17,6 +19,9 @@ pub struct ArmStats {
     pub ops: u64,
     /// Total busy nanoseconds.
     pub busy_ns: u64,
+    /// Stall nanoseconds injected by an armed chaos plan (included in
+    /// `busy_ns`). Zero without chaos.
+    pub injected_stall_ns: u64,
 }
 
 /// A single on-NIC control core.
@@ -24,6 +29,8 @@ pub struct ArmStats {
 pub struct ArmCore {
     busy_until: Time,
     stats: ArmStats,
+    #[cfg(feature = "chaos")]
+    injector: Option<FaultInjector>,
 }
 
 impl Default for ArmCore {
@@ -38,13 +45,40 @@ impl ArmCore {
         ArmCore {
             busy_until: Time::ZERO,
             stats: ArmStats::default(),
+            #[cfg(feature = "chaos")]
+            injector: None,
         }
+    }
+
+    /// Arm deterministic fault injection (core stalls).
+    #[cfg(feature = "chaos")]
+    pub fn arm_chaos(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// Per-site injection counters (empty when chaos is disarmed).
+    #[cfg(feature = "chaos")]
+    pub fn chaos_stats(&self) -> Option<&ceio_chaos::ChaosStats> {
+        self.injector.as_ref().map(FaultInjector::stats)
     }
 
     /// Execute one operation costing `cost`, starting no earlier than `now`
     /// and after any previous operation finishes. Returns the completion
-    /// instant.
+    /// instant. An armed chaos plan may stall the core first (the stall is
+    /// charged to the core's busy time, delaying this and all later ops).
     pub fn execute(&mut self, now: Time, cost: Duration) -> Time {
+        #[cfg(feature = "chaos")]
+        let cost = {
+            let mut cost = cost;
+            if let Some(inj) = self.injector.as_mut() {
+                if inj.fire(FaultSite::ArmStall) {
+                    let stall = inj.plan().arm_stall;
+                    self.stats.injected_stall_ns += stall.as_nanos();
+                    cost += stall;
+                }
+            }
+            cost
+        };
         let start = self.busy_until.max(now);
         self.busy_until = start + cost;
         self.stats.ops += 1;
@@ -94,6 +128,20 @@ mod tests {
         let done = c.execute(Time(1_000), Duration::nanos(10));
         assert_eq!(done, Time(1_010));
         assert_eq!(c.stats().busy_ns, 20);
+    }
+
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn injected_stall_extends_busy_time() {
+        use ceio_chaos::{FaultPlan, FaultSite};
+        let mut c = ArmCore::new();
+        let plan = FaultPlan::new(5).with_rate(FaultSite::ArmStall, 1.0);
+        let stall = plan.arm_stall;
+        c.arm_chaos(plan.injector("arm"));
+        let done = c.execute(Time(0), Duration::nanos(40));
+        assert_eq!(done, Time(40) + stall);
+        assert_eq!(c.stats().injected_stall_ns, stall.as_nanos());
+        assert_eq!(c.stats().busy_ns, 40 + stall.as_nanos());
     }
 
     #[test]

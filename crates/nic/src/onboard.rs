@@ -7,6 +7,8 @@
 //! lower sustained bandwidth than host DRAM. Byte-capacity accounting lets
 //! experiments verify the elastic buffer never exceeds the device.
 
+#[cfg(feature = "chaos")]
+use ceio_chaos::{FaultInjector, FaultSite};
 use ceio_sim::{Bandwidth, Duration, Time};
 #[cfg(feature = "trace")]
 use ceio_telemetry::{TraceEvent, TraceKind, TraceRing};
@@ -21,6 +23,9 @@ pub struct OnboardStats {
     pub bytes_read: u64,
     /// Write attempts refused because capacity was exhausted.
     pub capacity_rejections: u64,
+    /// Rejections injected by an armed chaos plan (a subset of
+    /// `capacity_rejections`). Zero without chaos.
+    pub injected_rejections: u64,
     /// Occupancy high-water mark in bytes.
     pub peak_bytes: u64,
 }
@@ -36,6 +41,8 @@ pub struct OnboardMemory {
     stats: OnboardStats,
     #[cfg(feature = "trace")]
     tracer: Option<TraceRing>,
+    #[cfg(feature = "chaos")]
+    injector: Option<FaultInjector>,
 }
 
 impl OnboardMemory {
@@ -50,7 +57,21 @@ impl OnboardMemory {
             stats: OnboardStats::default(),
             #[cfg(feature = "trace")]
             tracer: None,
+            #[cfg(feature = "chaos")]
+            injector: None,
         }
+    }
+
+    /// Arm deterministic fault injection (DRAM-store exhaustion).
+    #[cfg(feature = "chaos")]
+    pub fn arm_chaos(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// Per-site injection counters (empty when chaos is disarmed).
+    #[cfg(feature = "chaos")]
+    pub fn chaos_stats(&self) -> Option<&ceio_chaos::ChaosStats> {
+        self.injector.as_ref().map(FaultInjector::stats)
     }
 
     /// Arm event recording into a fresh drop-oldest ring of `cap` events.
@@ -90,6 +111,16 @@ impl OnboardMemory {
     /// `None` if the store is out of capacity (the packet must be dropped —
     /// with 16 GB this only happens in adversarial tests).
     pub fn write(&mut self, now: Time, bytes: u64) -> Option<Time> {
+        #[cfg(feature = "chaos")]
+        if let Some(inj) = self.injector.as_mut() {
+            if inj.fire(FaultSite::OnboardExhaust) {
+                // The store behaves as if the elastic region filled
+                // mid-drain: refuse the write without mutating occupancy.
+                self.stats.capacity_rejections += 1;
+                self.stats.injected_rejections += 1;
+                return None;
+            }
+        }
         if self.occupancy + bytes > self.capacity {
             self.stats.capacity_rejections += 1;
             return None;
@@ -184,6 +215,26 @@ mod tests {
         let a = m.write(Time(0), 4096).unwrap();
         let b = m.write(Time(0), 4096).unwrap();
         assert!(b > a, "second access queues behind the first");
+    }
+
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn injected_exhaustion_rejects_without_state_change() {
+        use ceio_chaos::{FaultPlan, FaultSite};
+        let mut m = mem();
+        let plan = FaultPlan::new(3).with_rate(FaultSite::OnboardExhaust, 1.0);
+        m.arm_chaos(plan.injector("onboard"));
+        assert!(m.write(Time(0), 64).is_none());
+        assert_eq!(m.occupancy(), 0);
+        assert_eq!(m.stats().capacity_rejections, 1);
+        assert_eq!(m.stats().injected_rejections, 1);
+        assert_eq!(m.stats().bytes_written, 0);
+        assert_eq!(
+            m.chaos_stats()
+                .expect("armed")
+                .at(FaultSite::OnboardExhaust),
+            1
+        );
     }
 
     #[test]

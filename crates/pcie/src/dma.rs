@@ -9,18 +9,49 @@
 
 use crate::link::{Direction, PcieLink};
 use crate::params::PcieParams;
+#[cfg(feature = "chaos")]
+use ceio_chaos::{FaultInjector, FaultSite};
 use ceio_sim::Time;
 #[cfg(feature = "trace")]
 use ceio_telemetry::{TraceEvent, TraceKind, TraceRing};
 use serde::Serialize;
 
 /// Why a DMA could not be issued.
+///
+/// The credit variants are structural back-pressure (they resolve when
+/// in-flight transactions retire); the fault/timeout variants are
+/// link-level failures, only ever produced when a chaos [`FaultInjector`]
+/// is armed — callers must retry them with backoff or surface them in
+/// stats, never discard them silently.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DmaError {
     /// All posted-write credits are in flight.
     NoWriteCredit,
     /// All non-posted-read credits are in flight.
     NoReadCredit,
+    /// A posted write failed at the link level (injected fault).
+    WriteFault,
+    /// A posted write timed out before the link accepted it (injected).
+    WriteTimeout,
+    /// A non-posted read request failed at the link level (injected).
+    ReadFault,
+    /// A non-posted read request timed out (injected).
+    ReadTimeout,
+}
+
+impl DmaError {
+    /// Credit exhaustion: resolves by itself when in-flight transactions
+    /// retire, so the caller should wait for a completion, not back off.
+    #[inline]
+    pub fn is_credit_stall(self) -> bool {
+        matches!(self, DmaError::NoWriteCredit | DmaError::NoReadCredit)
+    }
+
+    /// A transient link failure that warrants bounded retry with backoff.
+    #[inline]
+    pub fn is_transient_fault(self) -> bool {
+        !self.is_credit_stall()
+    }
 }
 
 impl std::fmt::Display for DmaError {
@@ -28,6 +59,10 @@ impl std::fmt::Display for DmaError {
         match self {
             DmaError::NoWriteCredit => write!(f, "no PCIe write credits available"),
             DmaError::NoReadCredit => write!(f, "no PCIe read credits available"),
+            DmaError::WriteFault => write!(f, "posted DMA write failed (injected link fault)"),
+            DmaError::WriteTimeout => write!(f, "posted DMA write timed out (injected)"),
+            DmaError::ReadFault => write!(f, "DMA read request failed (injected link fault)"),
+            DmaError::ReadTimeout => write!(f, "DMA read request timed out (injected)"),
         }
     }
 }
@@ -45,6 +80,10 @@ pub struct DmaStats {
     pub write_stalls: u64,
     /// Read attempts rejected for lack of credits.
     pub read_stalls: u64,
+    /// Injected write failures (faults + timeouts). Zero without chaos.
+    pub write_faults: u64,
+    /// Injected read failures (faults + timeouts). Zero without chaos.
+    pub read_faults: u64,
 }
 
 /// The DMA engine. Owns the link; the host machine owns the engine.
@@ -57,6 +96,8 @@ pub struct DmaEngine {
     stats: DmaStats,
     #[cfg(feature = "trace")]
     tracer: Option<TraceRing>,
+    #[cfg(feature = "chaos")]
+    injector: Option<FaultInjector>,
 }
 
 impl DmaEngine {
@@ -69,7 +110,49 @@ impl DmaEngine {
             stats: DmaStats::default(),
             #[cfg(feature = "trace")]
             tracer: None,
+            #[cfg(feature = "chaos")]
+            injector: None,
         }
+    }
+
+    /// Arm deterministic fault injection on this engine.
+    #[cfg(feature = "chaos")]
+    pub fn arm_chaos(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// Per-site injection counters (empty when chaos is disarmed).
+    #[cfg(feature = "chaos")]
+    pub fn chaos_stats(&self) -> Option<&ceio_chaos::ChaosStats> {
+        self.injector.as_ref().map(FaultInjector::stats)
+    }
+
+    /// Evaluate the write-side fault sites for one issue attempt.
+    #[cfg(feature = "chaos")]
+    #[inline]
+    fn inject_write_fault(&mut self) -> Option<DmaError> {
+        let inj = self.injector.as_mut()?;
+        if inj.fire(FaultSite::DmaWriteFault) {
+            return Some(DmaError::WriteFault);
+        }
+        if inj.fire(FaultSite::DmaWriteTimeout) {
+            return Some(DmaError::WriteTimeout);
+        }
+        None
+    }
+
+    /// Evaluate the read-side fault sites for one issue attempt.
+    #[cfg(feature = "chaos")]
+    #[inline]
+    fn inject_read_fault(&mut self) -> Option<DmaError> {
+        let inj = self.injector.as_mut()?;
+        if inj.fire(FaultSite::DmaReadFault) {
+            return Some(DmaError::ReadFault);
+        }
+        if inj.fire(FaultSite::DmaReadTimeout) {
+            return Some(DmaError::ReadTimeout);
+        }
+        None
     }
 
     /// Arm event recording into a fresh drop-oldest ring of `cap` events.
@@ -115,6 +198,14 @@ impl DmaEngine {
             self.trace(now, TraceKind::DmaWriteStall, payload);
             return Err(DmaError::NoWriteCredit);
         }
+        #[cfg(feature = "chaos")]
+        if let Some(err) = self.inject_write_fault() {
+            // The link rejected the transaction: no credit consumed.
+            self.stats.write_faults += 1;
+            #[cfg(feature = "trace")]
+            self.trace(now, TraceKind::DmaFault, payload);
+            return Err(err);
+        }
         self.inflight_writes += 1;
         self.stats.writes += 1;
         #[cfg(feature = "trace")]
@@ -137,6 +228,13 @@ impl DmaEngine {
             #[cfg(feature = "trace")]
             self.trace(now, TraceKind::DmaReadStall, 0);
             return Err(DmaError::NoReadCredit);
+        }
+        #[cfg(feature = "chaos")]
+        if let Some(err) = self.inject_read_fault() {
+            self.stats.read_faults += 1;
+            #[cfg(feature = "trace")]
+            self.trace(now, TraceKind::DmaFault, 0);
+            return Err(err);
         }
         self.inflight_reads += 1;
         self.stats.reads += 1;
@@ -237,5 +335,72 @@ mod tests {
         let a = e.try_write(Time(0), 4096).unwrap();
         let b = e.try_write(Time(0), 4096).unwrap();
         assert!(b > a, "second write must queue behind the first");
+    }
+
+    #[test]
+    fn error_taxonomy_is_partitioned() {
+        use DmaError::*;
+        for e in [NoWriteCredit, NoReadCredit] {
+            assert!(e.is_credit_stall() && !e.is_transient_fault());
+        }
+        for e in [WriteFault, WriteTimeout, ReadFault, ReadTimeout] {
+            assert!(e.is_transient_fault() && !e.is_credit_stall());
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[cfg(feature = "chaos")]
+    mod chaos {
+        use super::*;
+        use ceio_chaos::{FaultPlan, FaultSite};
+
+        #[test]
+        fn injected_write_fault_consumes_no_credit_and_counts() {
+            let mut e = engine(4, 4);
+            let plan = FaultPlan::new(7).with_rate(FaultSite::DmaWriteFault, 1.0);
+            e.arm_chaos(plan.injector("dma"));
+            assert_eq!(e.try_write(Time(0), 2048), Err(DmaError::WriteFault));
+            assert_eq!(e.inflight_writes(), 0, "fault must not leak a credit");
+            assert_eq!(e.stats().write_faults, 1);
+            assert_eq!(e.stats().writes, 0);
+            let cs = e.chaos_stats().expect("armed");
+            assert_eq!(cs.at(FaultSite::DmaWriteFault), 1);
+        }
+
+        #[test]
+        fn injected_read_timeout_surfaces_as_error() {
+            let mut e = engine(4, 4);
+            let plan = FaultPlan::new(7).with_rate(FaultSite::DmaReadTimeout, 1.0);
+            e.arm_chaos(plan.injector("dma"));
+            assert_eq!(e.try_read_request(Time(0)), Err(DmaError::ReadTimeout));
+            assert_eq!(e.inflight_reads(), 0);
+            assert_eq!(e.stats().read_faults, 1);
+        }
+
+        #[test]
+        fn fault_schedule_is_deterministic() {
+            let plan = FaultPlan::new(99).with_rate(FaultSite::DmaWriteFault, 0.5);
+            let run = || {
+                let mut e = engine(1024, 8);
+                e.arm_chaos(plan.injector("dma"));
+                (0..256)
+                    .map(|i| e.try_write(Time(i), 64).is_ok())
+                    .collect::<Vec<bool>>()
+            };
+            assert_eq!(run(), run());
+        }
+
+        #[test]
+        fn credit_stall_still_wins_over_injection() {
+            // Exhaust credits first: the stall path must be unchanged by
+            // an armed injector (no draw, no double counting).
+            let mut e = engine(1, 8);
+            let plan = FaultPlan::new(7);
+            e.arm_chaos(plan.injector("dma"));
+            assert!(e.try_write(Time(0), 64).is_ok());
+            assert_eq!(e.try_write(Time(0), 64), Err(DmaError::NoWriteCredit));
+            assert_eq!(e.stats().write_stalls, 1);
+            assert_eq!(e.stats().write_faults, 0);
+        }
     }
 }

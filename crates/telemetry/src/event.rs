@@ -38,6 +38,15 @@ pub enum TraceKind {
     /// Pool credits were granted to a flow (re-activation / re-grant;
     /// `value` = amount granted).
     CreditPoolGrant,
+    /// The lease watchdog reclaimed expired grants of a flow whose lazy
+    /// release never arrived (`value` = credits reclaimed).
+    CreditLeaseReclaim,
+    /// An injected fault: a lazy credit-release message was lost in
+    /// flight (`value` = credits that failed to return).
+    CreditReleaseLost,
+    /// An injected fault: a lazy credit-release message was delayed
+    /// (`value` = credits held back; a matching late release follows).
+    CreditReleaseDelayed,
     /// The flow's RMT rule was rewritten slow→fast (`value` = RX queue).
     RuleRewriteFast,
     /// The flow's RMT rule was rewritten fast→slow.
@@ -59,6 +68,15 @@ pub enum TraceKind {
     DmaReadComplete,
     /// A DMA read could not be issued: no non-posted-read credit.
     DmaReadStall,
+    /// An injected DMA fault or timeout (`value` = payload bytes of the
+    /// failed transaction).
+    DmaFault,
+    /// A failed DMA transaction was rescheduled with backoff
+    /// (`value` = backoff nanoseconds).
+    DmaRetry,
+    /// A DMA transaction exhausted its retry budget and its packet was
+    /// dropped (`value` = payload bytes).
+    DmaRetryDrop,
     /// Bytes written into on-NIC elastic memory (`value` = bytes).
     OnboardWrite,
     /// Bytes read back out of on-NIC memory toward the host.
@@ -75,6 +93,17 @@ pub enum TraceKind {
     /// A fast-path packet was delivered to the application
     /// (`value` = packet bytes).
     Delivery,
+    /// The policy entered degraded drop-mode (elastic buffering
+    /// unavailable; plain drop-based DDIO). Span begin.
+    DegradedEnter,
+    /// The policy left degraded mode (hysteresis satisfied). Span end.
+    DegradedExit,
+    /// An injected host-consumer pause (`value` = pause nanoseconds).
+    ConsumerPause,
+    /// An injected NIC ARM-core stall (`value` = stall nanoseconds).
+    ArmStall,
+    /// An injected RMT rule-install delay (`value` = delay nanoseconds).
+    RmtDelay,
 }
 
 /// Chrome trace-event phase for a kind: instant, span begin, or span end.
@@ -98,6 +127,9 @@ impl TraceKind {
             TraceKind::CreditOwed => "credit-owed",
             TraceKind::CreditReclaim => "credit-reclaim",
             TraceKind::CreditPoolGrant => "credit-pool-grant",
+            TraceKind::CreditLeaseReclaim => "credit-lease-reclaim",
+            TraceKind::CreditReleaseLost => "credit-release-lost",
+            TraceKind::CreditReleaseDelayed => "credit-release-delayed",
             TraceKind::RuleRewriteFast => "rule-rewrite-fast",
             TraceKind::RuleRewriteSlow => "rule-rewrite-slow",
             // Enter/exit share one name so they form a single named span
@@ -110,6 +142,9 @@ impl TraceKind {
             TraceKind::DmaReadIssue => "dma-read-issue",
             TraceKind::DmaReadComplete => "dma-read-complete",
             TraceKind::DmaReadStall => "dma-read-stall",
+            TraceKind::DmaFault => "dma-fault",
+            TraceKind::DmaRetry => "dma-retry",
+            TraceKind::DmaRetryDrop => "dma-retry-drop",
             TraceKind::OnboardWrite => "onboard-write",
             TraceKind::OnboardRead => "onboard-read",
             TraceKind::SlowPark => "slow-park",
@@ -117,14 +152,20 @@ impl TraceKind {
             TraceKind::SlowDrain => "slow-drain",
             TraceKind::Drop => "drop",
             TraceKind::Delivery => "delivery",
+            // Enter/exit share one name: a single named span in Perfetto.
+            TraceKind::DegradedEnter => "degraded-mode",
+            TraceKind::DegradedExit => "degraded-mode",
+            TraceKind::ConsumerPause => "consumer-pause",
+            TraceKind::ArmStall => "arm-stall",
+            TraceKind::RmtDelay => "rmt-delay",
         }
     }
 
     /// How this kind renders in a Chrome trace.
     pub fn phase(self) -> Phase {
         match self {
-            TraceKind::PhaseSlowEnter => Phase::Begin,
-            TraceKind::PhaseSlowExit => Phase::End,
+            TraceKind::PhaseSlowEnter | TraceKind::DegradedEnter => Phase::Begin,
+            TraceKind::PhaseSlowExit | TraceKind::DegradedExit => Phase::End,
             _ => Phase::Instant,
         }
     }

@@ -47,6 +47,17 @@ impl MetricValue {
             MetricValue::Summary { .. } => "summary",
         }
     }
+
+    /// The sample as an integer: the count of a counter, a truncated
+    /// gauge, or the observation count of a summary. Convenient for
+    /// assertions and report scripts that don't care about the kind.
+    pub fn as_u64(&self) -> u64 {
+        match self {
+            MetricValue::Counter(v) => *v,
+            MetricValue::Gauge(v) => *v as u64,
+            MetricValue::Summary { count, .. } => *count,
+        }
+    }
 }
 
 /// One metric sample: name, help text, labels, value.

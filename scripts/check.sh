@@ -17,9 +17,9 @@ cargo xtask lint
 echo "==> cargo clippy (default features)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "==> cargo clippy (audit + mutation-hooks)"
+echo "==> cargo clippy (audit + chaos)"
 cargo clippy --workspace --all-targets --offline \
-    --features "audit ceio-core/mutation-hooks" -- -D warnings
+    --features "audit chaos" -- -D warnings
 
 echo "==> cargo clippy (trace)"
 cargo clippy --workspace --all-targets --offline --features trace -- -D warnings
@@ -35,6 +35,9 @@ cargo test --workspace --offline -q --features audit
 
 echo "==> cargo test (trace enabled)"
 cargo test --workspace --offline -q --features trace
+
+echo "==> cargo test (chaos enabled)"
+cargo test --workspace --offline -q --features chaos
 
 echo "==> telemetry smoke (ceio-inspect)"
 cargo build --offline -p ceio-bench --features trace --bin ceio-inspect
@@ -59,5 +62,28 @@ for metric in ceio_ingress_admitted_total ceio_rmt_updates_total \
         || { echo "telemetry smoke: metrics are missing '$metric'"; exit 1; }
 done
 echo "telemetry smoke passed"
+
+echo "==> chaos smoke (ceio-inspect under a canned fault storm)"
+cargo build --offline -p ceio-bench --features "trace chaos" --bin ceio-inspect
+target/debug/ceio-inspect --scenario kv --millis 3 \
+    --fault-plan smoke --seed 1234 \
+    --trace-out "$smoke_dir/chaos-trace.json" \
+    --prom-out "$smoke_dir/chaos-metrics.prom" \
+    > "$smoke_dir/chaos-stdout.txt"
+# Under injected faults the run must (a) stay credit-conserving and
+# (b) actually exercise the recovery machinery — a smoke that injects
+# nothing verifies nothing.
+grep -q "^ceio_credit_conserved 1$" "$smoke_dir/chaos-metrics.prom" \
+    || { echo "chaos smoke: credits not conserved under faults"; exit 1; }
+for metric in ceio_chaos_injected_total ceio_recovery_dma_write_retries_total \
+              ceio_credit_lease_reclaims_total; do
+    grep -Eq "^$metric [1-9]" "$smoke_dir/chaos-metrics.prom" \
+        || { echo "chaos smoke: '$metric' is zero — no faults exercised"; exit 1; }
+done
+for ev in dma-retry credit-release-lost credit-lease-reclaim; do
+    grep -q "\"name\":\"$ev\"" "$smoke_dir/chaos-trace.json" \
+        || { echo "chaos smoke: trace is missing '$ev' events"; exit 1; }
+done
+echo "chaos smoke passed"
 
 echo "All checks passed."
