@@ -1,0 +1,495 @@
+//! Bounded model checker for the hierarchical (sharded) credit ledger.
+//!
+//! The flat checker in `model_credit.rs` verifies Algorithm 1 inside one
+//! [`CreditManager`]. This suite explores [`ShardedCredits`] — the
+//! two-level ledger the multi-queue receive path runs — over the full
+//! mutation alphabet *including the borrow/return primitives*
+//!
+//! ```text
+//! { add_flows, remove_flow, try_consume, release(1), release(2),
+//!   release_to_pool, reclaim, grant, grant_evenly, rebalance }
+//! ```
+//!
+//! with a small universe (2 partitions, 4 total credits, 3 flows pinned by
+//! RSS hash to known partitions) so exhaustive exploration terminates.
+//! Every reached state must satisfy the **two-level conservation**
+//! invariant, recomputed from public accessors rather than trusted from
+//! `conserved()`:
+//!
+//! * **Per-partition Eq. 1**: `assigned_q + pool_q + outstanding_q ==
+//!   total_q` for every partition `q`;
+//! * **Hierarchy conservation**: `Σ_q total_q + global_free == C_total` —
+//!   borrow/return moves slack between levels but never creates or
+//!   destroys credits;
+//! * **Outstanding ledgers**: each partition's `outstanding()` equals a
+//!   naive per-partition reference counter, and the aggregate matches
+//!   their sum;
+//! * **Aggregate accessors**: `free_pool()`/`assigned_total()` agree with
+//!   the per-partition sums;
+//! * **Insufficient-set consistency**: a flow is in `I` iff its owed
+//!   ledger is non-empty.
+//!
+//! Canonicalisation subtlety: `rebalance` keys its pressure detection off
+//! the *denial delta* since the previous rebalance. The absolute denial
+//! counter grows without bound, so the canonical key stores the delta
+//! (mirrored in a reference baseline) clamped at `C_total` — beyond that
+//! the borrow amount `min(delta, headroom, global_free)` is saturated by
+//! the other two operands (both ≤ `C_total`), so larger deltas are
+//! behaviorally identical and the state graph stays finite.
+//!
+//! Mutation tests prove the harness can fail: a credit leaked from one
+//! partition's pool (per-partition Eq. 1) and a credit minted into the
+//! global pool (hierarchy-level sum) are both flagged immediately via
+//! ceio-core's `chaos`-gated mutation hooks.
+
+use ceio_audit::{AuditCtx, AuditSink};
+use ceio_core::ShardedCredits;
+use ceio_net::FlowId;
+use std::collections::{HashSet, VecDeque};
+
+const TOTAL: u64 = 4;
+const PARTS: usize = 2;
+
+/// Three flows pinned to known partitions by searching the RSS hash: two
+/// landing in partition 0, one in partition 1 (so one partition sees
+/// intra-partition credit dynamics while the other exercises the
+/// cross-partition borrow path). Search keeps the test valid if the RSS
+/// finalizer ever changes.
+fn universe() -> [FlowId; 3] {
+    let probe = ShardedCredits::new(TOTAL, PARTS);
+    let mut in0 = Vec::new();
+    let mut in1 = Vec::new();
+    for i in 0..10_000u32 {
+        let f = FlowId(i);
+        match probe.partition_of(f) {
+            0 if in0.len() < 2 => in0.push(f),
+            1 if in1.is_empty() => in1.push(f),
+            _ => {}
+        }
+        if in0.len() == 2 && in1.len() == 1 {
+            return [in0[0], in0[1], in1[0]];
+        }
+    }
+    unreachable!("RSS hash failed to cover both partitions in 10k flow ids");
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Add(FlowId),
+    Remove(FlowId),
+    TryConsume(FlowId),
+    Release(FlowId, u64),
+    ReleaseToPool(FlowId),
+    Reclaim(FlowId),
+    Grant(FlowId),
+    GrantEvenly,
+    Rebalance,
+}
+
+fn alphabet(flows: &[FlowId; 3]) -> Vec<Op> {
+    let mut ops = Vec::new();
+    for &f in flows {
+        ops.push(Op::Add(f));
+        ops.push(Op::Remove(f));
+        ops.push(Op::TryConsume(f));
+        ops.push(Op::Release(f, 1));
+        ops.push(Op::Release(f, 2));
+        ops.push(Op::ReleaseToPool(f));
+        ops.push(Op::Reclaim(f));
+        ops.push(Op::Grant(f));
+    }
+    ops.push(Op::GrantEvenly);
+    ops.push(Op::Rebalance);
+    ops
+}
+
+/// Reference ledger mirrored beside the hierarchy: naive per-partition
+/// outstanding counters plus the denial baseline `rebalance` keys off.
+#[derive(Debug, Clone, Default)]
+struct RefLedger {
+    outstanding: [u64; PARTS],
+    denied_at_last: [u64; PARTS],
+}
+
+impl RefLedger {
+    fn denied_delta(&self, sc: &ShardedCredits, q: usize) -> u64 {
+        let denied = sc.partition(q).map(|p| p.stats().denied).unwrap_or(0);
+        denied - self.denied_at_last[q]
+    }
+}
+
+/// Canonical state key: everything observable through public accessors,
+/// with denial deltas clamped (see module docs) so the graph is finite.
+fn canon(sc: &ShardedCredits, r: &RefLedger, flows: &[FlowId; 3]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = write!(s, "g{}", sc.global_free());
+    for q in 0..PARTS {
+        let p = sc.partition(q).expect("partition exists");
+        let _ = write!(
+            s,
+            "|q{q}:t{}p{}o{}d{}",
+            p.total(),
+            p.free_pool(),
+            p.outstanding(),
+            r.denied_delta(sc, q).min(TOTAL)
+        );
+    }
+    for f in flows {
+        let _ = write!(
+            s,
+            "|{}:c{}d{}i{}",
+            f.0,
+            sc.credits(*f),
+            sc.debt_of(*f),
+            u8::from(sc.in_insufficient(*f))
+        );
+    }
+    let _ = write!(s, "|n{}", sc.flow_count());
+    s
+}
+
+struct Checker {
+    sink: AuditSink,
+    states: u64,
+    flows: [FlowId; 3],
+}
+
+impl Checker {
+    fn violate(&mut self, depth: usize, invariant: &'static str, detail: String) {
+        let ctx = AuditCtx {
+            event_index: depth as u64,
+            event_label: "sharded-model-step",
+        };
+        self.sink.report(&ctx, invariant, detail, Vec::new());
+    }
+
+    /// Invariants of every reachable state, recomputed from accessors.
+    fn check_state(&mut self, depth: usize, sc: &ShardedCredits, r: &RefLedger) {
+        self.states += 1;
+        let mut sum_total = 0u64;
+        let mut sum_pool = 0u64;
+        let mut sum_assigned = 0u64;
+        let mut sum_out = 0u64;
+        for q in 0..PARTS {
+            let p = sc.partition(q).expect("partition exists");
+            // Per-partition Eq. 1.
+            if p.assigned_total() + p.free_pool() + p.outstanding() != p.total() {
+                self.violate(
+                    depth,
+                    "partition-conservation",
+                    format!(
+                        "partition {q}: {} assigned + {} pool + {} outstanding != {} total",
+                        p.assigned_total(),
+                        p.free_pool(),
+                        p.outstanding(),
+                        p.total()
+                    ),
+                );
+            }
+            // Per-partition outstanding ledger vs the naive reference.
+            if p.outstanding() != r.outstanding[q] {
+                self.violate(
+                    depth,
+                    "outstanding-ledger",
+                    format!(
+                        "partition {q}: outstanding() {} != reference {}",
+                        p.outstanding(),
+                        r.outstanding[q]
+                    ),
+                );
+            }
+            sum_total += p.total();
+            sum_pool += p.free_pool();
+            sum_assigned += p.assigned_total();
+            sum_out += p.outstanding();
+        }
+        // Hierarchy-level conservation.
+        if sum_total + sc.global_free() != sc.total() {
+            self.violate(
+                depth,
+                "hierarchy-conservation",
+                format!(
+                    "Σ partition totals {sum_total} + global free {} != C_total {}",
+                    sc.global_free(),
+                    sc.total()
+                ),
+            );
+        }
+        // The aggregate accessors must agree with the per-partition sums.
+        if sc.free_pool() != sum_pool + sc.global_free()
+            || sc.assigned_total() != sum_assigned
+            || sc.outstanding() != sum_out
+        {
+            self.violate(
+                depth,
+                "aggregate-accessors",
+                format!(
+                    "aggregates (pool {}, assigned {}, outstanding {}) disagree with \
+                     partition sums ({}, {sum_assigned}, {sum_out})",
+                    sc.free_pool(),
+                    sc.assigned_total(),
+                    sc.outstanding(),
+                    sum_pool + sc.global_free()
+                ),
+            );
+        }
+        // conserved() is what the runtime audit layer asserts — it must
+        // agree with the recomputation above (i.e. hold on clean states).
+        if !sc.conserved() {
+            self.violate(
+                depth,
+                "conserved-accessor",
+                "conserved() reported false on a state the checker recomputed as clean".to_string(),
+            );
+        }
+        for f in self.flows {
+            if sc.in_insufficient(f) != (sc.debt_of(f) > 0) {
+                self.violate(
+                    depth,
+                    "insufficient-set-consistency",
+                    format!(
+                        "flow {}: in I = {}, debt = {}",
+                        f.0,
+                        sc.in_insufficient(f),
+                        sc.debt_of(f)
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Apply one op to both models.
+    fn apply(&mut self, depth: usize, op: Op, sc: &mut ShardedCredits, r: &mut RefLedger) {
+        match op {
+            Op::Add(f) => sc.add_flows(&[f]),
+            Op::Remove(f) => sc.remove_flow(f),
+            Op::TryConsume(f) => {
+                let q = sc.partition_of(f);
+                let before = sc.credits(f);
+                let admitted = sc.try_consume(f);
+                if admitted {
+                    if before == 0 {
+                        self.violate(
+                            depth,
+                            "no-overdraft",
+                            format!("flow {} consumed a credit it did not hold", f.0),
+                        );
+                    }
+                    r.outstanding[q] += 1;
+                } else if before > 0 {
+                    self.violate(
+                        depth,
+                        "no-overdraft",
+                        format!("flow {} denied while holding {before} credits", f.0),
+                    );
+                }
+            }
+            Op::Release(f, gamma) => {
+                let q = sc.partition_of(f);
+                sc.release(f, gamma);
+                r.outstanding[q] -= gamma.min(r.outstanding[q]);
+            }
+            Op::ReleaseToPool(f) => {
+                let q = sc.partition_of(f);
+                sc.release_to_pool(f, 1);
+                r.outstanding[q] -= 1u64.min(r.outstanding[q]);
+            }
+            Op::Reclaim(f) => {
+                let _ = sc.reclaim(f);
+            }
+            Op::Grant(f) => {
+                let _ = sc.grant(f, 1);
+            }
+            Op::GrantEvenly => sc.grant_evenly(&self.flows),
+            Op::Rebalance => {
+                let global_before = sc.global_free();
+                let out_before = sc.outstanding();
+                let assigned_before = sc.assigned_total();
+                let (returned, borrowed) = sc.rebalance();
+                // Borrow/return only moves *free* credits between levels:
+                // assigned and outstanding balances never migrate, and the
+                // global pool moves by exactly the reported net.
+                if sc.outstanding() != out_before || sc.assigned_total() != assigned_before {
+                    self.violate(
+                        depth,
+                        "rebalance-moves-free-only",
+                        format!(
+                            "rebalance touched non-free credits: outstanding {} -> {}, \
+                             assigned {} -> {}",
+                            out_before,
+                            sc.outstanding(),
+                            assigned_before,
+                            sc.assigned_total()
+                        ),
+                    );
+                }
+                if sc.global_free() as i128 - global_before as i128
+                    != returned as i128 - borrowed as i128
+                {
+                    self.violate(
+                        depth,
+                        "rebalance-accounting",
+                        format!(
+                            "global pool moved {} -> {} but rebalance reported \
+                             (returned {returned}, borrowed {borrowed})",
+                            global_before,
+                            sc.global_free()
+                        ),
+                    );
+                }
+                for q in 0..PARTS {
+                    r.denied_at_last[q] = sc.partition(q).map(|p| p.stats().denied).unwrap_or(0);
+                }
+            }
+        }
+        self.check_state(depth, sc, r);
+    }
+}
+
+/// Breadth-first exploration of the canonical state graph to `max_depth`.
+fn explore(max_depth: usize) -> (Checker, usize) {
+    let flows = universe();
+    let ops = alphabet(&flows);
+    let mut checker = Checker {
+        sink: AuditSink::with_capacity(8),
+        states: 0,
+        flows,
+    };
+    let root = ShardedCredits::new(TOTAL, PARTS);
+    let ref_root = RefLedger::default();
+    checker.check_state(0, &root, &ref_root);
+    let mut visited: HashSet<String> = HashSet::new();
+    visited.insert(canon(&root, &ref_root, &flows));
+    let mut frontier: VecDeque<(ShardedCredits, RefLedger, usize)> = VecDeque::new();
+    frontier.push_back((root, ref_root, 0));
+    while let Some((sc, r, depth)) = frontier.pop_front() {
+        if depth == max_depth || checker.sink.total() > 0 {
+            continue;
+        }
+        for &op in &ops {
+            let mut next = sc.clone();
+            let mut next_ref = r.clone();
+            checker.apply(depth + 1, op, &mut next, &mut next_ref);
+            if visited.insert(canon(&next, &next_ref, &flows)) {
+                frontier.push_back((next, next_ref, depth + 1));
+            }
+        }
+    }
+    let distinct = visited.len();
+    (checker, distinct)
+}
+
+fn assert_clean(c: &Checker) {
+    assert!(
+        c.sink.is_clean(),
+        "sharded credit model checker found {} violation(s):\n{}",
+        c.sink.total(),
+        c.sink
+            .violations()
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn sharded_ledger_exhaustive_depth8() {
+    let (checker, distinct) = explore(8);
+    assert_clean(&checker);
+    assert!(
+        distinct > 500,
+        "only {distinct} distinct states reached — universe too small to mean anything"
+    );
+    assert!(
+        checker.states > 5_000,
+        "only {} transitions checked",
+        checker.states
+    );
+}
+
+/// Saturation: the BFS frontier only carries *new* canonical states, and
+/// the denial-delta clamp keeps the key space finite, so two generous
+/// depth bounds reaching the same distinct-state count is *full*
+/// verification of the small hierarchical model.
+#[test]
+fn sharded_ledger_saturates() {
+    let (_, d36) = explore(36);
+    let (checker, d44) = explore(44);
+    assert_clean(&checker);
+    assert_eq!(
+        d36, d44,
+        "sharded state graph still growing at depth 44 — universe did not saturate"
+    );
+}
+
+/// Mutation test: a credit leaked from one partition's free pool (no
+/// balancing entry) must break per-partition Eq. 1 at the next state
+/// audit. (The state is audited directly rather than via another op:
+/// debug builds assert conservation inside every mutator, which would
+/// abort before the checker could produce its structured report.)
+#[test]
+fn injected_partition_leak_is_caught() {
+    let flows = universe();
+    let mut checker = Checker {
+        sink: AuditSink::with_capacity(4),
+        states: 0,
+        flows,
+    };
+    let mut sc = ShardedCredits::new(TOTAL, PARTS);
+    let mut r = RefLedger::default();
+    checker.apply(1, Op::Add(flows[0]), &mut sc, &mut r);
+    assert!(
+        checker.sink.is_clean(),
+        "healthy hierarchy must check clean"
+    );
+    // Leak from the *other* partition: the flow's own partition assigned
+    // its whole share to the flow (empty pool, nothing to leak), while the
+    // quiet partition still holds its full share as free credits.
+    let q = 1 - sc.partition_of(flows[0]);
+    assert!(
+        sc.partition(q).is_some_and(|p| p.free_pool() > 0),
+        "quiet partition must hold free credits to leak"
+    );
+    sc.leak_partition_credit_for_tests(q);
+    checker.check_state(2, &sc, &r);
+    assert!(
+        checker.sink.total() > 0,
+        "leaked partition credit must violate conservation"
+    );
+    assert_eq!(
+        checker.sink.violations()[0].invariant,
+        "partition-conservation"
+    );
+}
+
+/// Mutation test: a credit minted straight into the global pool inflates
+/// `Σ total_q + global_free` past `C_total` — the hierarchy-level sum
+/// must catch what every per-partition Eq. 1 check alone would miss.
+#[test]
+fn injected_global_mint_is_caught() {
+    let flows = universe();
+    let mut checker = Checker {
+        sink: AuditSink::with_capacity(4),
+        states: 0,
+        flows,
+    };
+    let mut sc = ShardedCredits::new(TOTAL, PARTS);
+    let r = RefLedger::default();
+    checker.check_state(1, &sc, &r);
+    assert!(
+        checker.sink.is_clean(),
+        "healthy hierarchy must check clean"
+    );
+    sc.mint_global_credit_for_tests();
+    checker.check_state(2, &sc, &r);
+    assert!(
+        checker.sink.total() > 0,
+        "minted global credit must violate hierarchy conservation"
+    );
+    assert_eq!(
+        checker.sink.violations()[0].invariant,
+        "hierarchy-conservation"
+    );
+}

@@ -15,7 +15,7 @@
 //!              [--scenario kv|mixed|dynamic|burst]    \
 //!              [--millis N] [--warmup-ms N] [--ring N] \
 //!              [--trace-out FILE] [--prom-out FILE]    \
-//!              [--seed N] [--fault-plan SPEC]
+//!              [--seed N] [--fault-plan SPEC] [--queues N]
 //! ```
 //!
 //! `--fault-plan` arms a deterministic fault-injection schedule (canned
@@ -52,6 +52,7 @@ struct Args {
     trace_out: String,
     prom_out: String,
     plan: Option<FaultPlan>,
+    queues: usize,
 }
 
 /// Parse a required numeric flag value; exit(2) when missing or malformed.
@@ -61,6 +62,25 @@ fn parse_num(flag: &str, value: Option<&String>) -> u64 {
         Some(Err(_)) | None => {
             eprintln!(
                 "{flag} requires a numeric value, got {:?}",
+                value.map(String::as_str).unwrap_or("<missing>")
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parse `--queues`: a positive queue count; exit(2) on zero (no receive
+/// queues leaves no data path) or a non-numeric value.
+fn parse_queues(value: Option<&String>) -> usize {
+    match value.map(|s| s.parse::<usize>()) {
+        Some(Ok(v)) if v >= 1 => v,
+        Some(Ok(_)) => {
+            eprintln!("--queues must be >= 1 (zero receive queues leaves no data path)");
+            std::process::exit(2);
+        }
+        Some(Err(_)) | None => {
+            eprintln!(
+                "--queues requires a positive integer, got {:?}",
                 value.map(String::as_str).unwrap_or("<missing>")
             );
             std::process::exit(2);
@@ -98,6 +118,7 @@ fn parse_args() -> Args {
         trace_out: "ceio-inspect-trace.json".to_string(),
         prom_out: "ceio-inspect-metrics.prom".to_string(),
         plan: None,
+        queues: 1,
     };
     let mut seed = 0u64;
     let mut plan_spec: Option<String> = None;
@@ -168,6 +189,10 @@ fn parse_args() -> Args {
                     }
                 };
             }
+            "--queues" => {
+                i += 1;
+                a.queues = parse_queues(args.get(i));
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -217,6 +242,7 @@ fn main() {
     let a = parse_args();
     let mut host = workloads::contended_host(Transport::Dpdk);
     host.sample_window = Duration::micros(100);
+    host.num_queues = a.queues;
     let link = host.net.link_bandwidth;
     let phase = Duration::millis((a.millis / 4).max(1));
     let (scen, app) = match a.scenario.as_str() {

@@ -5,7 +5,7 @@
 //! ceio-trace [--policy baseline|hostcc|shring|ceio] \
 //!            [--scenario kv|mixed|dynamic|burst]    \
 //!            [--millis N] [--warmup-ms N] [--out FILE] \
-//!            [--seed N] [--fault-plan SPEC]
+//!            [--seed N] [--fault-plan SPEC] [--queues N]
 //! ```
 //!
 //! Columns: `t_ms, involved_mpps, bypass_gbps, llc_miss_rate, fast_gbps,
@@ -45,6 +45,25 @@ fn parse_millis(flag: &str, value: Option<&String>) -> u64 {
     }
 }
 
+/// Parse `--queues`: a positive queue count; exit(2) on zero (no receive
+/// queues leaves no data path) or a non-numeric value.
+fn parse_queues(value: Option<&String>) -> usize {
+    match value.map(|s| s.parse::<usize>()) {
+        Some(Ok(v)) if v >= 1 => v,
+        Some(Ok(_)) => {
+            eprintln!("--queues must be >= 1 (zero receive queues leaves no data path)");
+            std::process::exit(2);
+        }
+        Some(Err(_)) | None => {
+            eprintln!(
+                "--queues requires a positive integer, got {:?}",
+                value.map(String::as_str).unwrap_or("<missing>")
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Resolve `--seed`/`--fault-plan` into an armed plan, exiting 2 on a
 /// malformed spec or on a plan this build cannot apply.
 fn resolve_fault_plan(spec: Option<&String>, seed: u64) -> Option<FaultPlan> {
@@ -72,6 +91,7 @@ fn parse_args() -> (
     u64,
     Option<String>,
     Option<FaultPlan>,
+    usize,
 ) {
     let mut policy = PolicyKind::Ceio;
     let mut scenario = "kv".to_string();
@@ -80,6 +100,7 @@ fn parse_args() -> (
     let mut out = None;
     let mut seed = 0u64;
     let mut plan_spec: Option<String> = None;
+    let mut queues = 1usize;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -127,6 +148,10 @@ fn parse_args() -> (
                     }
                 };
             }
+            "--queues" => {
+                i += 1;
+                queues = parse_queues(args.get(i));
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -135,13 +160,14 @@ fn parse_args() -> (
         i += 1;
     }
     let plan = resolve_fault_plan(plan_spec.as_ref(), seed);
-    (policy, scenario, millis, warmup_ms, out, plan)
+    (policy, scenario, millis, warmup_ms, out, plan, queues)
 }
 
 fn main() {
-    let (policy, scenario, millis, warmup_ms, out, plan) = parse_args();
+    let (policy, scenario, millis, warmup_ms, out, plan, queues) = parse_args();
     let mut host = workloads::contended_host(Transport::Dpdk);
     host.sample_window = Duration::micros(100);
+    host.num_queues = queues;
     let link = host.net.link_bandwidth;
     let phase = Duration::millis((millis / 4).max(1));
     let (scen, app) = match scenario.as_str() {

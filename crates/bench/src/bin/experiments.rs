@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! ceio-experiments [--quick] [name ...]
-//! names: fig04 fig09 fig10 fig11 fig12 table2 table3 table4 limited ablations sensitivity
+//! names: fig04 fig09 fig10 fig11 fig12 table2 table3 table4 limited queues ablations sensitivity
 //! ```
 
 use std::time::Instant;
@@ -21,7 +21,7 @@ fn main() {
             .collect()
     };
     if selected.is_empty() {
-        eprintln!("no matching experiments; known: fig04 fig09 fig10 fig11 fig12 table2 table3 table4 limited ablations sensitivity");
+        eprintln!("no matching experiments; known: fig04 fig09 fig10 fig11 fig12 table2 table3 table4 limited queues ablations sensitivity");
         std::process::exit(2);
     }
     for (name, f) in selected {

@@ -7,6 +7,7 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig12;
 pub mod limited;
+pub mod queues;
 pub mod sensitivity;
 pub mod table2;
 pub mod table3;
@@ -27,6 +28,7 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("table3", table3::run),
         ("table4", table4::run),
         ("limited", limited::run),
+        ("queues", queues::run),
         ("ablations", ablations::run),
         ("sensitivity", sensitivity::run),
     ]

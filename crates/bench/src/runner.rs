@@ -59,6 +59,9 @@ impl PolicyKind {
     pub fn build(self, host: &HostConfig) -> AnyPolicy {
         let ceio = CeioConfig {
             credit_total: host.credit_total(),
+            // The credit ledger shards over the same RSS queues as the
+            // host's DMA pipeline (hierarchical at num_queues > 1).
+            num_queues: host.num_queues,
             ..CeioConfig::default()
         };
         match self {

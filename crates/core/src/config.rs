@@ -63,6 +63,17 @@ pub struct CeioConfig {
     /// Consecutive calm controller polls (occupancy under the exit
     /// fraction, no new store rejections) required to leave degraded mode.
     pub degraded_exit_polls: u32,
+    /// Number of receive queues the flow-steering rules shard over (RSS).
+    /// The credit ledger becomes hierarchical at `num_queues > 1`: one
+    /// Eq. 1 partition per queue plus a global slack pool the controller
+    /// rebalances each poll. `1` (the default) keeps the flat single-queue
+    /// ledger and is bit-identical to the pre-sharding pipeline.
+    #[serde(default = "default_num_queues")]
+    pub num_queues: usize,
+}
+
+fn default_num_queues() -> usize {
+    1
 }
 
 impl Default for CeioConfig {
@@ -82,6 +93,7 @@ impl Default for CeioConfig {
             degraded_enter_fraction: 0.9,
             degraded_exit_fraction: 0.5,
             degraded_exit_polls: 3,
+            num_queues: default_num_queues(),
         }
     }
 }

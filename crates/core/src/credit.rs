@@ -652,6 +652,33 @@ impl CreditManager {
         debug_assert!(self.conserved(), "grant_evenly broke Eq. 1 conservation");
     }
 
+    /// Lend `amount` credits into this partition's free pool, growing its
+    /// configured total by the same amount — the borrow half of the
+    /// hierarchical ledger (a per-queue partition taking slack from the
+    /// global pool). Eq. 1 keeps holding *within* the partition because
+    /// total and pool move together; the *caller* owns the cross-partition
+    /// invariant (Σ partition totals + global free == C_total).
+    pub fn inject_pool(&mut self, amount: u64) {
+        self.total += amount;
+        self.free_pool += amount;
+        debug_assert!(self.conserved(), "inject_pool broke Eq. 1 conservation");
+    }
+
+    /// Take up to `amount` credits out of this partition's free pool,
+    /// shrinking its configured total by the same amount — the return half
+    /// of the hierarchical ledger (a quiet partition yielding slack back
+    /// to the global pool). Only *free* credits can leave: assigned and
+    /// outstanding credits stay where Algorithm 1 put them. Returns the
+    /// amount actually withdrawn.
+    #[must_use = "returns the number of credits actually withdrawn"]
+    pub fn withdraw_pool(&mut self, amount: u64) -> u64 {
+        let taken = amount.min(self.free_pool);
+        self.free_pool -= taken;
+        self.total -= taken;
+        debug_assert!(self.conserved(), "withdraw_pool broke Eq. 1 conservation");
+        taken
+    }
+
     /// Deliberately leak one credit from the free pool **without**
     /// adjusting any other account — a conservation (Eq. 1) violation.
     ///
@@ -970,6 +997,40 @@ mod tests {
         cm.release(FlowId(1), 1);
         assert_eq!(cm.credits(FlowId(1)), 4);
         assert_eq!(cm.stats().stale_releases, 0);
+        assert!(cm.conserved());
+    }
+
+    #[test]
+    fn inject_and_withdraw_move_total_with_pool() {
+        let mut cm = CreditManager::new(10);
+        cm.add_flows(&ids(&[1])); // all 10 assigned
+        assert_eq!(cm.free_pool(), 0);
+        cm.inject_pool(5);
+        assert_eq!(cm.total(), 15);
+        assert_eq!(cm.free_pool(), 5);
+        assert!(cm.conserved());
+        // Only free credits can leave; assigned ones stay.
+        assert_eq!(cm.withdraw_pool(100), 5);
+        assert_eq!(cm.total(), 10);
+        assert_eq!(cm.free_pool(), 0);
+        assert_eq!(cm.withdraw_pool(1), 0);
+        assert!(cm.conserved());
+    }
+
+    #[test]
+    fn withdraw_never_touches_outstanding() {
+        let mut cm = CreditManager::new(4);
+        cm.add_flows(&ids(&[1]));
+        assert!(cm.try_consume(FlowId(1)));
+        let _ = cm.reclaim(FlowId(1)); // 3 to pool, 1 outstanding
+        assert_eq!(cm.withdraw_pool(10), 3);
+        assert_eq!(cm.total(), 1);
+        assert_eq!(cm.outstanding(), 1);
+        assert!(cm.conserved());
+        // The in-flight credit still returns cleanly into the shrunk
+        // partition.
+        cm.release(FlowId(1), 1);
+        assert_eq!(cm.outstanding(), 0);
         assert!(cm.conserved());
     }
 

@@ -41,6 +41,7 @@ pub mod credit;
 pub mod driver;
 pub mod mpq;
 pub mod policy;
+pub mod sharded;
 pub mod swring;
 
 pub use config::CeioConfig;
@@ -48,4 +49,5 @@ pub use credit::CreditManager;
 pub use driver::{BufHandle, BufOrigin, CeioDriver, Delivery, DriverRecv};
 pub use mpq::{MpqConfig, MpqPolicy};
 pub use policy::CeioPolicy;
+pub use sharded::ShardedCredits;
 pub use swring::{RecvOutcome, SwRing};

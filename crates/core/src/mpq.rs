@@ -18,7 +18,7 @@
 use crate::credit::CreditManager;
 use ceio_host::{DrainRequest, HostState, IoPolicy, SteerDecision};
 use ceio_net::{FlowId, Packet};
-use ceio_nic::SteerAction;
+use ceio_nic::{QueueId, SteerAction};
 use ceio_sim::{Duration, Time};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -112,7 +112,7 @@ impl IoPolicy for MpqPolicy {
     }
 
     fn on_flow_start(&mut self, st: &mut HostState, now: Time, flow: FlowId) {
-        let queue = st.flows.get(&flow).map(|f| f.core).unwrap_or(0);
+        let queue = QueueId(st.flows.get(&flow).map(|f| f.core).unwrap_or(0));
         st.rmt.install(flow, SteerAction::FastPath { queue });
         st.nic_arm.execute(now, st.cfg.nic.arm_table_update);
         self.credits.add_flows(&[flow]);

@@ -24,12 +24,12 @@
 //!   flows as the fairness backstop.
 
 use crate::config::CeioConfig;
-use crate::credit::CreditManager;
+use crate::sharded::ShardedCredits;
 #[cfg(feature = "chaos")]
 use ceio_chaos::{FaultInjector, FaultSite};
 use ceio_host::{DrainRequest, HostState, IoPolicy, SteerDecision};
 use ceio_net::{FlowId, Packet};
-use ceio_nic::SteerAction;
+use ceio_nic::{rss_queue, SteerAction};
 use ceio_sim::Time;
 use ceio_telemetry::SnapshotBuilder;
 #[cfg(feature = "trace")]
@@ -81,6 +81,10 @@ pub struct CeioStats {
     pub degraded_entries: u64,
     /// Exits from degraded mode (hysteretic recovery).
     pub degraded_exits: u64,
+    /// Credits quiet queue partitions returned to the global pool.
+    pub rebalance_returned: u64,
+    /// Credits pressured queue partitions borrowed from the global pool.
+    pub rebalance_borrowed: u64,
 }
 
 /// Controller operating mode (graceful degradation, ROADMAP item: the
@@ -117,8 +121,11 @@ struct PolicyChaos {
 /// The CEIO policy.
 pub struct CeioPolicy {
     cfg: CeioConfig,
-    /// The credit manager (public for experiment introspection).
-    pub credits: CreditManager,
+    /// The hierarchical credit ledger: one Eq. 1 partition per receive
+    /// queue plus a global slack pool (public for experiment
+    /// introspection). At `num_queues == 1` it degenerates to the flat
+    /// single-queue manager.
+    pub credits: ShardedCredits,
     ctl: HashMap<FlowId, FlowCtl>,
     rr_order: Vec<FlowId>,
     rr_cursor: usize,
@@ -144,7 +151,7 @@ impl CeioPolicy {
     /// fast-path LLC residents (§4.1 Q2).
     pub fn new(cfg: CeioConfig) -> CeioPolicy {
         CeioPolicy {
-            credits: CreditManager::new(cfg.credit_total),
+            credits: ShardedCredits::new(cfg.credit_total, cfg.num_queues.max(1)),
             ctl: HashMap::new(),
             rr_order: Vec::new(),
             rr_cursor: 0,
@@ -377,7 +384,7 @@ impl CeioPolicy {
                 }
             }
             SteerAction::FastPath { queue } => {
-                r.push(ev(TraceKind::RuleRewriteFast, queue as u64));
+                r.push(ev(TraceKind::RuleRewriteFast, queue.index() as u64));
                 if matches!(prev, Some(SteerAction::SlowPath)) {
                     r.push(ev(TraceKind::PhaseSlowExit, 0));
                 }
@@ -393,13 +400,10 @@ impl IoPolicy for CeioPolicy {
     }
 
     fn on_flow_start(&mut self, st: &mut HostState, now: Time, flow: FlowId) {
-        // Connection establishment: offload the steering rule (fast path)
-        // and run Algorithm 1's assignment.
-        let queue = st
-            .flows
-            .get(&flow)
-            .map(|f| f.core)
-            .unwrap_or(flow.0 as usize);
+        // Connection establishment: offload the steering rule (fast path,
+        // RSS-sharded onto a receive queue) and run Algorithm 1's
+        // assignment in that queue's credit partition.
+        let queue = rss_queue(flow.0, self.cfg.num_queues);
         st.rmt.install(flow, SteerAction::FastPath { queue });
         st.nic_arm.execute(now, st.cfg.nic.arm_table_update);
         self.credits.add_flows(&[flow]);
@@ -451,15 +455,17 @@ impl IoPolicy for CeioPolicy {
             c.last_activity = now;
             c.last_arrival = now;
         }
-        let (parked, slow_len, ring_free, core) = match st.flows.get(&flow) {
+        let (parked, slow_len, ring_free) = match st.flows.get(&flow) {
             Some(f) => (
                 f.slow_queue.len() + f.slow_fetch_inflight as usize,
                 f.slow_queue.len(),
                 f.ring_free(),
-                f.core,
             ),
             None => return SteerDecision::Drop { loss: false },
         };
+        // The RSS shard this flow's fast path lands on (stable per flow,
+        // so rule-rewrite counts are unaffected by the queue value).
+        let queue = rss_queue(flow.0, self.cfg.num_queues);
         // Production outrunning slow-path consumption: echo congestion to
         // the sender's CCA, per packet, like a shallow-queue ECN marker
         // (§4.1 Q2). Without this the elastic buffer would just absorb an
@@ -479,7 +485,7 @@ impl IoPolicy for CeioPolicy {
                 return SteerDecision::Drop { loss: true };
             }
             if ring_free > 0 && self.credits.try_consume(flow) {
-                self.sync_rule(st, now, flow, SteerAction::FastPath { queue: core });
+                self.sync_rule(st, now, flow, SteerAction::FastPath { queue });
                 return SteerDecision::FastPath { mark };
             }
             self.sync_rule(st, now, flow, SteerAction::Drop);
@@ -499,7 +505,7 @@ impl IoPolicy for CeioPolicy {
             return SteerDecision::SlowPath { mark };
         }
         if ring_free > 0 && self.credits.try_consume(flow) {
-            self.sync_rule(st, now, flow, SteerAction::FastPath { queue: core });
+            self.sync_rule(st, now, flow, SteerAction::FastPath { queue });
             // Proactive rate control (Table 1): echo congestion while the
             // flow's credits run low, so the sender converges to the
             // consumption rate *before* exhaustion degrades it. The
@@ -751,6 +757,19 @@ impl IoPolicy for CeioPolicy {
                 }
             }
         }
+        // Hierarchical ledger rebalance (multi-queue only): quiet queue
+        // partitions yield free slack above their base share to the global
+        // pool; partitions that denied admissions since the last poll
+        // borrow it back, bounded by demand and a 2x-base cap. Guarded so
+        // the single-queue pipeline stays bit-identical to the flat ledger.
+        if self.cfg.num_queues > 1 {
+            let (returned, borrowed) = self.credits.rebalance();
+            if returned + borrowed > 0 {
+                self.stats.rebalance_returned += returned;
+                self.stats.rebalance_borrowed += borrowed;
+                st.nic_arm.execute(now, st.cfg.nic.arm_credit_op);
+            }
+        }
         // Degraded-mode hysteresis: entry is immediate (per-packet pressure
         // checks and the poll below), exit requires several consecutive
         // calm polls — store drained below the exit fraction and no new
@@ -892,6 +911,56 @@ impl IoPolicy for CeioPolicy {
             "Hysteretic exits from degraded mode.",
             self.stats.degraded_exits,
         );
+        out.counter(
+            "ceio_ctl_rebalance_returned_total",
+            "Credits quiet queue partitions returned to the global pool.",
+            self.stats.rebalance_returned,
+        );
+        out.counter(
+            "ceio_ctl_rebalance_borrowed_total",
+            "Credits pressured queue partitions borrowed from the global pool.",
+            self.stats.rebalance_borrowed,
+        );
+        out.gauge(
+            "ceio_credit_queues",
+            "Receive-queue count the credit ledger is sharded over.",
+            cm.num_queues() as f64,
+        );
+        out.gauge(
+            "ceio_credit_global_free",
+            "Slack credits parked in the hierarchical global pool.",
+            cm.global_free() as f64,
+        );
+        for q in 0..cm.num_queues() {
+            let Some(p) = cm.partition(q) else {
+                continue;
+            };
+            let labels = [("queue", q.to_string())];
+            out.gauge_with(
+                "ceio_credit_partition_total",
+                "Current Eq. 1 total of one queue's credit partition.",
+                &labels,
+                p.total() as f64,
+            );
+            out.gauge_with(
+                "ceio_credit_partition_free",
+                "Free pool of one queue's credit partition.",
+                &labels,
+                p.free_pool() as f64,
+            );
+            out.gauge_with(
+                "ceio_credit_partition_outstanding",
+                "In-flight credits of one queue's credit partition.",
+                &labels,
+                p.outstanding() as f64,
+            );
+            out.counter_with(
+                "ceio_credit_partition_denied_total",
+                "Denied admissions in one queue's credit partition.",
+                &labels,
+                p.stats().denied,
+            );
+        }
         out.gauge(
             "ceio_degraded_mode",
             "1 while the controller is in degraded (drop-fallback) mode.",

@@ -38,8 +38,18 @@ pub struct HostConfig {
     /// flow (the §2.3 setup); `Some(k)` shares `k` polling cores across all
     /// flows round-robin (the Fig. 12 thousands-of-flows setup).
     pub num_cores: Option<usize>,
+    /// Number of receive queues the NIC shards arrivals over (RSS). Each
+    /// queue owns an independent DMA issue pipeline and staging partition;
+    /// `1` (the default) reproduces the single-queue pipeline exactly.
+    /// Must be non-zero — [`HostConfig::validate`] rejects `0`.
+    #[serde(default = "default_num_queues")]
+    pub num_queues: usize,
     /// RNG seed for the whole run.
     pub seed: u64,
+}
+
+fn default_num_queues() -> usize {
+    1
 }
 
 impl Default for HostConfig {
@@ -56,6 +66,7 @@ impl Default for HostConfig {
             sample_window: Duration::millis(1),
             copy_ns_per_kib: 50,
             num_cores: None,
+            num_queues: default_num_queues(),
             seed: 0xCE10,
         }
     }
@@ -71,6 +82,25 @@ impl HostConfig {
     pub fn copy_time(&self, bytes: u64) -> Duration {
         Duration::nanos(bytes * self.copy_ns_per_kib / 1024)
     }
+
+    /// Validate cross-field constraints. Returns a description of the
+    /// first violation found, or `Ok(())`.
+    ///
+    /// A zero receive-queue count has no meaning (there would be no data
+    /// path at all) and, silently clamped, would hide a caller bug — so it
+    /// is rejected here and by the CLI flag parsers (`--queues 0` exits 2).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_queues == 0 {
+            return Err("num_queues must be >= 1 (zero receive queues leaves no data path)".into());
+        }
+        if self.ring_entries == 0 {
+            return Err("ring_entries must be >= 1".into());
+        }
+        if self.buf_bytes == 0 {
+            return Err("buf_bytes must be >= 1".into());
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -81,6 +111,27 @@ mod tests {
     fn default_credit_total_matches_eq1() {
         let c = HostConfig::default();
         assert_eq!(c.credit_total(), (6 << 20) / 2048);
+    }
+
+    #[test]
+    fn validate_accepts_default_and_rejects_zero_queues() {
+        let c = HostConfig::default();
+        assert!(c.validate().is_ok());
+        let bad = HostConfig {
+            num_queues: 0,
+            ..HostConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad_ring = HostConfig {
+            ring_entries: 0,
+            ..HostConfig::default()
+        };
+        assert!(bad_ring.validate().is_err());
+        let bad_buf = HostConfig {
+            buf_bytes: 0,
+            ..HostConfig::default()
+        };
+        assert!(bad_buf.validate().is_err());
     }
 
     #[test]

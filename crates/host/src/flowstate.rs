@@ -62,6 +62,8 @@ pub struct FlowState {
     pub gen: TrafficGen,
     /// Index of the host core serving this flow.
     pub core: usize,
+    /// Receive queue (RSS shard) this flow's fast path lands on.
+    pub queue: usize,
     /// Whether the sender is still emitting.
     pub active: bool,
     /// Emission-chain epoch: an `Emit` event carrying a stale epoch is
@@ -108,6 +110,7 @@ impl FlowState {
         cca: Dctcp,
         gen: TrafficGen,
         core: usize,
+        queue: usize,
         ring_capacity: u32,
     ) -> FlowState {
         FlowState {
@@ -115,6 +118,7 @@ impl FlowState {
             cca,
             gen,
             core,
+            queue,
             active: true,
             emit_epoch: 0,
             nic_seq_next: 0,
@@ -254,7 +258,7 @@ mod tests {
             0,
         );
         let cca = Dctcp::new(spec.demand, Duration::micros(20));
-        FlowState::new(spec, cca, gen, 0, 64)
+        FlowState::new(spec, cca, gen, 0, 0, 64)
     }
 
     fn ready_pkt(seq: u64, msg_id: u64, msg_seq: u32, msg_last: bool, ready: Time) -> ReadyPkt {

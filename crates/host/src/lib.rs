@@ -34,6 +34,7 @@ pub mod flowstate;
 pub mod machine;
 pub mod measure;
 pub mod policy;
+pub mod rxq;
 pub mod telemetry;
 
 #[cfg(feature = "audit")]
@@ -43,5 +44,6 @@ pub use flowstate::{FlowState, ReadyPkt, SlowPkt};
 pub use machine::{run_to_report, AppFactory, Event, HostState, Machine, RecoveryStats};
 pub use measure::{ClassSample, Measurements, RunReport};
 pub use policy::{DrainRequest, IoPolicy, SteerDecision, UnmanagedPolicy};
+pub use rxq::{RxQueue, RxQueueStats};
 #[cfg(feature = "trace")]
 pub use telemetry::HostTrace;

@@ -22,6 +22,7 @@ use crate::config::HostConfig;
 use crate::flowstate::{FlowState, ReadyPkt, SlowPkt};
 use crate::measure::{Measurements, RunReport};
 use crate::policy::{IoPolicy, SteerDecision};
+use crate::rxq::{PendingDma, RxQueue};
 #[cfg(feature = "chaos")]
 use ceio_chaos::{FaultInjector, FaultPlan, FaultSite};
 use ceio_cpu::{Application, CpuCore};
@@ -31,7 +32,7 @@ use ceio_net::ingress::IngressOutcome;
 use ceio_net::{
     Dctcp, FlowClass, FlowId, FlowSpec, IngressLink, Packet, Scenario, ScenarioEvent, TrafficGen,
 };
-use ceio_nic::{ArmCore, OnboardMemory, RmtEngine, SteerAction};
+use ceio_nic::{rss_queue, ArmCore, OnboardMemory, QueueId, RmtEngine, SteerAction};
 use ceio_pcie::{DmaEngine, DmaError};
 use ceio_sim::{Bandwidth, Duration, EventQueue, Histogram, Model, Rng, Simulation, Time};
 use ceio_telemetry::{Stage, TraceKind};
@@ -82,8 +83,9 @@ pub enum Event {
     ControllerPoll,
     /// Close a measurement window.
     Sample,
-    /// Retry pending DMA issues (pacing gap elapsed).
-    Pump,
+    /// Retry pending DMA issues on one receive queue (pacing gap, retry
+    /// backoff, or descriptor-issue gap elapsed).
+    Pump(usize),
 }
 
 impl Event {
@@ -98,22 +100,13 @@ impl Event {
             Event::CorePoll(_) => "CorePoll",
             Event::ControllerPoll => "ControllerPoll",
             Event::Sample => "Sample",
-            Event::Pump => "Pump",
+            Event::Pump(_) => "Pump",
         }
     }
 }
 
 /// Constructor for per-flow application consumers.
 pub type AppFactory = Box<dyn FnMut(&FlowSpec) -> Box<dyn Application>>;
-
-/// A packet waiting in NIC staging for a DMA issue slot.
-#[derive(Debug, Clone, Copy)]
-struct PendingDma {
-    pkt: Packet,
-    buf: BufferId,
-    nic_seq: u64,
-    via_slow: bool,
-}
 
 /// Fault-recovery statistics. Always compiled (and always zero without the
 /// `chaos` feature armed, since the substrate never fails on its own);
@@ -179,11 +172,12 @@ pub struct HostState {
     core_flows: Vec<Vec<FlowId>>,
     core_rr: Vec<usize>,
     flows_started: usize,
+    flows_started_per_queue: Vec<usize>,
     poll_queued: Vec<bool>,
-    nic_pending: VecDeque<PendingDma>,
-    nic_pending_bytes: u64,
+    /// Per-receive-queue DMA issue pipelines (RSS shards). Length is
+    /// `cfg.num_queues`; index `q` is the queue `rss_queue` maps a flow to.
+    pub rxq: Vec<RxQueue>,
     iio_pending: VecDeque<PendingDma>,
-    pump_scheduled: bool,
     /// NIC→host DMA pacing rate installed by policies (HostCC throttling).
     pub dma_pace: Option<Bandwidth>,
     dma_pace_until: Time,
@@ -201,9 +195,7 @@ pub struct HostState {
     pub slow_latency: Histogram,
     /// Fault-recovery counters (DMA retries, backoff, consumer pauses).
     pub recovery: RecoveryStats,
-    write_attempts: u32,
     read_attempts: u32,
-    write_backoff_until: Time,
     read_backoff_until: Time,
     /// Host-side chaos injector; `None` until [`Machine::arm_chaos`].
     #[cfg(feature = "chaos")]
@@ -220,6 +212,21 @@ impl HostState {
         let id = BufferId(self.next_buf_id);
         self.next_buf_id += 1;
         id
+    }
+
+    /// The receive queue (RSS shard) a flow's packets are DMAed through.
+    #[inline]
+    pub fn queue_of(&self, flow: FlowId) -> usize {
+        rss_queue(flow.0, self.rxq.len()).index()
+    }
+
+    /// Per-queue staging budget: the NIC packet buffer is partitioned
+    /// evenly across the receive queues (one shard each, as RSS hardware
+    /// does), so one hot queue cannot starve the others of staging space.
+    /// With one queue this is the whole buffer — the monolithic limit.
+    #[inline]
+    fn queue_staging_bytes(&self) -> u64 {
+        self.cfg.nic_staging_bytes / self.rxq.len().max(1) as u64
     }
 
     /// Apply ECN feedback for one delivered packet to its sender.
@@ -389,31 +396,37 @@ impl<P: IoPolicy> Machine<P> {
         scenario: Scenario,
         app_factory: AppFactory,
     ) -> Simulation<Machine<P>> {
+        cfg.validate()
+            .expect("invariant: HostConfig passed to Machine::build must validate");
+        let num_queues = cfg.num_queues;
         let mut rng = Rng::seed_from_u64(cfg.seed);
+        let mut dma = DmaEngine::new(cfg.pcie.clone());
+        dma.set_write_channels(num_queues);
         let st = HostState {
             rng: rng.fork(),
             flows: HashMap::new(),
             apps: HashMap::new(),
             app_factory,
             ingress: IngressLink::new(cfg.net.clone()),
-            rmt: RmtEngine::new(SteerAction::FastPath { queue: 0 }),
+            rmt: RmtEngine::new(SteerAction::FastPath {
+                queue: QueueId::ZERO,
+            }),
             onboard: OnboardMemory::new(
                 cfg.nic.onboard_capacity,
                 cfg.nic.onboard_bandwidth,
                 cfg.nic.onboard_base_latency,
             ),
             nic_arm: ArmCore::new(),
-            dma: DmaEngine::new(cfg.pcie.clone()),
+            dma,
             memctrl: MemoryController::new(cfg.mem.clone()),
             cores: Vec::new(),
             core_flows: Vec::new(),
             core_rr: Vec::new(),
             flows_started: 0,
+            flows_started_per_queue: vec![0; num_queues],
             poll_queued: Vec::new(),
-            nic_pending: VecDeque::new(),
-            nic_pending_bytes: 0,
+            rxq: (0..num_queues).map(|_| RxQueue::new()).collect(),
             iio_pending: VecDeque::new(),
-            pump_scheduled: false,
             dma_pace: None,
             dma_pace_until: Time::ZERO,
             next_buf_id: 0,
@@ -424,9 +437,7 @@ impl<P: IoPolicy> Machine<P> {
             fast_latency: Histogram::new(),
             slow_latency: Histogram::new(),
             recovery: RecoveryStats::default(),
-            write_attempts: 0,
             read_attempts: 0,
-            write_backoff_until: Time::ZERO,
             read_backoff_until: Time::ZERO,
             #[cfg(feature = "chaos")]
             chaos: None,
@@ -470,13 +481,23 @@ impl<P: IoPolicy> Machine<P> {
     }
 
     fn start_flow(&mut self, now: Time, spec: FlowSpec, queue: &mut EventQueue<Event>) {
+        let q = self.st.queue_of(spec.id);
         let core = match self.st.cfg.num_cores {
-            // Shared-core mode: k polling cores, flows assigned round-robin.
+            // Shared-core mode: k polling cores shared across flows. Cores
+            // are partitioned queue-affine — each receive queue owns a
+            // contiguous slice of the cores (IRQ-affinity style), and flows
+            // round-robin within their queue's slice. With one queue the
+            // slice is all k cores and this reduces exactly to the old
+            // `flows_started % k` round-robin.
             Some(k) => {
-                while self.st.cores.len() < k.max(1) {
+                let k = k.max(1);
+                while self.st.cores.len() < k {
                     self.new_core();
                 }
-                self.st.flows_started % k.max(1)
+                let n = self.st.rxq.len().max(1);
+                let base = q * k / n;
+                let width = ((q + 1) * k / n).saturating_sub(base).max(1);
+                (base + self.st.flows_started_per_queue[q] % width).min(k - 1)
             }
             // Dedicated-core mode (§2.3): one core per flow, reusing cores
             // whose flow has finished and drained.
@@ -486,6 +507,7 @@ impl<P: IoPolicy> Machine<P> {
             },
         };
         self.st.flows_started += 1;
+        self.st.flows_started_per_queue[q] += 1;
         let id = spec.id;
         self.st.core_flows[core].push(id);
         let gen = TrafficGen::new(
@@ -499,7 +521,7 @@ impl<P: IoPolicy> Machine<P> {
         let ring_cap = self.st.cfg.ring_entries as u32;
         self.st
             .flows
-            .insert(id, FlowState::new(spec, cca, gen, core, ring_cap));
+            .insert(id, FlowState::new(spec, cca, gen, core, q, ring_cap));
         self.st.apps.insert(id, app);
         self.policy.on_flow_start(&mut self.st, now, id);
         queue.schedule_at(now, Event::Emit { flow: id, epoch: 0 });
@@ -598,8 +620,11 @@ impl<P: IoPolicy> Machine<P> {
                     self.policy.on_fast_drop(&mut self.st, now, pkt.flow);
                     return;
                 }
-                if self.st.nic_pending_bytes + pkt.bytes > self.st.cfg.nic_staging_bytes {
-                    // NIC staging overflow while DMA is backpressured.
+                let q = self.st.queue_of(pkt.flow);
+                if self.st.rxq[q].pending_bytes() + pkt.bytes > self.st.queue_staging_bytes() {
+                    // This queue's staging partition overflowed while its
+                    // DMA pipeline is backpressured.
+                    self.st.rxq[q].stats.staging_drops += 1;
                     let f = self
                         .st
                         .flows
@@ -623,14 +648,13 @@ impl<P: IoPolicy> Machine<P> {
                 f.ring_inflight += 1;
                 let nic_seq = f.take_seq();
                 let buf = self.st.alloc_buf();
-                self.st.nic_pending.push_back(PendingDma {
+                self.st.rxq[q].push(PendingDma {
                     pkt,
                     buf,
                     nic_seq,
                     via_slow: false,
                 });
-                self.st.nic_pending_bytes += pkt.bytes;
-                self.pump(queue, now + fw);
+                self.pump(queue, now + fw, q);
             }
             SteerDecision::SlowPath { mark } => {
                 self.st.feedback(now, pkt.flow, pkt.ecn || mark);
@@ -684,41 +708,54 @@ impl<P: IoPolicy> Machine<P> {
         }
     }
 
-    /// Issue as many pending DMA writes as credits, pacing, and retry
-    /// backoff allow. Credit stalls wait for a completion; transient faults
-    /// (injected by an armed chaos plan) are retried with exponential
-    /// backoff up to [`DMA_RETRY_LIMIT`] attempts, after which the head
-    /// packet is dropped with full loss accounting so the queue cannot
-    /// wedge behind a poisoned issue.
-    fn pump(&mut self, queue: &mut EventQueue<Event>, now: Time) {
-        while let Some(front) = self.st.nic_pending.front() {
+    /// Issue as many pending DMA writes as queue `q`'s write channel,
+    /// pacing, and retry backoff allow. Credit stalls wait for a completion
+    /// on this channel; transient faults (injected by an armed chaos plan)
+    /// are retried with exponential backoff up to [`DMA_RETRY_LIMIT`]
+    /// attempts, after which the head packet is dropped with full loss
+    /// accounting so the queue cannot wedge behind a poisoned issue.
+    fn pump(&mut self, queue: &mut EventQueue<Event>, now: Time, q: usize) {
+        let issue_gap = self.st.cfg.nic.queue_issue_gap;
+        while let Some(front) = self.st.rxq[q].pending.front() {
             let bytes = front.pkt.bytes;
             let flow = front.pkt.flow;
             // Retry-backoff gate (set after a transient DMA fault).
-            if self.st.write_backoff_until > now {
-                if !self.st.pump_scheduled {
-                    self.st.pump_scheduled = true;
-                    queue.schedule_at(self.st.write_backoff_until, Event::Pump);
+            if self.st.rxq[q].write_backoff_until > now {
+                if !self.st.rxq[q].pump_scheduled {
+                    self.st.rxq[q].pump_scheduled = true;
+                    queue.schedule_at(self.st.rxq[q].write_backoff_until, Event::Pump(q));
                 }
                 break;
             }
-            // Pacing gate (HostCC throttle).
+            // Pacing gate (HostCC throttle; link-wide, shared by queues).
             if self.st.dma_pace.is_some() && self.st.dma_pace_until > now {
-                if !self.st.pump_scheduled {
-                    self.st.pump_scheduled = true;
-                    queue.schedule_at(self.st.dma_pace_until, Event::Pump);
+                if !self.st.rxq[q].pump_scheduled {
+                    self.st.rxq[q].pump_scheduled = true;
+                    queue.schedule_at(self.st.dma_pace_until, Event::Pump(q));
                 }
                 break;
             }
-            match self.st.dma.try_write(now, bytes) {
+            // Descriptor-issue pipeline gate (per-queue serialization);
+            // disabled when the configured gap is zero.
+            if issue_gap > Duration::ZERO && self.st.rxq[q].next_issue_at > now {
+                if !self.st.rxq[q].pump_scheduled {
+                    self.st.rxq[q].pump_scheduled = true;
+                    queue.schedule_at(self.st.rxq[q].next_issue_at, Event::Pump(q));
+                }
+                break;
+            }
+            match self.st.dma.try_write_on(q, now, bytes) {
                 Ok(arrival) => {
-                    self.st.write_attempts = 0;
-                    let pd = self
-                        .st
-                        .nic_pending
+                    self.st.rxq[q].write_attempts = 0;
+                    let pd = self.st.rxq[q]
+                        .pending
                         .pop_front()
-                        .expect("invariant: loop guard ensured `nic_pending` is non-empty");
-                    self.st.nic_pending_bytes -= bytes;
+                        .expect("invariant: loop guard ensured queue staging is non-empty");
+                    self.st.rxq[q].pending_bytes -= bytes;
+                    self.st.rxq[q].stats.issued += 1;
+                    if issue_gap > Duration::ZERO {
+                        self.st.rxq[q].next_issue_at = now + issue_gap;
+                    }
                     let flow = Some(pd.pkt.flow.0);
                     self.st
                         .trace_stage(flow, Stage::NicQueue, now.since(pd.pkt.arrived_nic));
@@ -747,17 +784,16 @@ impl<P: IoPolicy> Machine<P> {
                     | DmaError::ReadFault
                     | DmaError::ReadTimeout),
                 ) => {
-                    self.st.write_attempts += 1;
-                    if self.st.write_attempts > DMA_RETRY_LIMIT {
+                    self.st.rxq[q].write_attempts += 1;
+                    if self.st.rxq[q].write_attempts > DMA_RETRY_LIMIT {
                         // Retry budget exhausted: drop the head packet so
                         // the rest of the staging queue can make progress.
-                        self.st.write_attempts = 0;
-                        let pd = self
-                            .st
-                            .nic_pending
+                        self.st.rxq[q].write_attempts = 0;
+                        let pd = self.st.rxq[q]
+                            .pending
                             .pop_front()
-                            .expect("invariant: loop guard ensured `nic_pending` is non-empty");
-                        self.st.nic_pending_bytes -= bytes;
+                            .expect("invariant: loop guard ensured queue staging is non-empty");
+                        self.st.rxq[q].pending_bytes -= bytes;
                         self.st.recovery.dma_retry_drops += 1;
                         if let Some(f) = self.st.flows.get_mut(&pd.pkt.flow) {
                             f.ring_inflight = f.ring_inflight.saturating_sub(1);
@@ -783,20 +819,28 @@ impl<P: IoPolicy> Machine<P> {
                         continue;
                     }
                     let timed_out = matches!(err, DmaError::WriteTimeout | DmaError::ReadTimeout);
-                    let attempt = self.st.write_attempts;
+                    let attempt = self.st.rxq[q].write_attempts;
                     let backoff = self.st.retry_backoff(attempt, timed_out);
                     self.st.recovery.dma_write_retries += 1;
                     self.st.recovery.dma_backoff_ns += backoff.as_nanos();
-                    self.st.write_backoff_until = now + backoff;
+                    self.st.rxq[q].write_backoff_until = now + backoff;
                     self.st
                         .trace_event(now, Some(flow.0), TraceKind::DmaRetry, backoff.as_nanos());
-                    if !self.st.pump_scheduled {
-                        self.st.pump_scheduled = true;
-                        queue.schedule_at(self.st.write_backoff_until, Event::Pump);
+                    if !self.st.rxq[q].pump_scheduled {
+                        self.st.rxq[q].pump_scheduled = true;
+                        queue.schedule_at(self.st.rxq[q].write_backoff_until, Event::Pump(q));
                     }
                     break;
                 }
             }
+        }
+    }
+
+    /// Pump every receive queue, ascending. With one queue this is exactly
+    /// one call to [`Machine::pump`] — the monolithic behaviour.
+    fn pump_all(&mut self, queue: &mut EventQueue<Event>, now: Time) {
+        for q in 0..self.st.rxq.len() {
+            self.pump(queue, now, q);
         }
     }
 
@@ -811,7 +855,8 @@ impl<P: IoPolicy> Machine<P> {
     ) {
         if self.st.memctrl.stage(pkt.bytes) {
             if !via_slow {
-                self.st.dma.complete_write();
+                let q = self.st.queue_of(pkt.flow);
+                self.st.dma.complete_write_on(q);
                 self.st.trace_event(
                     now,
                     Some(pkt.flow.0),
@@ -837,7 +882,7 @@ impl<P: IoPolicy> Machine<P> {
                     via_slow,
                 },
             );
-            self.pump(queue, now);
+            self.pump_all(queue, now);
         } else {
             self.st.iio_pending.push_back(PendingDma {
                 pkt,
@@ -898,7 +943,8 @@ impl<P: IoPolicy> Machine<P> {
             if self.st.memctrl.stage(front.pkt.bytes) {
                 self.st.iio_pending.pop_front();
                 if !front.via_slow {
-                    self.st.dma.complete_write();
+                    let q = self.st.queue_of(front.pkt.flow);
+                    self.st.dma.complete_write_on(q);
                     self.st.trace_event(
                         now,
                         Some(front.pkt.flow.0),
@@ -926,7 +972,7 @@ impl<P: IoPolicy> Machine<P> {
                 break;
             }
         }
-        self.pump(queue, now);
+        self.pump_all(queue, now);
         if let Some(core) = poll_core {
             self.schedule_poll(queue, now, core);
         }
@@ -1350,9 +1396,9 @@ impl<P: IoPolicy> Model for Machine<P> {
                 self.st.meas.close_window(now, h, m);
                 queue.schedule_in(self.st.cfg.sample_window, Event::Sample);
             }
-            Event::Pump => {
-                self.st.pump_scheduled = false;
-                self.pump(queue, now);
+            Event::Pump(q) => {
+                self.st.rxq[q].pump_scheduled = false;
+                self.pump(queue, now, q);
             }
         }
         #[cfg(feature = "audit")]

@@ -366,6 +366,48 @@ impl<P: IoPolicy> Machine<P> {
             );
         }
 
+        // Receive queues (RSS shards of the NIC→host DMA pipeline),
+        // labeled per queue. Emitted for every configuration — a
+        // single-queue host exports one `queue="0"` series.
+        b.gauge(
+            "ceio_rx_queues",
+            "Receive queues the NIC shards arrivals over (RSS).",
+            st.rxq.len() as f64,
+        );
+        for (q, rxq) in st.rxq.iter().enumerate() {
+            let lbl = [("queue", q.to_string())];
+            b.counter_with(
+                "ceio_rxq_enqueued_total",
+                "Packets staged into this queue's DMA issue FIFO.",
+                &lbl,
+                rxq.stats.enqueued,
+            );
+            b.counter_with(
+                "ceio_rxq_issued_total",
+                "DMA writes issued from this queue.",
+                &lbl,
+                rxq.stats.issued,
+            );
+            b.counter_with(
+                "ceio_rxq_staging_drops_total",
+                "Packets dropped by this queue's staging partition overflow.",
+                &lbl,
+                rxq.stats.staging_drops,
+            );
+            b.gauge_with(
+                "ceio_rxq_pending_bytes",
+                "Bytes currently staged in this queue.",
+                &lbl,
+                rxq.pending_bytes() as f64,
+            );
+            b.gauge_with(
+                "ceio_rxq_peak_pending_bytes",
+                "Staging-byte high-water mark of this queue.",
+                &lbl,
+                rxq.stats.peak_pending_bytes as f64,
+            );
+        }
+
         // Machine-level counters and end-to-end latency summaries.
         b.counter(
             "ceio_dropped_total",

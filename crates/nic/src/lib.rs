@@ -8,6 +8,9 @@
 //! * [`rmt`] — the reconfigurable match-action (RMT) flow-steering engine:
 //!   per-flow rules with updatable actions and hit counters, exactly the
 //!   interface CEIO's flow controller programs (§4.1, Fig. 6).
+//! * [`queue`] — RX queue identity ([`QueueId`]) and the RSS flow-hash
+//!   shard function ([`rss_queue`]) that spreads flows over N receive
+//!   queues while preserving per-flow order within a shard.
 //! * [`onboard`] — the on-NIC DRAM used for elastic buffering: a bandwidth
 //!   server with the internal-PCIe-switch penalty the paper measures
 //!   (§6.4), plus byte-capacity accounting.
@@ -21,11 +24,13 @@
 pub mod arm;
 pub mod onboard;
 pub mod params;
+pub mod queue;
 pub mod ring;
 pub mod rmt;
 
 pub use arm::ArmCore;
 pub use onboard::OnboardMemory;
 pub use params::NicParams;
+pub use queue::{rss_queue, QueueId};
 pub use ring::HwRing;
 pub use rmt::{RmtEngine, SteerAction};

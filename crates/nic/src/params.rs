@@ -24,6 +24,15 @@ pub struct NicParams {
     pub arm_credit_op: Duration,
     /// Interval at which the on-NIC cores poll steering counters (§4.1).
     pub arm_poll_interval: Duration,
+    /// Minimum gap between successive DMA descriptor issues **on one RX
+    /// queue** (descriptor fetch + doorbell serialization in the queue's
+    /// issue pipeline). This is the resource that multi-queue receive
+    /// scales: each queue owns an independent issue pipeline, so N queues
+    /// issue N descriptors per gap where one queue issues one. `ZERO`
+    /// (the default) disables the gate entirely, keeping the single-queue
+    /// pipeline bit-identical to the pre-sharding model.
+    #[serde(default)]
+    pub queue_issue_gap: Duration,
 }
 
 impl Default for NicParams {
@@ -37,6 +46,7 @@ impl Default for NicParams {
             arm_table_update: Duration::nanos(150),
             arm_credit_op: Duration::nanos(40),
             arm_poll_interval: Duration::micros(1),
+            queue_issue_gap: Duration::ZERO,
         }
     }
 }

@@ -231,6 +231,42 @@ mod tests {
     }
 
     #[test]
+    fn drain_all_on_empty_ring_is_inert() {
+        let mut r: HwRing<u8> = HwRing::new(4);
+        assert!(r.drain_all().is_empty());
+        assert_eq!(r.head_seq(), 0);
+        assert_eq!(r.tail_seq(), 0);
+        assert_eq!(r.stats().popped, 0);
+        // A second drain of the same ring is equally inert.
+        assert!(r.drain_all().is_empty());
+        assert_eq!(r.stats().popped, 0);
+    }
+
+    #[test]
+    fn drain_all_stats_and_seq_stay_consistent() {
+        let mut r = HwRing::new(2);
+        r.try_push(1).unwrap();
+        r.try_push(2).unwrap();
+        // A rejected push must not perturb the pointers the drain settles.
+        assert_eq!(r.try_push(3), Err(3));
+        assert_eq!(r.pop(), Some(1));
+        let drained = r.drain_all();
+        assert_eq!(drained, vec![2]);
+        // popped counts both the pop and the drain; head catches tail.
+        assert_eq!(r.stats().popped, 2);
+        assert_eq!(r.stats().pushed, 2);
+        assert_eq!(r.stats().rejected, 1);
+        assert_eq!(r.head_seq(), r.tail_seq());
+        assert_eq!(r.head_seq(), 2);
+        // The ring remains usable: seqs keep accumulating across the drain.
+        r.try_push(4).unwrap();
+        assert_eq!(r.tail_seq(), 3);
+        assert_eq!(r.pop(), Some(4));
+        assert_eq!(r.head_seq(), 3);
+        assert_eq!(r.stats().peak_occupancy, 2);
+    }
+
+    #[test]
     fn stats_carry_capacity() {
         let r: HwRing<u8> = HwRing::new(128);
         assert_eq!(r.stats().capacity, 128);

@@ -7,6 +7,7 @@
 //! engine exposes per-rule hit counters, which the controller polls to track
 //! credit consumption — exactly the paper's control loop.
 
+use crate::queue::QueueId;
 use serde::Serialize;
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -16,8 +17,8 @@ use std::hash::Hash;
 pub enum SteerAction {
     /// Legacy I/O: DMA to the host ring of queue `queue`.
     FastPath {
-        /// Destination RX queue index.
-        queue: usize,
+        /// Destination RX queue.
+        queue: QueueId,
     },
     /// Elastic buffering: DMA into on-NIC memory (CEIO slow path).
     SlowPath,
@@ -46,6 +47,10 @@ pub struct RmtStats {
     pub rewrites_to_slow: u64,
     /// Rewrites that restored the fast path (slow/drop → fast).
     pub rewrites_to_fast: u64,
+    /// Fast → fast rewrites that moved the flow to a *different* RX queue
+    /// (RSS re-steer); same-queue fast → fast rewrites count only as
+    /// `updates`.
+    pub rewrites_queue_move: u64,
 }
 
 /// The match-action steering table, keyed by flow identifier `K`.
@@ -87,12 +92,15 @@ impl<K: Eq + Hash + Clone> RmtEngine<K> {
     pub fn set_action(&mut self, key: &K, action: SteerAction) -> bool {
         match self.rules.get_mut(key) {
             Some(r) => {
-                let was_fast = matches!(r.action, SteerAction::FastPath { .. });
-                let is_fast = matches!(action, SteerAction::FastPath { .. });
-                if was_fast && !is_fast {
-                    self.stats.rewrites_to_slow += 1;
-                } else if !was_fast && is_fast {
-                    self.stats.rewrites_to_fast += 1;
+                match (r.action, action) {
+                    (
+                        SteerAction::FastPath { queue: from },
+                        SteerAction::FastPath { queue: to },
+                    ) if from != to => self.stats.rewrites_queue_move += 1,
+                    (SteerAction::FastPath { .. }, SteerAction::FastPath { .. }) => {}
+                    (SteerAction::FastPath { .. }, _) => self.stats.rewrites_to_slow += 1,
+                    (_, SteerAction::FastPath { .. }) => self.stats.rewrites_to_fast += 1,
+                    _ => {}
                 }
                 r.action = action;
                 self.stats.updates += 1;
@@ -169,11 +177,17 @@ impl<K: Eq + Hash + Clone> RmtEngine<K> {
 mod tests {
     use super::*;
 
+    fn fast(queue: usize) -> SteerAction {
+        SteerAction::FastPath {
+            queue: QueueId(queue),
+        }
+    }
+
     #[test]
     fn steer_matches_installed_rule() {
         let mut rmt = RmtEngine::new(SteerAction::Drop);
-        rmt.install(1u64, SteerAction::FastPath { queue: 3 });
-        assert_eq!(rmt.steer(&1), SteerAction::FastPath { queue: 3 });
+        rmt.install(1u64, fast(3));
+        assert_eq!(rmt.steer(&1), fast(3));
         assert_eq!(rmt.steer(&2), SteerAction::Drop);
         assert_eq!(rmt.stats().matched, 1);
         assert_eq!(rmt.stats().defaulted, 1);
@@ -182,7 +196,7 @@ mod tests {
     #[test]
     fn set_action_rewrites_in_place() {
         let mut rmt = RmtEngine::new(SteerAction::Drop);
-        rmt.install(1u64, SteerAction::FastPath { queue: 0 });
+        rmt.install(1u64, fast(0));
         assert!(rmt.set_action(&1, SteerAction::SlowPath));
         assert_eq!(rmt.steer(&1), SteerAction::SlowPath);
         assert!(!rmt.set_action(&9, SteerAction::SlowPath));
@@ -192,14 +206,45 @@ mod tests {
     #[test]
     fn rewrite_direction_counters() {
         let mut rmt = RmtEngine::new(SteerAction::Drop);
-        rmt.install(1u64, SteerAction::FastPath { queue: 0 });
+        rmt.install(1u64, fast(0));
         rmt.set_action(&1, SteerAction::SlowPath);
-        rmt.set_action(&1, SteerAction::FastPath { queue: 1 });
-        // Fast→fast queue change is neither direction.
-        rmt.set_action(&1, SteerAction::FastPath { queue: 2 });
+        rmt.set_action(&1, fast(1));
+        // Fast→fast queue change is neither direction: it is a queue move.
+        rmt.set_action(&1, fast(2));
         assert_eq!(rmt.stats().rewrites_to_slow, 1);
         assert_eq!(rmt.stats().rewrites_to_fast, 1);
+        assert_eq!(rmt.stats().rewrites_queue_move, 1);
         assert_eq!(rmt.stats().updates, 3);
+    }
+
+    #[test]
+    fn queue_move_accounting() {
+        let mut rmt = RmtEngine::new(SteerAction::Drop);
+        rmt.install(1u64, fast(0));
+        // Same-queue fast→fast rewrite: an update, not a move.
+        rmt.set_action(&1, fast(0));
+        assert_eq!(rmt.stats().rewrites_queue_move, 0);
+        assert_eq!(rmt.stats().updates, 1);
+        // Distinct-queue fast→fast rewrites count, each time.
+        rmt.set_action(&1, fast(2));
+        rmt.set_action(&1, fast(1));
+        assert_eq!(rmt.stats().rewrites_queue_move, 2);
+        // The rule keeps steering to the latest queue.
+        assert_eq!(rmt.steer(&1), fast(1));
+        // Leaving and re-entering the fast path is directional traffic,
+        // not a move — even when the queue differs across the detour.
+        rmt.set_action(&1, SteerAction::SlowPath);
+        rmt.set_action(&1, fast(3));
+        assert_eq!(rmt.stats().rewrites_queue_move, 2);
+        assert_eq!(rmt.stats().rewrites_to_slow, 1);
+        assert_eq!(rmt.stats().rewrites_to_fast, 1);
+        // Slow → drop → slow never touches any fast counter.
+        rmt.set_action(&1, SteerAction::Drop);
+        rmt.set_action(&1, SteerAction::SlowPath);
+        assert_eq!(rmt.stats().rewrites_to_slow, 2); // fast(3) → Drop above
+        assert_eq!(rmt.stats().rewrites_to_fast, 1);
+        assert_eq!(rmt.stats().rewrites_queue_move, 2);
+        assert_eq!(rmt.stats().updates, 7);
     }
 
     #[test]
@@ -232,7 +277,7 @@ mod tests {
         let mut rmt = RmtEngine::new(SteerAction::Drop);
         rmt.install(1u64, SteerAction::SlowPath);
         rmt.steer(&1);
-        rmt.install(1u64, SteerAction::FastPath { queue: 0 });
+        rmt.install(1u64, fast(0));
         assert_eq!(rmt.hits(&1), 0);
     }
 }

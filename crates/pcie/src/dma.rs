@@ -87,12 +87,25 @@ pub struct DmaStats {
 }
 
 /// The DMA engine. Owns the link; the host machine owns the engine.
+///
+/// The write side is multiplexed over **channels** — one per RX queue in a
+/// multi-queue receive pipeline. All channels share the one physical link
+/// (transfers still serialize on [`PcieLink`] wire occupancy and the
+/// link-wide posted-credit budget); what a channel owns is its *slice* of
+/// the posted-write credits, so one congested queue cannot starve the
+/// descriptor issue of its siblings. With a single channel (the default)
+/// the slice is the whole budget and the engine behaves exactly like the
+/// pre-multiplexed model.
 #[derive(Debug)]
 pub struct DmaEngine {
     /// The underlying full-duplex link (public: stats & direct transfers).
     pub link: PcieLink,
     inflight_writes: u32,
     inflight_reads: u32,
+    /// Outstanding posted writes per channel.
+    chan_inflight: Vec<u32>,
+    /// Per-channel posted-credit slice (`ceil(link budget / channels)`).
+    chan_cap: u32,
     stats: DmaStats,
     #[cfg(feature = "trace")]
     tracer: Option<TraceRing>,
@@ -103,16 +116,48 @@ pub struct DmaEngine {
 impl DmaEngine {
     /// An engine over a fresh link with the given parameters.
     pub fn new(params: PcieParams) -> DmaEngine {
+        let cap = params.max_inflight_writes;
         DmaEngine {
             link: PcieLink::new(params),
             inflight_writes: 0,
             inflight_reads: 0,
+            chan_inflight: vec![0],
+            chan_cap: cap,
             stats: DmaStats::default(),
             #[cfg(feature = "trace")]
             tracer: None,
             #[cfg(feature = "chaos")]
             injector: None,
         }
+    }
+
+    /// Partition the posted-write credit budget across `n` channels (one
+    /// per RX queue). Each channel may keep at most `ceil(budget / n)`
+    /// writes in flight; the link-wide budget stays enforced on top, so
+    /// the slices over-subscribe gracefully rather than strand credits to
+    /// rounding. Reconfiguring clears per-channel in-flight accounting —
+    /// call it at build time, before any traffic.
+    pub fn set_write_channels(&mut self, n: usize) {
+        let n = n.max(1);
+        debug_assert_eq!(
+            self.inflight_writes, 0,
+            "invariant: channel layout must not change under in-flight writes"
+        );
+        let budget = self.link.params().max_inflight_writes;
+        self.chan_inflight = vec![0; n];
+        self.chan_cap = budget.div_ceil(n as u32).max(1);
+    }
+
+    /// Number of write channels.
+    #[inline]
+    pub fn write_channels(&self) -> usize {
+        self.chan_inflight.len()
+    }
+
+    /// Per-channel posted-credit slice.
+    #[inline]
+    pub fn channel_write_cap(&self) -> u32 {
+        self.chan_cap
     }
 
     /// Arm deterministic fault injection on this engine.
@@ -189,10 +234,22 @@ impl DmaEngine {
         }
     }
 
-    /// Issue a posted DMA write of `payload` bytes toward the host.
+    /// Issue a posted DMA write of `payload` bytes toward the host on
+    /// channel 0 (the single-queue entry point).
     /// Returns the instant the data arrives at the host IIO buffer.
     pub fn try_write(&mut self, now: Time, payload: u64) -> Result<Time, DmaError> {
-        if self.inflight_writes >= self.link.params().max_inflight_writes {
+        self.try_write_on(0, now, payload)
+    }
+
+    /// Issue a posted DMA write of `payload` bytes toward the host on
+    /// write channel `ch`. Fails with [`DmaError::NoWriteCredit`] when
+    /// either the link-wide budget or the channel's slice is exhausted.
+    pub fn try_write_on(&mut self, ch: usize, now: Time, payload: u64) -> Result<Time, DmaError> {
+        debug_assert!(ch < self.chan_inflight.len(), "write channel out of range");
+        let ch = ch.min(self.chan_inflight.len() - 1);
+        if self.inflight_writes >= self.link.params().max_inflight_writes
+            || self.chan_inflight[ch] >= self.chan_cap
+        {
             self.stats.write_stalls += 1;
             #[cfg(feature = "trace")]
             self.trace(now, TraceKind::DmaWriteStall, payload);
@@ -207,16 +264,32 @@ impl DmaEngine {
             return Err(err);
         }
         self.inflight_writes += 1;
+        self.chan_inflight[ch] += 1;
         self.stats.writes += 1;
         #[cfg(feature = "trace")]
         self.trace(now, TraceKind::DmaWriteIssue, payload);
         Ok(self.link.transfer(now, Direction::ToHost, payload))
     }
 
-    /// The host retired a previously issued write: release its credit.
+    /// The host retired a previously issued channel-0 write: release its
+    /// credit.
     pub fn complete_write(&mut self) {
+        self.complete_write_on(0);
+    }
+
+    /// The host retired a previously issued write on channel `ch`:
+    /// release its credit back to both the channel slice and the
+    /// link-wide budget.
+    pub fn complete_write_on(&mut self, ch: usize) {
+        debug_assert!(ch < self.chan_inflight.len(), "write channel out of range");
+        let ch = ch.min(self.chan_inflight.len() - 1);
         debug_assert!(self.inflight_writes > 0, "write completion underflow");
+        debug_assert!(
+            self.chan_inflight[ch] > 0,
+            "write completion underflow on channel"
+        );
         self.inflight_writes = self.inflight_writes.saturating_sub(1);
+        self.chan_inflight[ch] = self.chan_inflight[ch].saturating_sub(1);
     }
 
     /// Issue a non-posted DMA read request (host→NIC). Returns the instant
@@ -265,6 +338,12 @@ impl DmaEngine {
     #[inline]
     pub fn inflight_writes(&self) -> u32 {
         self.inflight_writes
+    }
+
+    /// Outstanding posted writes on channel `ch` (0 when out of range).
+    #[inline]
+    pub fn inflight_writes_on(&self, ch: usize) -> u32 {
+        self.chan_inflight.get(ch).copied().unwrap_or(0)
     }
 
     /// Outstanding non-posted reads.
@@ -335,6 +414,59 @@ mod tests {
         let a = e.try_write(Time(0), 4096).unwrap();
         let b = e.try_write(Time(0), 4096).unwrap();
         assert!(b > a, "second write must queue behind the first");
+    }
+
+    #[test]
+    fn single_channel_matches_unchanneled_behavior() {
+        // The default engine is one channel whose slice is the whole
+        // budget: try_write/complete_write are channel 0 and the stall
+        // point is exactly the link-wide cap, as before multiplexing.
+        let mut e = engine(2, 1);
+        assert_eq!(e.write_channels(), 1);
+        assert_eq!(e.channel_write_cap(), 2);
+        assert!(e.try_write(Time(0), 64).is_ok());
+        assert!(e.try_write_on(0, Time(0), 64).is_ok());
+        assert_eq!(e.try_write(Time(0), 64), Err(DmaError::NoWriteCredit));
+        assert_eq!(e.inflight_writes_on(0), 2);
+        e.complete_write();
+        e.complete_write_on(0);
+        assert_eq!(e.inflight_writes(), 0);
+        assert_eq!(e.inflight_writes_on(0), 0);
+    }
+
+    #[test]
+    fn channel_slices_partition_the_write_budget() {
+        let mut e = engine(4, 1);
+        e.set_write_channels(2);
+        assert_eq!(e.channel_write_cap(), 2);
+        // Fill channel 0's slice: its third write stalls...
+        assert!(e.try_write_on(0, Time(0), 64).is_ok());
+        assert!(e.try_write_on(0, Time(0), 64).is_ok());
+        assert_eq!(e.try_write_on(0, Time(0), 64), Err(DmaError::NoWriteCredit));
+        // ...while channel 1 still issues from its own slice.
+        assert!(e.try_write_on(1, Time(0), 64).is_ok());
+        assert_eq!(e.inflight_writes(), 3);
+        assert_eq!(e.inflight_writes_on(0), 2);
+        assert_eq!(e.inflight_writes_on(1), 1);
+        // Completion on channel 0 reopens only channel 0's slice.
+        e.complete_write_on(0);
+        assert!(e.try_write_on(0, Time(1_000), 64).is_ok());
+        assert_eq!(e.stats().write_stalls, 1);
+    }
+
+    #[test]
+    fn link_budget_caps_oversubscribed_slices() {
+        // ceil(4/3) = 2 per channel: slices sum to 6, but the link-wide
+        // budget of 4 still rules.
+        let mut e = engine(4, 1);
+        e.set_write_channels(3);
+        assert_eq!(e.channel_write_cap(), 2);
+        for ch in 0..2 {
+            assert!(e.try_write_on(ch, Time(0), 64).is_ok());
+            assert!(e.try_write_on(ch, Time(0), 64).is_ok());
+        }
+        assert_eq!(e.inflight_writes(), 4);
+        assert_eq!(e.try_write_on(2, Time(0), 64), Err(DmaError::NoWriteCredit));
     }
 
     #[test]

@@ -63,6 +63,25 @@ for metric in ceio_ingress_admitted_total ceio_rmt_updates_total \
 done
 echo "telemetry smoke passed"
 
+echo "==> queue-scaling smoke (ceio-inspect --queues 4)"
+# The single-queue configuration is pinned byte-for-byte against the
+# pre-refactor golden CSVs by `cargo test -p ceio-bench --test
+# queue_determinism` in the test lanes above; here we assert the sharded
+# side: a 4-queue run must shard work onto every queue and export
+# per-queue labeled telemetry, while staying credit-conserving.
+target/debug/ceio-inspect --scenario kv --millis 3 --queues 4 \
+    --trace-out "$smoke_dir/q4-trace.json" --prom-out "$smoke_dir/q4-metrics.prom" \
+    > "$smoke_dir/q4-stdout.txt"
+grep -q "^ceio_rx_queues 4$" "$smoke_dir/q4-metrics.prom" \
+    || { echo "queue smoke: snapshot does not report 4 receive queues"; exit 1; }
+for q in 0 1 2 3; do
+    grep -Eq "^ceio_rxq_issued_total\{queue=\"$q\"\} [1-9]" "$smoke_dir/q4-metrics.prom" \
+        || { echo "queue smoke: queue $q issued no DMA writes — sharding inert"; exit 1; }
+done
+grep -q "^ceio_credit_conserved 1$" "$smoke_dir/q4-metrics.prom" \
+    || { echo "queue smoke: hierarchical credit ledger not conserved"; exit 1; }
+echo "queue-scaling smoke passed"
+
 echo "==> chaos smoke (ceio-inspect under a canned fault storm)"
 cargo build --offline -p ceio-bench --features "trace chaos" --bin ceio-inspect
 target/debug/ceio-inspect --scenario kv --millis 3 \
