@@ -1,0 +1,16 @@
+// Known-bad fixture for the conservation caller scan: this file poses as
+// a non-core crate reaching into the credit ledger directly.
+
+pub struct Host;
+
+impl Host {
+    // finding: distinctive mutator called outside the policy layer.
+    pub fn bypass_policy(&self, cm: &mut super::CreditManager) -> bool {
+        cm.try_consume(1)
+    }
+
+    // no finding: `Vec::remove` is not a ledger mutator.
+    pub fn unrelated_remove(&self, v: &mut Vec<u64>) {
+        v.remove(0);
+    }
+}

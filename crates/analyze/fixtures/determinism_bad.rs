@@ -1,0 +1,52 @@
+// Known-bad fixture for the determinism rule. Each construct below must
+// produce exactly one finding; the `sorted_ok` items must produce none.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct Tracker {
+    flows: HashMap<u64, u64>,
+}
+
+impl Tracker {
+    // finding: hash-order `.values()` iteration.
+    pub fn sum(&self) -> u64 {
+        self.flows.values().sum()
+    }
+
+    // finding: hash-order `for … in` sweep.
+    pub fn sweep(&self) -> u64 {
+        let mut acc = 0;
+        for (k, v) in &self.flows {
+            acc += k + v;
+        }
+        acc
+    }
+
+    // finding: ambient wall clock.
+    pub fn stamp(&self) -> Instant {
+        Instant::now()
+    }
+
+    // no finding: ordered collections iterate deterministically.
+    pub fn ordered_ok(&self) -> u64 {
+        let m: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        m.values().sum()
+    }
+}
+
+// finding: `.keys()` on a local HashMap binding.
+pub fn local_iter() -> usize {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(1, 2);
+    m.keys().count()
+}
+
+#[cfg(test)]
+mod tests {
+    // no finding: test code is exempt.
+    #[test]
+    fn exempt() {
+        let m = std::collections::HashMap::<u32, u32>::new();
+        for _ in m.iter() {}
+    }
+}

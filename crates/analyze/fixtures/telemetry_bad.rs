@@ -1,0 +1,32 @@
+// Known-bad fixture for the telemetry-coverage rule.
+
+/// Stats with one exported and one forgotten field.
+pub struct WidgetStats {
+    /// Exported below.
+    pub spins: u64,
+    /// finding: never read by any exporter.
+    pub stalls: u64,
+}
+
+pub struct Builder;
+
+impl Builder {
+    pub fn counter(&mut self, _name: &str, _v: u64) {}
+}
+
+/// The exporter: reads `spins`, forgets `stalls`.
+pub fn snapshot(w: &WidgetStats, b: &mut Builder) {
+    b.counter("ceio_widget_spins_total", w.spins);
+}
+
+/// Chaos fault sites with good and bad observability tags.
+pub enum FaultSite {
+    /// Injected spin storm.
+    /// recovery: ceio_widget_spins_total
+    Tagged,
+    /// finding: no recovery tag at all.
+    Untagged,
+    /// finding: tag names a metric nothing exports.
+    /// recovery: ceio_phantom_total
+    BadTag,
+}

@@ -1,0 +1,21 @@
+// Known-bad fixture for the unit-safety rule (posed as crates/core).
+
+/// finding ×2: raw nanoseconds and raw queue id on a pub fn.
+pub fn schedule(deadline_ns: u64, dest_queue: usize) -> u64 {
+    deadline_ns + dest_queue as u64
+}
+
+/// no finding: counts are not unit quantities.
+pub fn resize(num_queues: usize) -> usize {
+    num_queues
+}
+
+/// no finding: private functions may use raw integers internally.
+fn internal(delay_ns: u64) -> u64 {
+    delay_ns
+}
+
+/// no finding: no Bytes newtype exists in this fixture set.
+pub fn record(rx_bytes: u64) -> u64 {
+    rx_bytes
+}

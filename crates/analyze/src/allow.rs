@@ -1,0 +1,161 @@
+//! Shared allowlist grammar for `xtask lint` and `ceio-analyze`.
+//!
+//! Each non-comment line of an allow file is one entry:
+//!
+//! ```text
+//! [rule=<rule-id>] <path-suffix> <pattern…>
+//! ```
+//!
+//! * `rule=<id>` (optional) scopes the entry to one analyzer rule family
+//!   (`determinism`, `conservation`, `telemetry`, `units`). Without it the
+//!   entry applies to any rule — which is how the legacy `lint-allow.txt`
+//!   entries (plain `path pattern`) keep working unchanged.
+//! * `<path-suffix>` matches a workspace-relative file path by suffix.
+//! * `<pattern…>` (the rest of the line) must appear as a substring of
+//!   either the flagged source line or the finding message.
+//!
+//! Entries record whether they matched anything; unused entries are
+//! reported as stale so suppressions can't outlive the code they excuse.
+
+use std::cell::Cell;
+use std::fs;
+use std::path::Path;
+
+/// One allowlist entry.
+#[derive(Debug)]
+pub struct AllowEntry {
+    /// Rule family this entry is scoped to (`None` = any rule).
+    pub rule: Option<String>,
+    /// Path suffix the entry applies to.
+    pub path: String,
+    /// Substring that must appear in the flagged line or message.
+    pub pattern: String,
+    /// Set when the entry suppresses at least one finding.
+    pub used: Cell<bool>,
+    /// 1-based line in the allow file (for stale-entry reporting).
+    pub file_line: u32,
+}
+
+/// Load an allow file; a missing file is an empty list.
+pub fn load_allowlist(path: &Path) -> Vec<AllowEntry> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    parse_allowlist(&text)
+}
+
+/// Parse allow-file text (exposed for tests).
+pub fn parse_allowlist(text: &str) -> Vec<AllowEntry> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut rest = line;
+        let mut rule = None;
+        if let Some(spec) = rest.strip_prefix("rule=") {
+            let Some((id, tail)) = spec.split_once(char::is_whitespace) else {
+                continue;
+            };
+            rule = Some(id.to_string());
+            rest = tail.trim_start();
+        }
+        let Some((path, pattern)) = rest.split_once(char::is_whitespace) else {
+            continue;
+        };
+        out.push(AllowEntry {
+            rule,
+            path: path.to_string(),
+            pattern: pattern.trim().to_string(),
+            used: Cell::new(false),
+            file_line: idx as u32 + 1,
+        });
+    }
+    out
+}
+
+/// Whether a finding is suppressed. `haystacks` are the candidate texts a
+/// pattern may match (typically the source line and the finding message).
+pub fn is_allowed(
+    entries: &[AllowEntry],
+    rule: Option<&str>,
+    rel_path: &str,
+    haystacks: &[&str],
+) -> bool {
+    let mut hit = false;
+    for e in entries {
+        if let (Some(er), Some(fr)) = (e.rule.as_deref(), rule) {
+            if er != fr {
+                continue;
+            }
+        } else if e.rule.is_some() && rule.is_none() {
+            continue;
+        }
+        if !rel_path.ends_with(e.path.as_str()) {
+            continue;
+        }
+        if haystacks.iter().any(|h| h.contains(e.pattern.as_str())) {
+            e.used.set(true);
+            hit = true;
+        }
+    }
+    hit
+}
+
+/// Entries that never matched anything (stale suppressions).
+pub fn stale_entries(entries: &[AllowEntry]) -> Vec<&AllowEntry> {
+    entries.iter().filter(|e| !e.used.get()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_two_field_entries_parse() {
+        let list = parse_allowlist("# comment\ncrates/core/src/lib.rs .unwrap(\n");
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].rule, None);
+        assert_eq!(list[0].path, "crates/core/src/lib.rs");
+        assert_eq!(list[0].pattern, ".unwrap(");
+    }
+
+    #[test]
+    fn rule_scoped_entries_parse_and_scope() {
+        let list = parse_allowlist("rule=determinism crates/nic/src/ring.rs HashMap iteration\n");
+        assert_eq!(list[0].rule.as_deref(), Some("determinism"));
+        assert!(is_allowed(
+            &list,
+            Some("determinism"),
+            "crates/nic/src/ring.rs",
+            &["HashMap iteration over `rules`"],
+        ));
+        assert!(!is_allowed(
+            &list,
+            Some("telemetry"),
+            "crates/nic/src/ring.rs",
+            &["HashMap iteration over `rules`"],
+        ));
+    }
+
+    #[test]
+    fn unscoped_entry_matches_any_rule_and_marks_used() {
+        let list = parse_allowlist("crates/x/src/a.rs some pattern text\n");
+        assert!(is_allowed(
+            &list,
+            Some("units"),
+            "crates/x/src/a.rs",
+            &["... some pattern text ..."],
+        ));
+        assert!(list[0].used.get());
+        assert!(stale_entries(&list).is_empty());
+    }
+
+    #[test]
+    fn path_suffix_must_match() {
+        let list = parse_allowlist("crates/x/src/a.rs pat\n");
+        assert!(!is_allowed(&list, None, "crates/y/src/a2.rs", &["pat"]));
+        assert_eq!(stale_entries(&list).len(), 1);
+    }
+}

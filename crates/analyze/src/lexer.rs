@@ -1,0 +1,412 @@
+//! A self-contained Rust lexer.
+//!
+//! The build environment is offline (no `syn`), so the analyzer carries
+//! its own tokenizer. It produces a flat token stream with line numbers —
+//! enough structure for the item-level parser in [`crate::parse`] to
+//! recover structs, enums, impls, and function bodies, while comments and
+//! string contents can never confuse a rule (the failure mode of the old
+//! line-oriented lint).
+//!
+//! Coverage: line/block comments (nested), doc comments (kept, as
+//! [`TokKind::Doc`] — the telemetry rule reads `recovery:` tags from
+//! them), string literals (plain, raw `r#"…"#`, byte), char literals
+//! (with escapes), lifetimes, numbers, identifiers, and single-character
+//! punctuation. Multi-character operators are left as adjacent punctuation
+//! tokens; rules that care (`+=`, `==`, `->`) inspect neighbors.
+
+/// The kind of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Single punctuation character.
+    Punct,
+    /// String literal (text is the *contents*, quotes stripped).
+    Str,
+    /// Char literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`), text without the quote.
+    Lifetime,
+    /// Doc comment (`///` or `//!`), text without the marker.
+    Doc,
+}
+
+/// One token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text (see [`TokKind`] for per-kind conventions).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    #[inline]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    #[inline]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// Tokenize `src`. Unterminated constructs end the affected token at EOF
+/// rather than erroring: the analyzer must keep going on odd input.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(ch) = c {
+            self.pos += 1;
+            if ch == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                ch if ch.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(line),
+                'r' | 'b' if self.raw_or_byte_string(line) => {}
+                '\'' => self.char_or_lifetime(line),
+                ch if ch.is_ascii_digit() => self.number(line),
+                ch if ch.is_alphabetic() || ch == '_' => self.ident(line),
+                ch => {
+                    self.bump();
+                    self.push(TokKind::Punct, ch.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        // Consume `//`; check for doc markers.
+        self.bump();
+        self.bump();
+        let is_doc = matches!(self.peek(0), Some('/') | Some('!'))
+            // `////…` is a plain comment, not a doc comment.
+            && !(self.peek(0) == Some('/') && self.peek(1) == Some('/'));
+        if is_doc {
+            self.bump();
+        }
+        let mut text = String::new();
+        while let Some(ch) = self.peek(0) {
+            if ch == '\n' {
+                break;
+            }
+            text.push(ch);
+            self.bump();
+        }
+        if is_doc {
+            self.push(TokKind::Doc, text.trim().to_string(), line);
+        }
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    fn string(&mut self, line: u32) {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(ch) = self.bump() {
+            match ch {
+                '"' => break,
+                '\\' => {
+                    // Keep the escape verbatim; contents are opaque to rules.
+                    text.push('\\');
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                _ => text.push(ch),
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// Handle `r"…"`, `r#"…"#`, `br"…"`, `b"…"`, `b'…'` prefixes. Returns
+    /// `true` if a token was consumed, `false` if this is a plain ident
+    /// starting with `r`/`b` (caller falls through to `ident`).
+    fn raw_or_byte_string(&mut self, line: u32) -> bool {
+        let c0 = match self.peek(0) {
+            Some(c) => c,
+            None => return false,
+        };
+        // b"…"  /  b'…'
+        if c0 == 'b' {
+            match self.peek(1) {
+                Some('"') => {
+                    self.bump();
+                    self.string(line);
+                    return true;
+                }
+                Some('\'') => {
+                    self.bump();
+                    self.char_or_lifetime(line);
+                    return true;
+                }
+                Some('r') => {
+                    // br#"…"# — shift view by one and fall into raw handling.
+                    if self.raw_at(2, line) {
+                        return true;
+                    }
+                    return false;
+                }
+                _ => return false,
+            }
+        }
+        // r"…" / r#"…"#  (but `r` may start an ident like `rules`).
+        if c0 == 'r' {
+            return self.raw_at(1, line);
+        }
+        false
+    }
+
+    /// If a raw string opens at offset `at` (counting `#`s then `"`),
+    /// consume the whole literal and return true.
+    fn raw_at(&mut self, at: usize, line: u32) -> bool {
+        let mut hashes = 0usize;
+        while self.peek(at + hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(at + hashes) != Some('"') {
+            return false;
+        }
+        // Consume prefix, hashes, and opening quote.
+        for _ in 0..(at + hashes + 1) {
+            self.bump();
+        }
+        let mut text = String::new();
+        'outer: while let Some(ch) = self.bump() {
+            if ch == '"' {
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        text.push('"');
+                        // Not the closing delimiter; keep scanning. Any
+                        // `#`s seen belong to the contents.
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            text.push(ch);
+        }
+        self.push(TokKind::Str, text, line);
+        true
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // the quote
+                     // Lifetime: 'ident not followed by a closing quote.
+        if let Some(c1) = self.peek(0) {
+            if (c1.is_alphabetic() || c1 == '_') && self.peek(1) != Some('\'') {
+                let mut name = String::new();
+                while let Some(ch) = self.peek(0) {
+                    if ch.is_alphanumeric() || ch == '_' {
+                        name.push(ch);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokKind::Lifetime, name, line);
+                return;
+            }
+        }
+        // Char literal: escape or single char, then closing quote.
+        let mut text = String::new();
+        match self.bump() {
+            Some('\\') => {
+                text.push('\\');
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                    // \x7f / \u{…} escapes: consume until the quote.
+                    while self.peek(0).is_some() && self.peek(0) != Some('\'') {
+                        if let Some(ch) = self.bump() {
+                            text.push(ch);
+                        }
+                    }
+                }
+            }
+            Some(ch) => text.push(ch),
+            None => {}
+        }
+        if self.peek(0) == Some('\'') {
+            self.bump();
+        }
+        self.push(TokKind::Char, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(ch) = self.peek(0) {
+            // Greedy: digits, underscores, radix/exponent letters, and the
+            // `.` of float literals (but not `..` ranges or method calls).
+            let float_dot = ch == '.'
+                && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+                && !text.contains('.');
+            if ch.is_ascii_alphanumeric() || ch == '_' || float_dot {
+                text.push(ch);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(ch) = self.peek(0) {
+            if ch.is_alphanumeric() || ch == '_' {
+                text.push(ch);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_are_dropped_doc_comments_kept() {
+        let toks = kinds("// plain\n/// doc line\nfn x() {} /* block /* nested */ */");
+        assert_eq!(toks[0], (TokKind::Doc, "doc line".to_string()));
+        assert_eq!(toks[1], (TokKind::Ident, "fn".to_string()));
+        assert!(toks.iter().all(|(_, t)| !t.contains("plain")));
+        assert!(toks.iter().all(|(_, t)| !t.contains("nested")));
+    }
+
+    #[test]
+    fn strings_and_chars_do_not_leak_tokens() {
+        let toks = kinds(r#"let s = "HashMap.iter()"; let c = '"'; let l = 'a;"#);
+        // The string contents stay inside one Str token.
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("HashMap")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "HashMap"));
+        // '"' is a char literal, not an unterminated string.
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Char && t == "\""));
+        // 'a is a lifetime.
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "a"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r##"let s = r#"quote " inside"#; rules.iter();"##);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("quote \" inside")));
+        // `rules` after the raw string still lexes as an ident.
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "rules"));
+    }
+
+    #[test]
+    fn escaped_quote_in_string_then_code() {
+        // The seed lint's stripper mis-handled nested/escaped quotes; the
+        // lexer must resynchronize so following code tokens are visible.
+        let toks = kinds(r#"let s = "a\"b"; x.drain();"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "drain"));
+    }
+
+    #[test]
+    fn numbers_and_floats() {
+        let toks = kinds("let a = 1_000u64; let b = 2.5e3; let r = 0..4;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Num && t == "1_000u64"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "2.5e3"));
+        // `0..4` stays three tokens: 0, ., ., 4 — not a float.
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "0"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "4"));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("fn a() {}\nfn b() {}\n");
+        let b = toks.iter().find(|t| t.is_ident("b")).map(|t| t.line);
+        assert_eq!(b, Some(2));
+    }
+}

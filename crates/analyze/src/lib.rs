@@ -1,0 +1,114 @@
+//! `ceio-analyze` — an AST-level static analyzer for the CEIO workspace.
+//!
+//! The line-oriented `cargo xtask lint` catches token-ban violations; this
+//! crate goes one level deeper. It lexes and item-parses every library
+//! source (no external parser — the build is offline), then enforces four
+//! semantic rule families that encode the simulator's correctness
+//! contracts:
+//!
+//! 1. **determinism** — simulation-facing crates must not iterate
+//!    hash-order collections or read ambient time/entropy
+//!    ([`rules::determinism`]);
+//! 2. **conservation** — credit-ledger mutators must assert Eq. 1 and
+//!    stay inside the policy layer ([`rules::conservation`]);
+//! 3. **telemetry** — every `*Stats` field must be exported and every
+//!    chaos fault site must name its recovery counter
+//!    ([`rules::telemetry`]);
+//! 4. **units** — public `ceio-core` APIs must use unit newtypes instead
+//!    of raw integers ([`rules::units`]).
+//!
+//! Findings can be suppressed via `crates/xtask/analyze-allow.txt` using
+//! the shared allowlist grammar ([`allow`]); unused suppressions are
+//! reported as stale. Run it as `cargo xtask analyze [--format json]`.
+
+pub mod allow;
+pub mod lexer;
+pub mod parse;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+use std::io;
+use std::path::Path;
+
+pub use allow::AllowEntry;
+pub use report::{Analysis, Finding, Rule};
+pub use rules::Unit;
+pub use source::SourceFile;
+
+/// Relative path (from the workspace root) of the analyzer allow file.
+pub const ALLOW_FILE: &str = "crates/xtask/analyze-allow.txt";
+
+/// Crates never scanned: the tools that *describe* the checks would
+/// otherwise trip over their own pattern tables.
+pub const TOOL_CRATES: &[&str] = &["xtask", "analyze"];
+
+/// Analyze an explicit set of sources against an allowlist. This is the
+/// seam the self-test fixtures drive.
+pub fn analyze_sources(files: Vec<SourceFile>, allow_entries: &[AllowEntry]) -> Analysis {
+    let units: Vec<Unit> = files
+        .into_iter()
+        .map(|src| {
+            let pf = parse::parse(lexer::lex(&src.text));
+            Unit { src, pf }
+        })
+        .collect();
+
+    let mut raw: Vec<Finding> = Vec::new();
+    raw.extend(rules::determinism::check(&units));
+    raw.extend(rules::conservation::check(&units));
+    raw.extend(rules::telemetry::check(&units));
+    raw.extend(rules::units::check(&units));
+
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    for f in raw {
+        let line_text = units
+            .iter()
+            .find(|u| u.src.rel == f.file)
+            .map(|u| u.src.line_text(f.line))
+            .unwrap_or("");
+        if allow::is_allowed(
+            allow_entries,
+            Some(f.rule.id()),
+            &f.file,
+            &[line_text, &f.message],
+        ) {
+            suppressed += 1;
+        } else {
+            findings.push(f);
+        }
+    }
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+
+    Analysis {
+        files_scanned: units.len(),
+        findings,
+        suppressed,
+        stale_allows: allow::stale_entries(allow_entries)
+            .into_iter()
+            .map(|e| {
+                format!(
+                    "line {}: {} {}{}",
+                    e.file_line,
+                    e.path,
+                    e.pattern,
+                    e.rule
+                        .as_deref()
+                        .map(|r| format!(" [rule={r}]"))
+                        .unwrap_or_default()
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Analyze the whole workspace rooted at `root`, using the checked-in
+/// allow file.
+pub fn analyze_workspace(root: &Path) -> io::Result<Analysis> {
+    let files = source::library_sources(root, TOOL_CRATES)?;
+    let allow_entries = allow::load_allowlist(&root.join(ALLOW_FILE));
+    Ok(analyze_sources(files, &allow_entries))
+}

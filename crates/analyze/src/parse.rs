@@ -1,0 +1,925 @@
+//! Item-level parser over the token stream.
+//!
+//! Recovers the shapes the rules need — structs with typed fields, enums
+//! with doc-tagged variants, functions with receivers/params/body spans,
+//! and the impl type each method belongs to — without building a full
+//! expression AST. Bodies stay as token ranges; rules scan them with
+//! local pattern matches.
+//!
+//! Test code is excluded structurally: items inside a `#[cfg(test)] mod`,
+//! or carrying an attribute that mentions `test`, are marked and skipped
+//! by every rule.
+
+use crate::lexer::{Tok, TokKind};
+
+/// A named struct field.
+#[derive(Debug, Clone)]
+pub struct FieldDef {
+    /// Field name.
+    pub name: String,
+    /// Field type, as whitespace-joined tokens (e.g. `HashMap < FlowId , u64 >`).
+    pub ty: String,
+    /// Whether the field is `pub`.
+    pub is_pub: bool,
+    /// 1-based line of the field name.
+    pub line: u32,
+}
+
+/// A struct definition (named-field or tuple).
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// 1-based line of the `struct` keyword.
+    pub line: u32,
+    /// Whether the struct is `pub`.
+    pub is_pub: bool,
+    /// Named fields (empty for tuple/unit structs).
+    pub fields: Vec<FieldDef>,
+    /// Tuple-struct element types (empty for named/unit structs).
+    pub tuple_tys: Vec<String>,
+    /// Structurally test-only (inside `#[cfg(test)]` or test-attributed).
+    pub is_test: bool,
+}
+
+/// One enum variant with its doc comment lines.
+#[derive(Debug, Clone)]
+pub struct VariantDef {
+    /// Variant name.
+    pub name: String,
+    /// 1-based line of the variant name.
+    pub line: u32,
+    /// Doc comment lines attached to the variant (trimmed).
+    pub docs: Vec<String>,
+}
+
+/// An enum definition.
+#[derive(Debug, Clone)]
+pub struct EnumDef {
+    /// Enum name.
+    pub name: String,
+    /// 1-based line of the `enum` keyword.
+    pub line: u32,
+    /// The variants in declaration order.
+    pub variants: Vec<VariantDef>,
+    /// Structurally test-only.
+    pub is_test: bool,
+}
+
+/// The receiver form of a method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelfKind {
+    /// `&self`
+    Ref,
+    /// `&mut self`
+    RefMut,
+    /// `self` / `mut self`
+    Owned,
+}
+
+/// A function or method definition.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Whether the fn is `pub` (any visibility restriction counts as pub).
+    pub is_pub: bool,
+    /// Receiver, if this is a method.
+    pub self_kind: Option<SelfKind>,
+    /// Non-self parameters as `(name, type)`; pattern params keep the raw
+    /// pattern text as the name.
+    pub params: Vec<(String, String)>,
+    /// Half-open token range `[start, end)` of the body, including braces.
+    /// Empty range for bodyless trait-method declarations.
+    pub body: (usize, usize),
+    /// The `impl` type this method lives in, if any (e.g. `CreditManager`).
+    pub impl_of: Option<String>,
+    /// Attribute strings attached to the fn (tokens joined by spaces).
+    pub attrs: Vec<String>,
+    /// Structurally test-only.
+    pub is_test: bool,
+}
+
+/// Everything the parser recovered from one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// The full token stream (rules index into this via `FnDef::body`).
+    pub toks: Vec<Tok>,
+    /// Struct definitions, in order.
+    pub structs: Vec<StructDef>,
+    /// Enum definitions, in order.
+    pub enums: Vec<EnumDef>,
+    /// Function definitions, in order (methods carry `impl_of`).
+    pub fns: Vec<FnDef>,
+}
+
+/// Parse a lexed token stream into items.
+pub fn parse(toks: Vec<Tok>) -> ParsedFile {
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        out: ParsedFile::default(),
+    };
+    p.items(None, false);
+    let toks = std::mem::take(&mut p.toks);
+    let mut out = p.out;
+    out.toks = toks;
+    out
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+    out: ParsedFile,
+}
+
+/// Attributes and doc comments pending attachment to the next item.
+#[derive(Default, Clone)]
+struct Pending {
+    attrs: Vec<String>,
+    docs: Vec<String>,
+    is_pub: bool,
+}
+
+impl Pending {
+    fn is_test(&self) -> bool {
+        self.attrs.iter().any(|a| {
+            a.split(|c: char| !c.is_alphanumeric() && c != '_')
+                .any(|w| w == "test")
+        })
+    }
+}
+
+impl Parser {
+    fn at(&self, i: usize) -> Option<&Tok> {
+        self.toks.get(i)
+    }
+
+    fn cur(&self) -> Option<&Tok> {
+        self.at(self.pos)
+    }
+
+    /// Skip a balanced bracket group starting at `self.pos` (which must be
+    /// on the opener). Leaves `pos` one past the matching closer.
+    fn skip_group(&mut self, open: char, close: char) {
+        let mut depth = 0i32;
+        while let Some(t) = self.cur() {
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    self.pos += 1;
+                    return;
+                }
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Skip a generic `<...>` group; `<` and `>` also appear as comparison
+    /// operators, but in item position (after a name) they are generics.
+    fn skip_generics(&mut self) {
+        if self.cur().is_some_and(|t| t.is_punct('<')) {
+            let mut depth = 0i32;
+            while let Some(t) = self.cur() {
+                if t.is_punct('<') {
+                    depth += 1;
+                } else if t.is_punct('>') {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.pos += 1;
+                        return;
+                    }
+                }
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// Parse items until `end_pos` (exclusive) or EOF.
+    fn items(&mut self, impl_of: Option<&str>, in_test: bool) {
+        let mut pending = Pending::default();
+        while let Some(t) = self.cur().cloned() {
+            match (t.kind, t.text.as_str()) {
+                (TokKind::Doc, _) => {
+                    pending.docs.push(t.text.clone());
+                    self.pos += 1;
+                }
+                (TokKind::Punct, "#") => {
+                    self.pos += 1;
+                    // `#[...]` or `#![...]`
+                    if self.cur().is_some_and(|t| t.is_punct('!')) {
+                        self.pos += 1;
+                    }
+                    if self.cur().is_some_and(|t| t.is_punct('[')) {
+                        let start = self.pos;
+                        self.skip_group('[', ']');
+                        let text: Vec<String> = self.toks[start..self.pos]
+                            .iter()
+                            .map(|t| t.text.clone())
+                            .collect();
+                        pending.attrs.push(text.join(" "));
+                    }
+                }
+                (TokKind::Ident, "pub") => {
+                    pending.is_pub = true;
+                    self.pos += 1;
+                    // `pub(crate)` etc.
+                    if self.cur().is_some_and(|t| t.is_punct('(')) {
+                        self.skip_group('(', ')');
+                    }
+                }
+                (TokKind::Ident, "mod") => {
+                    let test_mod = pending.is_test()
+                        || pending
+                            .attrs
+                            .iter()
+                            .any(|a| a.contains("cfg") && a.contains("test"));
+                    pending = Pending::default();
+                    self.pos += 1; // `mod`
+                    self.pos += 1; // name
+                    if self.cur().is_some_and(|t| t.is_punct('{')) {
+                        let body_end = self.match_brace_end(self.pos);
+                        self.pos += 1;
+                        let saved_end = body_end;
+                        self.items_until(saved_end, None, in_test || test_mod);
+                        self.pos = saved_end;
+                    } else if self.cur().is_some_and(|t| t.is_punct(';')) {
+                        self.pos += 1;
+                    }
+                }
+                (TokKind::Ident, "impl") => {
+                    pending = Pending::default();
+                    self.pos += 1;
+                    self.skip_generics();
+                    // Collect tokens up to `{` to find the self type; for
+                    // `impl Trait for Type`, the type follows `for`.
+                    let head_start = self.pos;
+                    while let Some(t) = self.cur() {
+                        if t.is_punct('{') {
+                            break;
+                        }
+                        // `where` clauses can contain no braces before the
+                        // body `{` in this codebase's style.
+                        self.pos += 1;
+                    }
+                    let head: Vec<&Tok> = self.toks[head_start..self.pos].iter().collect();
+                    let ty = impl_self_type(&head);
+                    if self.cur().is_some_and(|t| t.is_punct('{')) {
+                        let body_end = self.match_brace_end(self.pos);
+                        self.pos += 1;
+                        let ty2 = ty.clone();
+                        self.items_until(body_end, ty2.as_deref(), in_test);
+                        self.pos = body_end;
+                    }
+                }
+                (TokKind::Ident, "struct") => {
+                    let p = std::mem::take(&mut pending);
+                    self.parse_struct(&p, in_test, t.line);
+                }
+                (TokKind::Ident, "enum") => {
+                    let p = std::mem::take(&mut pending);
+                    self.parse_enum(&p, in_test, t.line);
+                }
+                (TokKind::Ident, "fn") => {
+                    let p = std::mem::take(&mut pending);
+                    self.parse_fn(&p, impl_of, in_test, t.line);
+                }
+                (TokKind::Ident, "unsafe" | "async" | "const" | "extern" | "default") => {
+                    // Fn qualifiers: keep pending attrs, move on.
+                    self.pos += 1;
+                }
+                (TokKind::Punct, "{") => {
+                    // Unrecognized braced construct (e.g. trait body handled
+                    // via items_until, macro_rules): skip it whole.
+                    let end = self.match_brace_end(self.pos);
+                    self.pos = end;
+                    pending = Pending::default();
+                }
+                _ => {
+                    // `use`, `type`, `static`, `trait` headers, semicolons…
+                    // For `trait X { … }` we want the method declarations
+                    // too; treat trait bodies like impl bodies with no type.
+                    if t.is_ident("trait") {
+                        pending = Pending::default();
+                        while let Some(t2) = self.cur() {
+                            if t2.is_punct('{') || t2.is_punct(';') {
+                                break;
+                            }
+                            self.pos += 1;
+                        }
+                        if self.cur().is_some_and(|t2| t2.is_punct('{')) {
+                            let body_end = self.match_brace_end(self.pos);
+                            self.pos += 1;
+                            self.items_until(body_end, None, in_test);
+                            self.pos = body_end;
+                        }
+                        continue;
+                    }
+                    self.pos += 1;
+                    if t.is_punct(';') {
+                        pending = Pending::default();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Like `items` but bounded: stops when `pos` reaches `end`.
+    fn items_until(&mut self, end: usize, impl_of: Option<&str>, in_test: bool) {
+        // Temporarily truncate by running a scoped loop.
+        let mut pending = Pending::default();
+        while self.pos < end {
+            let t = match self.cur() {
+                Some(t) => t.clone(),
+                None => break,
+            };
+            match (t.kind, t.text.as_str()) {
+                (TokKind::Doc, _) => {
+                    pending.docs.push(t.text.clone());
+                    self.pos += 1;
+                }
+                (TokKind::Punct, "#") => {
+                    self.pos += 1;
+                    if self.cur().is_some_and(|t| t.is_punct('!')) {
+                        self.pos += 1;
+                    }
+                    if self.cur().is_some_and(|t| t.is_punct('[')) {
+                        let start = self.pos;
+                        self.skip_group('[', ']');
+                        let text: Vec<String> = self.toks[start..self.pos]
+                            .iter()
+                            .map(|t| t.text.clone())
+                            .collect();
+                        pending.attrs.push(text.join(" "));
+                    }
+                }
+                (TokKind::Ident, "pub") => {
+                    pending.is_pub = true;
+                    self.pos += 1;
+                    if self.cur().is_some_and(|t| t.is_punct('(')) {
+                        self.skip_group('(', ')');
+                    }
+                }
+                (TokKind::Ident, "mod") => {
+                    let test_mod = pending.is_test()
+                        || pending
+                            .attrs
+                            .iter()
+                            .any(|a| a.contains("cfg") && a.contains("test"));
+                    pending = Pending::default();
+                    self.pos += 1;
+                    self.pos += 1;
+                    if self.cur().is_some_and(|t| t.is_punct('{')) {
+                        let body_end = self.match_brace_end(self.pos);
+                        self.pos += 1;
+                        self.items_until(body_end, None, in_test || test_mod);
+                        self.pos = body_end;
+                    } else if self.cur().is_some_and(|t| t.is_punct(';')) {
+                        self.pos += 1;
+                    }
+                }
+                (TokKind::Ident, "impl") => {
+                    pending = Pending::default();
+                    self.pos += 1;
+                    self.skip_generics();
+                    let head_start = self.pos;
+                    while self.pos < end {
+                        if self.cur().is_none_or(|t| t.is_punct('{')) {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let head: Vec<&Tok> = self.toks[head_start..self.pos].iter().collect();
+                    let ty = impl_self_type(&head);
+                    if self.cur().is_some_and(|t| t.is_punct('{')) {
+                        let body_end = self.match_brace_end(self.pos);
+                        self.pos += 1;
+                        self.items_until(body_end, ty.as_deref(), in_test);
+                        self.pos = body_end;
+                    }
+                }
+                (TokKind::Ident, "struct") => {
+                    let p = std::mem::take(&mut pending);
+                    self.parse_struct(&p, in_test, t.line);
+                }
+                (TokKind::Ident, "enum") => {
+                    let p = std::mem::take(&mut pending);
+                    self.parse_enum(&p, in_test, t.line);
+                }
+                (TokKind::Ident, "fn") => {
+                    let p = std::mem::take(&mut pending);
+                    self.parse_fn(&p, impl_of, in_test, t.line);
+                }
+                (TokKind::Ident, "unsafe" | "async" | "const" | "extern" | "default") => {
+                    self.pos += 1;
+                }
+                (TokKind::Ident, "trait") => {
+                    pending = Pending::default();
+                    while self.pos < end {
+                        if self
+                            .cur()
+                            .is_none_or(|t2| t2.is_punct('{') || t2.is_punct(';'))
+                        {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    if self.cur().is_some_and(|t2| t2.is_punct('{')) {
+                        let body_end = self.match_brace_end(self.pos);
+                        self.pos += 1;
+                        self.items_until(body_end, None, in_test);
+                        self.pos = body_end;
+                    }
+                }
+                (TokKind::Punct, "{") => {
+                    let e = self.match_brace_end(self.pos);
+                    self.pos = e;
+                    pending = Pending::default();
+                }
+                _ => {
+                    self.pos += 1;
+                    if t.is_punct(';') {
+                        pending = Pending::default();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Index one past the `}` matching the `{` at `open`.
+    fn match_brace_end(&self, open: usize) -> usize {
+        let mut depth = 0i32;
+        let mut i = open;
+        while let Some(t) = self.at(i) {
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        self.toks.len()
+    }
+
+    fn parse_struct(&mut self, pending: &Pending, in_test: bool, line: u32) {
+        self.pos += 1; // `struct`
+        let name = match self.cur() {
+            Some(t) if t.kind == TokKind::Ident => t.text.clone(),
+            _ => return,
+        };
+        self.pos += 1;
+        self.skip_generics();
+        let mut def = StructDef {
+            name,
+            line,
+            is_pub: pending.is_pub,
+            fields: Vec::new(),
+            tuple_tys: Vec::new(),
+            is_test: in_test || pending.is_test(),
+        };
+        // `where` clause before the body.
+        while self
+            .cur()
+            .is_some_and(|t| !(t.is_punct('{') || t.is_punct('(') || t.is_punct(';')))
+        {
+            self.pos += 1;
+        }
+        match self.cur() {
+            Some(t) if t.is_punct('{') => {
+                let end = self.match_brace_end(self.pos) - 1; // index of `}`
+                self.pos += 1;
+                self.parse_named_fields(end, &mut def);
+                self.pos = end + 1;
+            }
+            Some(t) if t.is_punct('(') => {
+                let start = self.pos;
+                self.skip_group('(', ')');
+                def.tuple_tys = split_top_level(&self.toks[start + 1..self.pos - 1], ',')
+                    .into_iter()
+                    .map(|chunk| join_toks(&chunk))
+                    .collect();
+                if self.cur().is_some_and(|t| t.is_punct(';')) {
+                    self.pos += 1;
+                }
+            }
+            Some(t) if t.is_punct(';') => {
+                self.pos += 1;
+            }
+            _ => {}
+        }
+        self.out.structs.push(def);
+    }
+
+    fn parse_named_fields(&mut self, end: usize, def: &mut StructDef) {
+        let chunks = split_top_level(&self.toks[self.pos..end], ',');
+        for chunk in chunks {
+            // Strip attributes/docs/visibility; the field is `name : ty`.
+            let mut i = 0usize;
+            let mut is_pub = false;
+            while i < chunk.len() {
+                let t = &chunk[i];
+                if t.kind == TokKind::Doc {
+                    i += 1;
+                } else if t.is_punct('#') {
+                    // Skip `#[...]`.
+                    i += 1;
+                    if chunk.get(i).is_some_and(|t| t.is_punct('[')) {
+                        let mut depth = 0i32;
+                        while i < chunk.len() {
+                            if chunk[i].is_punct('[') {
+                                depth += 1;
+                            } else if chunk[i].is_punct(']') {
+                                depth -= 1;
+                                if depth == 0 {
+                                    i += 1;
+                                    break;
+                                }
+                            }
+                            i += 1;
+                        }
+                    }
+                } else if t.is_ident("pub") {
+                    is_pub = true;
+                    i += 1;
+                    if chunk.get(i).is_some_and(|t| t.is_punct('(')) {
+                        let mut depth = 0i32;
+                        while i < chunk.len() {
+                            if chunk[i].is_punct('(') {
+                                depth += 1;
+                            } else if chunk[i].is_punct(')') {
+                                depth -= 1;
+                                if depth == 0 {
+                                    i += 1;
+                                    break;
+                                }
+                            }
+                            i += 1;
+                        }
+                    }
+                } else {
+                    break;
+                }
+            }
+            let (name, line) = match chunk.get(i) {
+                Some(t) if t.kind == TokKind::Ident => (t.text.clone(), t.line),
+                _ => continue,
+            };
+            if !chunk.get(i + 1).is_some_and(|t| t.is_punct(':')) {
+                continue;
+            }
+            let ty_toks: Vec<Tok> = chunk[i + 2..].to_vec();
+            def.fields.push(FieldDef {
+                name,
+                ty: join_toks(&ty_toks),
+                is_pub,
+                line,
+            });
+        }
+    }
+
+    fn parse_enum(&mut self, pending: &Pending, in_test: bool, line: u32) {
+        self.pos += 1; // `enum`
+        let name = match self.cur() {
+            Some(t) if t.kind == TokKind::Ident => t.text.clone(),
+            _ => return,
+        };
+        self.pos += 1;
+        self.skip_generics();
+        while self.cur().is_some_and(|t| !t.is_punct('{')) {
+            self.pos += 1;
+        }
+        let mut def = EnumDef {
+            name,
+            line,
+            variants: Vec::new(),
+            is_test: in_test || pending.is_test(),
+        };
+        if self.cur().is_some_and(|t| t.is_punct('{')) {
+            let end = self.match_brace_end(self.pos) - 1;
+            self.pos += 1;
+            for chunk in split_top_level(&self.toks[self.pos..end], ',') {
+                let mut docs = Vec::new();
+                let mut i = 0usize;
+                while i < chunk.len() {
+                    let t = &chunk[i];
+                    if t.kind == TokKind::Doc {
+                        docs.push(t.text.clone());
+                        i += 1;
+                    } else if t.is_punct('#') {
+                        let mut depth = 0i32;
+                        i += 1;
+                        while i < chunk.len() {
+                            if chunk[i].is_punct('[') {
+                                depth += 1;
+                            } else if chunk[i].is_punct(']') {
+                                depth -= 1;
+                                if depth == 0 {
+                                    i += 1;
+                                    break;
+                                }
+                            }
+                            i += 1;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                if let Some(t) = chunk.get(i) {
+                    if t.kind == TokKind::Ident {
+                        def.variants.push(VariantDef {
+                            name: t.text.clone(),
+                            line: t.line,
+                            docs,
+                        });
+                    }
+                }
+            }
+            self.pos = end + 1;
+        }
+        self.out.enums.push(def);
+    }
+
+    fn parse_fn(&mut self, pending: &Pending, impl_of: Option<&str>, in_test: bool, line: u32) {
+        self.pos += 1; // `fn`
+        let name = match self.cur() {
+            Some(t) if t.kind == TokKind::Ident => t.text.clone(),
+            _ => return,
+        };
+        self.pos += 1;
+        self.skip_generics();
+        if !self.cur().is_some_and(|t| t.is_punct('(')) {
+            return;
+        }
+        let params_start = self.pos;
+        self.skip_group('(', ')');
+        let param_toks = self.toks[params_start + 1..self.pos - 1].to_vec();
+        let (self_kind, params) = parse_params(&param_toks);
+
+        // Skip return type / where clause up to `{` or `;`.
+        while self
+            .cur()
+            .is_some_and(|t| !(t.is_punct('{') || t.is_punct(';')))
+        {
+            self.pos += 1;
+        }
+        let body = if self.cur().is_some_and(|t| t.is_punct('{')) {
+            let end = self.match_brace_end(self.pos);
+            let span = (self.pos, end);
+            self.pos = end;
+            span
+        } else {
+            self.pos += 1; // `;`
+            (0, 0)
+        };
+        self.out.fns.push(FnDef {
+            name,
+            line,
+            is_pub: pending.is_pub,
+            self_kind,
+            params,
+            body,
+            impl_of: impl_of.map(|s| s.to_string()),
+            attrs: pending.attrs.clone(),
+            is_test: in_test || pending.is_test(),
+        });
+    }
+}
+
+/// Extract the self type name from an `impl` header token list
+/// (everything between `impl<…>` and `{`).
+fn impl_self_type(head: &[&Tok]) -> Option<String> {
+    // `impl Trait for Type<…>` → ident after `for`; else first ident.
+    if let Some(for_pos) = head.iter().position(|t| t.is_ident("for")) {
+        return head[for_pos + 1..]
+            .iter()
+            .find(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone());
+    }
+    // Take the *last* ident of the leading path before generics: for
+    // `crate::credit::CreditManager` we want `CreditManager`.
+    let mut last = None;
+    for t in head {
+        if t.kind == TokKind::Ident {
+            last = Some(t.text.clone());
+        } else if t.is_punct(':') {
+            continue;
+        } else {
+            break;
+        }
+    }
+    last
+}
+
+/// Split a token slice on a top-level punctuation separator (depth-aware
+/// for all bracket kinds including generics).
+fn split_top_level(toks: &[Tok], sep: char) -> Vec<Vec<Tok>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut round = 0i32;
+    let mut square = 0i32;
+    let mut curly = 0i32;
+    let mut angle = 0i32;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" => round += 1,
+                ")" => round -= 1,
+                "[" => square += 1,
+                "]" => square -= 1,
+                "{" => curly += 1,
+                "}" => curly -= 1,
+                "<" => {
+                    // Heuristic: `<` after ident/`>`/`:` opens generics.
+                    let prev = if i == 0 { None } else { toks.get(i - 1) };
+                    if prev.is_some_and(|p| {
+                        p.kind == TokKind::Ident || p.is_punct('>') || p.is_punct(':')
+                    }) {
+                        angle += 1;
+                    }
+                }
+                ">" if angle > 0 => {
+                    // `->` is not a generic closer.
+                    let prev = if i == 0 { None } else { toks.get(i - 1) };
+                    if !prev.is_some_and(|p| p.is_punct('-')) {
+                        angle -= 1;
+                    }
+                }
+                _ => {}
+            }
+            if t.text.len() == 1
+                && t.text.starts_with(sep)
+                && round == 0
+                && square == 0
+                && curly == 0
+                && angle == 0
+            {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+                continue;
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Join token texts with single spaces (type rendering).
+fn join_toks(toks: &[Tok]) -> String {
+    let texts: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind != TokKind::Doc)
+        .map(|t| t.text.as_str())
+        .collect();
+    texts.join(" ")
+}
+
+/// Parse a fn parameter token list into (receiver, named params).
+fn parse_params(toks: &[Tok]) -> (Option<SelfKind>, Vec<(String, String)>) {
+    let mut self_kind = None;
+    let mut params = Vec::new();
+    for (idx, chunk) in split_top_level(toks, ',').into_iter().enumerate() {
+        let idents: Vec<&str> = chunk
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        if idx == 0 && idents.first() == Some(&"self")
+            || idx == 0 && idents.first() == Some(&"mut") && idents.get(1) == Some(&"self")
+        {
+            let has_ref = chunk.iter().any(|t| t.is_punct('&'));
+            let has_mut = idents.contains(&"mut");
+            self_kind = Some(match (has_ref, has_mut) {
+                (true, true) => SelfKind::RefMut,
+                (true, false) => SelfKind::Ref,
+                (false, _) => SelfKind::Owned,
+            });
+            continue;
+        }
+        // `name : Type` (skip `mut` / `_` patterns gracefully).
+        let colon = chunk.iter().position(|t| t.is_punct(':'));
+        if let Some(c) = colon {
+            let name = chunk[..c]
+                .iter()
+                .filter(|t| t.kind == TokKind::Ident && !t.is_ident("mut"))
+                .map(|t| t.text.clone())
+                .collect::<Vec<_>>()
+                .join(" ");
+            let ty = join_toks(&chunk[c + 1..]);
+            params.push((name, ty));
+        }
+    }
+    (self_kind, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        parse(lex(src))
+    }
+
+    #[test]
+    fn struct_fields_with_types() {
+        let pf = parse_src(
+            "pub struct Foo { pub a: u64, b: HashMap<FlowId, u64>, #[serde(skip)] c: Vec<u8> }",
+        );
+        let s = &pf.structs[0];
+        assert_eq!(s.name, "Foo");
+        assert!(s.is_pub);
+        assert_eq!(s.fields.len(), 3);
+        assert_eq!(s.fields[0].name, "a");
+        assert!(s.fields[0].is_pub);
+        assert!(s.fields[1].ty.contains("HashMap"));
+        assert_eq!(s.fields[2].name, "c");
+    }
+
+    #[test]
+    fn tuple_struct_newtype() {
+        let pf = parse_src("pub struct QueueId(pub u32);");
+        let s = &pf.structs[0];
+        assert_eq!(s.name, "QueueId");
+        assert!(s.fields.is_empty());
+        assert_eq!(s.tuple_tys.len(), 1);
+        assert!(s.tuple_tys[0].contains("u32"));
+    }
+
+    #[test]
+    fn enum_variant_docs_survive() {
+        let pf = parse_src(
+            "pub enum FaultSite {\n  /// Drop it.\n  /// recovery: ceio_x_total\n  DropOne,\n  Other,\n}",
+        );
+        let e = &pf.enums[0];
+        assert_eq!(e.variants.len(), 2);
+        assert_eq!(e.variants[0].name, "DropOne");
+        assert!(e.variants[0].docs.iter().any(|d| d.contains("recovery:")));
+        assert!(e.variants[1].docs.is_empty());
+    }
+
+    #[test]
+    fn methods_carry_impl_type_and_receiver() {
+        let pf = parse_src(
+            "impl CreditManager { pub fn grant(&mut self, f: FlowId, n: u64) -> bool { true } \
+             fn peek(&self) {} }",
+        );
+        let grant = pf.fns.iter().find(|f| f.name == "grant").unwrap();
+        assert_eq!(grant.impl_of.as_deref(), Some("CreditManager"));
+        assert_eq!(grant.self_kind, Some(SelfKind::RefMut));
+        assert!(grant.is_pub);
+        assert_eq!(grant.params.len(), 2);
+        assert_eq!(grant.params[1], ("n".to_string(), "u64".to_string()));
+        let peek = pf.fns.iter().find(|f| f.name == "peek").unwrap();
+        assert_eq!(peek.self_kind, Some(SelfKind::Ref));
+        assert!(!peek.is_pub);
+    }
+
+    #[test]
+    fn generic_impl_and_trait_impl_types() {
+        let pf = parse_src(
+            "impl<K: Ord + Clone> RmtEngine<K> { fn a(&self) {} }\n\
+             impl Default for CreditManager { fn default() -> Self { x } }",
+        );
+        assert_eq!(pf.fns[0].impl_of.as_deref(), Some("RmtEngine"));
+        assert_eq!(pf.fns[1].impl_of.as_deref(), Some("CreditManager"));
+    }
+
+    #[test]
+    fn cfg_test_mod_marks_items() {
+        let pf = parse_src(
+            "fn live() {}\n#[cfg(test)]\nmod tests { fn helper() {} struct Fake { a: u64 } }",
+        );
+        assert!(!pf.fns.iter().find(|f| f.name == "live").unwrap().is_test);
+        assert!(pf.fns.iter().find(|f| f.name == "helper").unwrap().is_test);
+        assert!(pf.structs[0].is_test);
+    }
+
+    #[test]
+    fn body_span_covers_braces() {
+        let pf = parse_src("fn f() { let x = 1; if x > 0 { y(); } }");
+        let f = &pf.fns[0];
+        let (a, b) = f.body;
+        assert!(pf.toks[a].is_punct('{'));
+        assert!(pf.toks[b - 1].is_punct('}'));
+        assert!(pf.toks[a..b].iter().any(|t| t.is_ident("y")));
+    }
+
+    #[test]
+    fn trait_bodies_yield_method_decls() {
+        let pf =
+            parse_src("pub trait IoPolicy { fn fill_metrics(&self, b: &mut B) {} fn nop(&self); }");
+        assert_eq!(pf.fns.len(), 2);
+        assert_eq!(pf.fns[1].body, (0, 0));
+    }
+}

@@ -1,0 +1,188 @@
+//! Finding representation and the text / JSON renderers.
+
+/// The rule families the analyzer enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Hash-order iteration and ambient time/randomness in sim code.
+    Determinism,
+    /// Credit-ledger mutators must assert Eq. 1 and stay in the policy layer.
+    Conservation,
+    /// Every `*Stats` field and fault site must be observable.
+    Telemetry,
+    /// Raw integer parameters where a unit newtype exists.
+    Units,
+}
+
+impl Rule {
+    /// Stable identifier used in output and `rule=` allowlist scopes.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::Determinism => "determinism",
+            Rule::Conservation => "conservation",
+            Rule::Telemetry => "telemetry",
+            Rule::Units => "units",
+        }
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which rule family fired.
+    pub rule: Rule,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it (or how to suppress it if intentional).
+    pub hint: String,
+}
+
+/// Analysis outcome: surviving findings plus suppression bookkeeping.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Findings not covered by the allowlist, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of findings suppressed by allowlist entries.
+    pub suppressed: usize,
+    /// Allowlist entries that matched nothing (stale suppressions),
+    /// rendered as `line N: <path> <pattern>`.
+    pub stale_allows: Vec<String>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Analysis {
+    /// Whether the workspace is clean (no findings, no stale suppressions).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.stale_allows.is_empty()
+    }
+
+    /// Human-readable report.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n    hint: {}\n",
+                f.file,
+                f.line,
+                f.rule.id(),
+                f.message,
+                f.hint
+            ));
+        }
+        for s in &self.stale_allows {
+            out.push_str(&format!("allowlist: stale entry ({s})\n"));
+        }
+        out.push_str(&format!(
+            "analyze: {} file(s), {} finding(s), {} suppressed, {} stale allow(s)\n",
+            self.files_scanned,
+            self.findings.len(),
+            self.suppressed,
+            self.stale_allows.len()
+        ));
+        out
+    }
+
+    /// Machine-readable report (`--format json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"hint\": {}}}",
+                json_str(f.rule.id()),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message),
+                json_str(&f.hint)
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"stale_allows\": [");
+        for (i, s) in self.stale_allows.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(s));
+        }
+        out.push_str(&format!(
+            "],\n  \"files_scanned\": {},\n  \"suppressed\": {},\n  \"count\": {}\n}}\n",
+            self.files_scanned,
+            self.suppressed,
+            self.findings.len()
+        ));
+        out
+    }
+}
+
+/// Minimal JSON string escaping (the only JSON we emit is this report).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one() -> Analysis {
+        Analysis {
+            findings: vec![Finding {
+                rule: Rule::Determinism,
+                file: "crates/x/src/a.rs".into(),
+                line: 7,
+                message: "iteration over `m`".into(),
+                hint: "use BTreeMap".into(),
+            }],
+            suppressed: 2,
+            stale_allows: vec![],
+            files_scanned: 10,
+        }
+    }
+
+    #[test]
+    fn text_mentions_rule_and_hint() {
+        let t = one().to_text();
+        assert!(t.contains("[determinism]"));
+        assert!(t.contains("hint: use BTreeMap"));
+        assert!(t.contains("1 finding(s), 2 suppressed"));
+    }
+
+    #[test]
+    fn json_shape_and_escaping() {
+        let mut a = one();
+        a.findings[0].message = "quote \" and\nnewline".into();
+        let j = a.to_json();
+        assert!(j.contains("\"rule\": \"determinism\""));
+        assert!(j.contains("\\\" and\\nnewline"));
+        assert!(j.contains("\"count\": 1"));
+        assert!(j.contains("\"files_scanned\": 10"));
+    }
+
+    #[test]
+    fn clean_analysis() {
+        let a = Analysis::default();
+        assert!(a.is_clean());
+        assert!(!one().is_clean());
+    }
+}

@@ -1,0 +1,50 @@
+//! The four rule families.
+
+pub mod conservation;
+pub mod determinism;
+pub mod telemetry;
+pub mod units;
+
+use crate::lexer::{Tok, TokKind};
+use crate::parse::{FnDef, ParsedFile};
+use crate::source::SourceFile;
+
+/// One analyzed file: source text plus its parsed items.
+#[derive(Debug)]
+pub struct Unit {
+    /// The discovered source file.
+    pub src: SourceFile,
+    /// Its parse.
+    pub pf: ParsedFile,
+}
+
+/// The token slice of a function body (empty for bodyless declarations).
+pub fn body<'a>(pf: &'a ParsedFile, f: &FnDef) -> &'a [Tok] {
+    let (a, b) = f.body;
+    if a >= b || b > pf.toks.len() {
+        &[]
+    } else {
+        &pf.toks[a..b]
+    }
+}
+
+/// Whether the token at `i` is an identifier equal to `s`.
+pub fn ident_at(toks: &[Tok], i: usize, s: &str) -> bool {
+    toks.get(i).is_some_and(|t| t.is_ident(s))
+}
+
+/// Whether the token at `i` is the punctuation `c`.
+pub fn punct_at(toks: &[Tok], i: usize, c: char) -> bool {
+    toks.get(i).is_some_and(|t| t.is_punct(c))
+}
+
+/// The identifier text at `i`, if it is one.
+pub fn ident_text(toks: &[Tok], i: usize) -> Option<&str> {
+    toks.get(i).and_then(|t| {
+        if t.kind == TokKind::Ident {
+            Some(t.text.as_str())
+        } else {
+            None
+        }
+    })
+}

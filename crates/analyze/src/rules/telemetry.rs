@@ -1,0 +1,148 @@
+//! Telemetry-coverage rule: if the model counts it, the snapshot must
+//! export it; if chaos can break it, a counter must witness the recovery.
+//!
+//! Half 1 — every field of every public `*Stats` struct in the pipeline
+//! crates must be read somewhere inside a snapshot exporter (a function
+//! named `fill_metrics` or `snapshot`). A counter nobody exports is a
+//! regression nobody notices.
+//!
+//! Half 2 — every variant of the chaos `FaultSite` enum must carry a
+//! `/// recovery: <metric_name>` doc tag, and that metric name must
+//! appear as a string literal inside an exporter. This pins each fault
+//! injection point to the observable counter that proves the system
+//! absorbed it.
+
+use std::collections::BTreeSet;
+
+use super::{body, ident_text, punct_at, Unit};
+use crate::lexer::TokKind;
+use crate::report::{Finding, Rule};
+
+/// Crates whose `*Stats` structs must be exported.
+pub const SCOPE: &[&str] = &["core", "host", "nic", "mem", "net", "pcie", "cpu"];
+
+/// Exporter function names.
+const EXPORTER_FNS: &[&str] = &["fill_metrics", "snapshot"];
+
+/// Run the rule over all units.
+pub fn check(units: &[Unit]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // Collect exporter bodies: field reads (`.x` not followed by a call
+    // paren) and metric-name string literals.
+    let mut exported_fields: BTreeSet<String> = BTreeSet::new();
+    let mut metric_strings: Vec<String> = Vec::new();
+    let mut exporter_count = 0usize;
+    for u in units {
+        for f in &u.pf.fns {
+            if f.is_test || !EXPORTER_FNS.contains(&f.name.as_str()) {
+                continue;
+            }
+            let toks = body(&u.pf, f);
+            if toks.is_empty() {
+                continue;
+            }
+            exporter_count += 1;
+            for i in 0..toks.len() {
+                if punct_at(toks, i, '.') {
+                    if let Some(field) = ident_text(toks, i + 1) {
+                        if !punct_at(toks, i + 2, '(') {
+                            exported_fields.insert(field.to_string());
+                        }
+                    }
+                }
+                if toks[i].kind == TokKind::Str {
+                    metric_strings.push(toks[i].text.clone());
+                }
+            }
+        }
+    }
+
+    // Half 1: every public *Stats field must be read by some exporter.
+    for u in units {
+        if !SCOPE.contains(&u.src.crate_name.as_str()) {
+            continue;
+        }
+        for s in &u.pf.structs {
+            if s.is_test || !s.is_pub || !s.name.ends_with("Stats") || s.name == "Stats" {
+                continue;
+            }
+            for field in &s.fields {
+                if exported_fields.contains(&field.name) {
+                    continue;
+                }
+                findings.push(Finding {
+                    rule: Rule::Telemetry,
+                    file: u.src.rel.clone(),
+                    line: field.line,
+                    message: format!(
+                        "stats field `{}.{}` is never read by any snapshot exporter \
+                         ({} exporter bodies scanned)",
+                        s.name, field.name, exporter_count
+                    ),
+                    hint: "export it in `Machine::snapshot` / a `fill_metrics` impl, or \
+                           allowlist it with `rule=telemetry` if the component is not part \
+                           of the assembled pipeline"
+                        .to_string(),
+                });
+            }
+        }
+    }
+
+    // Half 2: chaos fault sites must name an exported recovery counter.
+    for u in units {
+        for e in &u.pf.enums {
+            if e.is_test || e.name != "FaultSite" {
+                continue;
+            }
+            for v in &e.variants {
+                let tag = v.docs.iter().find_map(|d| {
+                    d.split_once("recovery:")
+                        .map(|(_, rest)| rest.trim().to_string())
+                });
+                match tag {
+                    None => findings.push(Finding {
+                        rule: Rule::Telemetry,
+                        file: u.src.rel.clone(),
+                        line: v.line,
+                        message: format!(
+                            "fault site `FaultSite::{}` has no `/// recovery: <metric>` doc tag",
+                            v.name
+                        ),
+                        hint: "tag the variant with the exported counter that witnesses the \
+                               system absorbing this fault"
+                            .to_string(),
+                    }),
+                    Some(metric) if metric.is_empty() => findings.push(Finding {
+                        rule: Rule::Telemetry,
+                        file: u.src.rel.clone(),
+                        line: v.line,
+                        message: format!(
+                            "fault site `FaultSite::{}` has an empty `recovery:` tag",
+                            v.name
+                        ),
+                        hint: "name the exported counter that witnesses recovery".to_string(),
+                    }),
+                    Some(metric) => {
+                        if !metric_strings.iter().any(|s| s.contains(&metric)) {
+                            findings.push(Finding {
+                                rule: Rule::Telemetry,
+                                file: u.src.rel.clone(),
+                                line: v.line,
+                                message: format!(
+                                    "recovery counter `{metric}` for `FaultSite::{}` is not \
+                                     exported by any snapshot exporter",
+                                    v.name
+                                ),
+                                hint: "export the counter or fix the `recovery:` tag to name \
+                                       the real one"
+                                    .to_string(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    findings
+}

@@ -1,0 +1,121 @@
+//! Unit-safety rule: public `ceio-core` APIs must not take raw integers
+//! for quantities that have a newtype.
+//!
+//! A `deadline_ns: u64` parameter compiles when handed microseconds; a
+//! `deadline: Duration` does not. The rule flags raw `u64`/`u32`/`usize`
+//! parameters of public functions in `crates/core` whose *names* declare
+//! a unit (`…_ns`, `…_queue`, …) for which the workspace has a newtype
+//! (`ceio_sim::Duration`/`Time`, `ceio_nic::QueueId`, …).
+//!
+//! Patterns for `bytes`/`packets` arm themselves only if a matching
+//! newtype is discovered among the scanned sources, implementing the
+//! "where a newtype exists" clause literally.
+
+use std::collections::BTreeSet;
+
+use super::Unit;
+use crate::report::{Finding, Rule};
+
+/// Raw integer types the rule cares about.
+const RAW_INTS: &[&str] = &["u64", "u32", "usize"];
+
+/// One unit pattern: (unit name, param-name matcher, suggested newtype,
+/// armed?).
+type UnitPattern = (&'static str, fn(&str) -> bool, String, bool);
+
+/// Run the rule over all units.
+pub fn check(units: &[Unit]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // Discover single-field integer tuple structs (unit newtypes).
+    let mut newtypes: BTreeSet<String> = BTreeSet::new();
+    for u in units {
+        for s in &u.pf.structs {
+            if s.is_test || !s.is_pub || s.tuple_tys.len() != 1 {
+                continue;
+            }
+            let inner = s.tuple_tys[0].replace("pub ", "");
+            if RAW_INTS.contains(&inner.trim()) {
+                newtypes.insert(s.name.clone());
+            }
+        }
+    }
+
+    // (matcher, suggested newtypes, armed?) — Duration/Time and QueueId are
+    // workspace invariants; byte/packet counts arm on discovery.
+    let patterns: Vec<UnitPattern> = vec![
+        (
+            "nanoseconds",
+            name_is_nanos as fn(&str) -> bool,
+            "ceio_sim::Duration (a span) or ceio_sim::Time (an instant)".to_string(),
+            true,
+        ),
+        (
+            "queue id",
+            name_is_queue,
+            "ceio_nic::QueueId".to_string(),
+            true,
+        ),
+        (
+            "byte count",
+            name_is_bytes,
+            "a Bytes newtype".to_string(),
+            newtypes.contains("Bytes") || newtypes.contains("ByteCount"),
+        ),
+        (
+            "packet count",
+            name_is_packets,
+            "a Packets newtype".to_string(),
+            newtypes.contains("Packets") || newtypes.contains("PacketCount"),
+        ),
+    ];
+
+    for u in units {
+        if u.src.crate_name != "core" {
+            continue;
+        }
+        for f in &u.pf.fns {
+            if f.is_test || !f.is_pub {
+                continue;
+            }
+            for (pname, pty) in &f.params {
+                if !RAW_INTS.contains(&pty.as_str()) {
+                    continue;
+                }
+                for (unit_name, matcher, suggestion, armed) in &patterns {
+                    if !armed || !matcher(pname) {
+                        continue;
+                    }
+                    findings.push(Finding {
+                        rule: Rule::Units,
+                        file: u.src.rel.clone(),
+                        line: f.line,
+                        message: format!(
+                            "raw `{pty}` parameter `{pname}` of pub fn `{}` carries a \
+                             {unit_name} — a unit newtype exists",
+                            f.name
+                        ),
+                        hint: format!("take {suggestion} instead of a bare integer"),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+fn name_is_nanos(name: &str) -> bool {
+    name == "ns" || name == "nanos" || name.ends_with("_ns") || name.ends_with("_nanos")
+}
+
+fn name_is_queue(name: &str) -> bool {
+    name == "queue" || name == "queue_id" || name.ends_with("_queue")
+}
+
+fn name_is_bytes(name: &str) -> bool {
+    name == "bytes" || name.ends_with("_bytes")
+}
+
+fn name_is_packets(name: &str) -> bool {
+    name == "packets" || name == "pkts" || name.ends_with("_packets") || name.ends_with("_pkts")
+}

@@ -1,0 +1,184 @@
+//! Workspace source discovery, shared by `cargo xtask lint` (the
+//! line-oriented checks) and `cargo xtask analyze` (this crate's rules),
+//! so the two tools can never disagree about what "the workspace" is.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{self, TokKind};
+
+/// One discovered source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub path: PathBuf,
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel: String,
+    /// The crate directory name under `crates/` (e.g. `core`, `host`),
+    /// or `"."` for a root `src/` tree.
+    pub crate_name: String,
+    /// File contents.
+    pub text: String,
+}
+
+impl SourceFile {
+    /// The raw text of a 1-based line (empty if out of range).
+    pub fn line_text(&self, line: u32) -> &str {
+        self.text
+            .lines()
+            .nth(line.saturating_sub(1) as usize)
+            .unwrap_or("")
+    }
+}
+
+/// Library source trees: the root `src/` (if any) plus every
+/// `crates/*/src`, excluding the named tool crates (they describe the
+/// checks, so their own pattern tables would self-trigger).
+pub fn library_sources(root: &Path, exclude_crates: &[&str]) -> io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_tree(root, &root_src, ".", &mut out)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut dirs: Vec<PathBuf> = fs::read_dir(&crates)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        for dir in dirs {
+            let name = dir
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or("")
+                .to_string();
+            if exclude_crates.contains(&name.as_str()) {
+                continue;
+            }
+            let src = dir.join("src");
+            if src.is_dir() {
+                collect_tree(root, &src, &name, &mut out)?;
+            }
+        }
+    }
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(out)
+}
+
+fn collect_tree(
+    root: &Path,
+    dir: &Path,
+    crate_name: &str,
+    out: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_tree(root, &path, crate_name, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            let text = fs::read_to_string(&path)?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(SourceFile {
+                path,
+                rel,
+                crate_name: crate_name.to_string(),
+                text,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Rewrite `text` with comment and string/char-literal contents removed,
+/// preserving line structure, for line-oriented pattern checks.
+///
+/// Built on the real lexer, so — unlike the seed's character scanner — it
+/// handles escaped quotes (`"a\"b"`), char literals that *are* quotes
+/// (`'"'`), lifetimes, and raw strings (`r#"…"#`) without ever leaking a
+/// comment or string body into the "code" view, or (worse) swallowing the
+/// code that follows one.
+pub fn strip_comments_and_strings(text: &str) -> String {
+    let toks = lexer::lex(text);
+    let total_lines = text.lines().count().max(1);
+    let mut lines: Vec<String> = vec![String::new(); total_lines];
+    for t in &toks {
+        let idx = (t.line.saturating_sub(1) as usize).min(total_lines - 1);
+        let line = &mut lines[idx];
+        // Separate adjacent word-like tokens so `pub fn` doesn't fuse into
+        // `pubfn`, without breaking punctuation-adjacent patterns like
+        // `.unwrap(`.
+        let needs_gap = line
+            .chars()
+            .last()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        match t.kind {
+            TokKind::Doc => {}
+            // Keep the delimiters so ".expect(\"...\")" still shows a call
+            // with *some* argument, but drop the contents.
+            TokKind::Str => line.push_str("\"\""),
+            TokKind::Char => line.push_str("' '"),
+            TokKind::Lifetime => {
+                if needs_gap {
+                    line.push(' ');
+                }
+                line.push('\'');
+                line.push_str(&t.text);
+            }
+            TokKind::Ident | TokKind::Num => {
+                if needs_gap {
+                    line.push(' ');
+                }
+                line.push_str(&t.text);
+            }
+            TokKind::Punct => line.push_str(&t.text),
+        }
+    }
+    lines.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripper_removes_strings_but_keeps_code() {
+        let out = strip_comments_and_strings(r#"let x = map.get("unwrap()"); x.unwrap();"#);
+        assert!(out.contains(".unwrap()"));
+        // Only the real call survives, not the string contents.
+        assert_eq!(out.matches("unwrap").count(), 1);
+    }
+
+    #[test]
+    fn stripper_survives_escaped_and_char_quotes() {
+        let out = strip_comments_and_strings(r#"let a = "x\"y"; let c = '"'; real_code();"#);
+        assert!(out.contains("real_code"));
+        assert!(!out.contains('x'));
+    }
+
+    #[test]
+    fn stripper_preserves_line_numbers() {
+        let out = strip_comments_and_strings("a();\n// comment\nb();\n");
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].contains("a()"));
+        assert!(lines[1].trim().is_empty());
+        assert!(lines[2].contains("b()"));
+    }
+
+    #[test]
+    fn stripper_handles_raw_strings() {
+        let out = strip_comments_and_strings(r##"let s = r#"panic!("inner")"#; ok();"##);
+        assert!(out.contains("ok()"));
+        assert!(!out.contains("panic"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Cross-process determinism: two *separate* invocations of the
+//! `ceio-trace` binary with identical flags must emit byte-identical
+//! CSV. The in-process golden tests (`queue_determinism.rs`) pin the
+//! simulation against a stored artifact; this test additionally rules
+//! out any per-process ambient state — address-space layout feeding a
+//! hash seed, time-of-day, environment-dependent iteration order —
+//! which is exactly the class of bug the `cargo xtask analyze`
+//! determinism rule exists to keep out.
+
+use std::process::Command;
+
+/// Run the `ceio-trace` binary with `args` and return its stdout bytes.
+fn trace_stdout(args: &[&str]) -> Vec<u8> {
+    let exe = env!("CARGO_BIN_EXE_ceio-trace");
+    let out = Command::new(exe)
+        .args(args)
+        .env_remove("RUST_LOG")
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {exe}: {e}"));
+    assert!(
+        out.status.success(),
+        "ceio-trace {args:?} exited with {:?}: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+#[test]
+fn same_flags_same_bytes_across_processes() {
+    let args = [
+        "--policy",
+        "ceio",
+        "--scenario",
+        "mixed",
+        "--millis",
+        "4",
+        "--warmup-ms",
+        "1",
+        "--seed",
+        "7",
+        "--queues",
+        "2",
+    ];
+    let a = trace_stdout(&args);
+    let b = trace_stdout(&args);
+    assert!(
+        a.lines_count() > 1,
+        "expected a CSV header plus samples, got {} bytes",
+        a.len()
+    );
+    assert_eq!(
+        a, b,
+        "two processes with identical flags diverged — ambient \
+         non-determinism in the data path"
+    );
+}
+
+#[test]
+fn different_scenarios_actually_differ() {
+    // Guards the test above against vacuous success (e.g. an empty or
+    // constant report making every run trivially identical).
+    let kv = trace_stdout(&["--scenario", "kv", "--millis", "4", "--seed", "7"]);
+    let mixed = trace_stdout(&["--scenario", "mixed", "--millis", "4", "--seed", "7"]);
+    assert_ne!(kv, mixed, "kv and mixed scenarios produced identical CSV");
+}
+
+/// Count of `\n`-terminated lines, for the header-plus-samples check.
+trait LinesCount {
+    fn lines_count(&self) -> usize;
+}
+
+impl LinesCount for Vec<u8> {
+    fn lines_count(&self) -> usize {
+        self.iter().filter(|&&b| b == b'\n').count()
+    }
+}

@@ -29,31 +29,51 @@ use std::fmt;
 pub enum FaultSite {
     /// A lazy credit-release message is lost in flight: the release never
     /// reaches the `CreditManager` (recovered by lease expiry).
+    ///
+    /// recovery: ceio_credit_lease_reclaims_total
     CreditReleaseLoss,
     /// A lazy credit-release message is delayed by the plan's
     /// `release_delay` before it lands.
+    ///
+    /// recovery: ceio_credit_stale_releases_total
     CreditReleaseDelay,
     /// A posted DMA write fails at issue (link-level fault; retried with
     /// backoff by the host machine).
+    ///
+    /// recovery: ceio_recovery_dma_write_retries_total
     DmaWriteFault,
     /// A posted DMA write times out: the issue is accepted but reported
     /// failed after the timeout window.
+    ///
+    /// recovery: ceio_recovery_dma_backoff_ns_total
     DmaWriteTimeout,
     /// A non-posted DMA read request fails at issue.
+    ///
+    /// recovery: ceio_recovery_dma_read_retries_total
     DmaReadFault,
     /// A non-posted DMA read request times out.
+    ///
+    /// recovery: ceio_recovery_dma_backoff_ns_total
     DmaReadTimeout,
     /// On-NIC DRAM rejects a store as if the elastic region were full
     /// (exhaustion mid-drain; triggers degraded mode).
+    ///
+    /// recovery: ceio_ctl_degraded_entries_total
     OnboardExhaust,
     /// The NIC ARM core stalls for the plan's `arm_stall` before running
     /// the scheduled work.
+    ///
+    /// recovery: ceio_chaos_arm_injected_stall_ns_total
     ArmStall,
     /// An RMT steering-rule install is delayed by the plan's `rmt_delay`
     /// (the rewrite stays in flight; packets keep taking the old rule).
+    ///
+    /// recovery: ceio_arm_busy_ns_total
     RmtInstallDelay,
     /// The host consumer pauses for the plan's `consumer_pause` before
     /// its next poll (models an application hiccup / scheduler preemption).
+    ///
+    /// recovery: ceio_recovery_consumer_pauses_total
     ConsumerPause,
 }
 

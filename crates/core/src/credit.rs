@@ -29,7 +29,7 @@ use ceio_sim::{Duration, Time};
 #[cfg(feature = "trace")]
 use ceio_telemetry::{TraceEvent, TraceKind, TraceRing};
 use serde::Serialize;
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Per-flow credit state.
 #[derive(Debug, Default, Clone, Serialize)]
@@ -77,7 +77,7 @@ struct LeaseTable {
     ttl: Duration,
     now: Time,
     /// Expiry instants of live leases, per flow, oldest first.
-    expiries: HashMap<FlowId, VecDeque<Time>>,
+    expiries: BTreeMap<FlowId, VecDeque<Time>>,
     /// Live leases across all flows (== `outstanding` when armed from the
     /// first grant; asserted by the audit layer).
     live: u64,
@@ -106,7 +106,9 @@ struct LeaseTable {
 #[derive(Debug, Clone)]
 pub struct CreditManager {
     total: u64,
-    flows: HashMap<FlowId, FlowCredits>,
+    /// Per-flow ledgers, ordered by flow id: Algorithm 1 sweeps this map,
+    /// and an ordered map keeps those sweeps deterministic by construction.
+    flows: BTreeMap<FlowId, FlowCredits>,
     /// The insufficient set `I`: flows with outstanding debts.
     insufficient: BTreeSet<FlowId>,
     /// Credits not assigned to any flow (rounding residue, reclaimed,
@@ -131,7 +133,7 @@ impl CreditManager {
     pub fn new(total: u64) -> CreditManager {
         CreditManager {
             total,
-            flows: HashMap::new(),
+            flows: BTreeMap::new(),
             insufficient: BTreeSet::new(),
             free_pool: total,
             outstanding: 0,
@@ -264,7 +266,7 @@ impl CreditManager {
         self.leases = Some(Box::new(LeaseTable {
             ttl,
             now: Time::ZERO,
-            expiries: HashMap::new(),
+            expiries: BTreeMap::new(),
             live: 0,
         }));
     }
@@ -398,11 +400,9 @@ impl CreditManager {
             // Fair contribution per existing flow (integer ceiling keeps
             // rounding from starving new flows; surplus returns via pool).
             let ideal = want.div_ceil(n);
-            let ids: Vec<FlowId> = {
-                let mut v: Vec<FlowId> = self.flows.keys().copied().collect();
-                v.sort_unstable();
-                v
-            };
+            // `flows` is ordered, so this visits existing flows in
+            // ascending id order — the order Algorithm 1's tests pin.
+            let ids: Vec<FlowId> = self.flows.keys().copied().collect();
             for i in ids {
                 if collected >= m * c_flow {
                     break;

@@ -20,8 +20,9 @@ use ceio_host::{DrainRequest, HostState, IoPolicy, SteerDecision};
 use ceio_net::{FlowId, Packet};
 use ceio_nic::{QueueId, SteerAction};
 use ceio_sim::{Duration, Time};
+use ceio_telemetry::SnapshotBuilder;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// MPQ tuning.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -79,7 +80,7 @@ pub struct MpqStats {
 pub struct MpqPolicy {
     cfg: MpqConfig,
     credits: CreditManager,
-    flows: HashMap<FlowId, FlowPrio>,
+    flows: BTreeMap<FlowId, FlowPrio>,
     stats: MpqStats,
 }
 
@@ -88,7 +89,7 @@ impl MpqPolicy {
     pub fn new(cfg: MpqConfig) -> MpqPolicy {
         MpqPolicy {
             credits: CreditManager::new(cfg.credit_total),
-            flows: HashMap::new(),
+            flows: BTreeMap::new(),
             cfg,
             stats: MpqStats::default(),
         }
@@ -187,6 +188,19 @@ impl IoPolicy for MpqPolicy {
         if fast_pkts > 0 {
             self.credits.release(flow, fast_pkts as u64);
         }
+    }
+
+    fn fill_metrics(&self, out: &mut SnapshotBuilder) {
+        out.counter(
+            "ceio_mpq_demotions_total",
+            "PIAS priority demotions (byte thresholds crossed).",
+            self.stats.demotions,
+        );
+        out.counter(
+            "ceio_mpq_resets_total",
+            "Idle-age resets back to the top priority.",
+            self.stats.resets,
+        );
     }
 
     fn on_driver_poll(&mut self, st: &mut HostState, now: Time, flow: FlowId) -> DrainRequest {

@@ -34,7 +34,7 @@ use ceio_sim::Time;
 use ceio_telemetry::SnapshotBuilder;
 #[cfg(feature = "trace")]
 use ceio_telemetry::{merge_events, TraceEvent, TraceKind, TraceRing};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-flow controller bookkeeping.
 #[derive(Debug, Clone)]
@@ -126,7 +126,9 @@ pub struct CeioPolicy {
     /// introspection). At `num_queues == 1` it degenerates to the flat
     /// single-queue manager.
     pub credits: ShardedCredits,
-    ctl: HashMap<FlowId, FlowCtl>,
+    /// Per-flow controller state, ordered by flow id so every sweep of
+    /// the control loop visits flows in the same (deterministic) order.
+    ctl: BTreeMap<FlowId, FlowCtl>,
     rr_order: Vec<FlowId>,
     rr_cursor: usize,
     next_rr: Time,
@@ -152,7 +154,7 @@ impl CeioPolicy {
     pub fn new(cfg: CeioConfig) -> CeioPolicy {
         CeioPolicy {
             credits: ShardedCredits::new(cfg.credit_total, cfg.num_queues.max(1)),
-            ctl: HashMap::new(),
+            ctl: BTreeMap::new(),
             rr_order: Vec::new(),
             rr_cursor: 0,
             next_rr: Time::ZERO + cfg.rr_reactivate_interval,

@@ -32,7 +32,7 @@ use ceio_audit::{AuditCtx, AuditRegistry, AuditReport, AuditSink, FnInvariant, I
 use ceio_net::FlowId;
 use ceio_sim::Time;
 use std::cell::Cell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Per-event auditor for the host machine. Construct with
@@ -99,7 +99,7 @@ impl HostAuditor {
 
         // 3. Delivery-order bookkeeping.
         registry.register(Box::new(DeliveryOrder {
-            last_deliver: HashMap::new(),
+            last_deliver: BTreeMap::new(),
         }));
 
         // 4. Phase exclusivity / no-overtake.
@@ -228,7 +228,7 @@ impl HostAuditor {
 /// monotone, bounded by the arrival sequence, and parked slow-path packets
 /// stay in strictly increasing arrival order.
 struct DeliveryOrder {
-    last_deliver: HashMap<FlowId, u64>,
+    last_deliver: BTreeMap<FlowId, u64>,
 }
 
 impl Invariant<HostState> for DeliveryOrder {

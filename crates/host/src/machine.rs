@@ -37,7 +37,7 @@ use ceio_pcie::{DmaEngine, DmaError};
 use ceio_sim::{Bandwidth, Duration, EventQueue, Histogram, Model, Rng, Simulation, Time};
 use ceio_telemetry::{Stage, TraceKind};
 use serde::Serialize;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Machine events.
 #[derive(Debug, Clone)]
@@ -151,9 +151,9 @@ pub struct HostState {
     /// Deterministic RNG (forked per flow).
     pub rng: Rng,
     /// All flows ever started (inactive ones retained for reporting).
-    pub flows: HashMap<FlowId, FlowState>,
+    pub flows: BTreeMap<FlowId, FlowState>,
     /// Per-flow applications.
-    pub apps: HashMap<FlowId, Box<dyn Application>>,
+    pub apps: BTreeMap<FlowId, Box<dyn Application>>,
     app_factory: AppFactory,
     /// The shared receiver link.
     pub ingress: IngressLink,
@@ -404,8 +404,8 @@ impl<P: IoPolicy> Machine<P> {
         dma.set_write_channels(num_queues);
         let st = HostState {
             rng: rng.fork(),
-            flows: HashMap::new(),
-            apps: HashMap::new(),
+            flows: BTreeMap::new(),
+            apps: BTreeMap::new(),
             app_factory,
             ingress: IngressLink::new(cfg.net.clone()),
             rmt: RmtEngine::new(SteerAction::FastPath {

@@ -137,6 +137,11 @@ impl<P: IoPolicy> Machine<P> {
             "Rule rewrites that restored the fast path.",
             rmt.rewrites_to_fast,
         );
+        b.counter(
+            "ceio_rmt_rewrites_queue_move_total",
+            "Fast-to-fast rewrites that moved a flow to a different RX queue.",
+            rmt.rewrites_queue_move,
+        );
         b.gauge(
             "ceio_rmt_rules",
             "Steering rules currently installed.",
@@ -215,6 +220,60 @@ impl<P: IoPolicy> Machine<P> {
             "ceio_dma_read_faults_total",
             "DMA reads that failed or timed out (injected faults).",
             dma.read_faults,
+        );
+
+        // PCIe link serialization, per direction.
+        for (dir, name) in [
+            (ceio_pcie::Direction::ToHost, "to_host"),
+            (ceio_pcie::Direction::ToNic, "to_nic"),
+        ] {
+            let ls = st.dma.link.stats(dir);
+            let lbl = [("dir", name.to_string())];
+            b.counter_with(
+                "ceio_pcie_payload_bytes_total",
+                "Payload bytes serialized over the PCIe link.",
+                &lbl,
+                ls.payload_bytes,
+            );
+            b.counter_with(
+                "ceio_pcie_wire_bytes_total",
+                "Wire bytes (payload plus TLP overhead) over the PCIe link.",
+                &lbl,
+                ls.wire_bytes,
+            );
+            b.counter_with(
+                "ceio_pcie_transfers_total",
+                "Transfers serialized over the PCIe link.",
+                &lbl,
+                ls.transfers,
+            );
+        }
+
+        // Per-flow DCTCP rate control, aggregated over live flows
+        // (counters of flows that already stopped are not included).
+        let mut cca_ecn = 0u64;
+        let mut cca_loss = 0u64;
+        let mut cca_incr = 0u64;
+        for f in st.flows.values() {
+            let cs = f.cca.stats();
+            cca_ecn += cs.ecn_reductions;
+            cca_loss += cs.loss_cuts;
+            cca_incr += cs.increases;
+        }
+        b.counter(
+            "ceio_dctcp_ecn_reductions_total",
+            "DCTCP multiplicative decreases driven by ECN, over live flows.",
+            cca_ecn,
+        );
+        b.counter(
+            "ceio_dctcp_loss_cuts_total",
+            "DCTCP loss-driven rate cuts, over live flows.",
+            cca_loss,
+        );
+        b.counter(
+            "ceio_dctcp_increases_total",
+            "DCTCP additive-increase windows, over live flows.",
+            cca_incr,
         );
 
         // Fault-recovery machinery (DESIGN.md §9): retry/backoff and
@@ -334,6 +393,11 @@ impl<P: IoPolicy> Machine<P> {
             "ceio_dram_mean_queueing_ns",
             "Mean DRAM queueing delay per request.",
             dram.mean_queueing().0 as f64,
+        );
+        b.counter(
+            "ceio_dram_queueing_ns_total",
+            "Summed DRAM queueing delay across requests.",
+            dram.queueing_ns_sum,
         );
 
         // CPU cores (labeled per core).

@@ -8,7 +8,7 @@
 //! that span 32 sets each, so we model the partition as a single LRU pool of
 //! variable-size buffer entries with byte-accurate occupancy.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use serde::Serialize;
 
@@ -58,8 +58,9 @@ pub struct IoLlc {
     capacity_bytes: u64,
     occupancy_bytes: u64,
     next_seq: u64,
-    /// BufferId -> entry metadata.
-    entries: HashMap<BufferId, Entry>,
+    /// BufferId -> entry metadata (ordered, so any future iteration is
+    /// deterministic; lookups are O(log n) on a map that stays small).
+    entries: BTreeMap<BufferId, Entry>,
     /// LRU order: recency sequence -> BufferId (smallest = oldest).
     order: BTreeMap<u64, BufferId>,
     stats: LlcStats,
@@ -72,7 +73,7 @@ impl IoLlc {
             capacity_bytes,
             occupancy_bytes: 0,
             next_seq: 0,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             order: BTreeMap::new(),
             stats: LlcStats::default(),
         }

@@ -9,8 +9,7 @@
 
 use crate::queue::QueueId;
 use serde::Serialize;
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 /// Where the RMT engine steers a matched packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -54,18 +53,22 @@ pub struct RmtStats {
 }
 
 /// The match-action steering table, keyed by flow identifier `K`.
+///
+/// Keys are ordered (`BTreeMap`), so every iteration over installed rules
+/// is deterministic — the simulation's replay guarantee must not depend on
+/// a hash map's per-process iteration order.
 #[derive(Debug)]
 pub struct RmtEngine<K> {
-    rules: HashMap<K, Rule>,
+    rules: BTreeMap<K, Rule>,
     default_action: SteerAction,
     stats: RmtStats,
 }
 
-impl<K: Eq + Hash + Clone> RmtEngine<K> {
+impl<K: Ord + Clone> RmtEngine<K> {
     /// An empty table with the given default action for unmatched packets.
     pub fn new(default_action: SteerAction) -> RmtEngine<K> {
         RmtEngine {
-            rules: HashMap::new(),
+            rules: BTreeMap::new(),
             default_action,
             stats: RmtStats::default(),
         }
@@ -167,7 +170,7 @@ impl<K: Eq + Hash + Clone> RmtEngine<K> {
         &self.stats
     }
 
-    /// Iterate over installed keys (order unspecified).
+    /// Iterate over installed keys in ascending key order.
     pub fn keys(&self) -> impl Iterator<Item = &K> {
         self.rules.keys()
     }

@@ -21,6 +21,6 @@ pub mod params;
 pub mod tlp;
 
 pub use dma::{DmaEngine, DmaError};
-pub use link::PcieLink;
+pub use link::{Direction, LinkStats, PcieLink};
 pub use params::PcieParams;
 pub use tlp::wire_bytes;

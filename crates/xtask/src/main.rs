@@ -1,40 +1,58 @@
 //! `cargo xtask` — workspace maintenance tasks.
 //!
-//! The only task today is `lint`: a lightweight source audit that runs in
-//! CI (`scripts/check.sh`) alongside clippy and enforces rules clippy
-//! cannot express per-location without littering the tree with attributes:
+//! Two gates run in CI (`scripts/check.sh`) alongside clippy:
 //!
-//! * **No `unwrap()/expect()/panic!/unreachable!/todo!/unimplemented!` in
-//!   non-test library code.** `expect("invariant: ...")` is permitted —
-//!   the message documents why the failure is impossible — and a vetted
-//!   allowlist (`crates/xtask/lint-allow.txt`) carries the remaining
-//!   sites, so new ones cannot land silently.
-//! * **`#[must_use]` on `pub fn`s in `ceio-core` returning counters or
-//!   `Result`** — credit counts that are silently dropped are exactly how
-//!   conservation bugs hide.
-//! * **No float equality on simulated time**: comparing `as_secs_f64()`
-//!   or float-typed occupancy values with `==`/`!=` is flagged.
+//! * **`lint`** — the line-oriented source audit, enforcing rules clippy
+//!   cannot express per-location without littering the tree with
+//!   attributes:
+//!   - No `unwrap()/expect()/panic!/unreachable!/todo!/unimplemented!` in
+//!     non-test library code. `expect("invariant: ...")` is permitted —
+//!     the message documents why the failure is impossible — and a vetted
+//!     allowlist (`crates/xtask/lint-allow.txt`) carries the remaining
+//!     sites, so new ones cannot land silently.
+//!   - `#[must_use]` on `pub fn`s in `ceio-core` returning counters or
+//!     `Result` — credit counts that are silently dropped are exactly how
+//!     conservation bugs hide.
+//!   - No float equality on simulated time: comparing `as_secs_f64()` or
+//!     float-typed occupancy values with `==`/`!=` is flagged.
+//!
+//! * **`analyze`** — the AST-level analyzer in `crates/analyze`
+//!   (`ceio-analyze`): determinism (no hash-order iteration or ambient
+//!   time in sim crates), Eq. 1 conservation asserts on credit-ledger
+//!   mutators, telemetry coverage of every `*Stats` field and chaos fault
+//!   site, and unit-newtype safety on public `ceio-core` APIs. Suppress
+//!   individual findings via `crates/xtask/analyze-allow.txt`; run with
+//!   `--format json` for the machine-readable report CI archives.
+//!
+//! Both tools share one source-discovery and allowlist implementation
+//! ([`ceio_analyze::source`], [`ceio_analyze::allow`]), so they can never
+//! disagree about what "the workspace" or "an exemption" is.
 //!
 //! Scope: `src/` trees of the workspace's library crates plus the root
 //! `src/`. Test code (`tests/`, `benches/`, `examples/`, and everything
 //! after a `#[cfg(test)]` line inside a source file), the `compat/`
-//! offline stubs, and this crate are exempt.
+//! offline stubs, and the tool crates themselves are exempt.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use ceio_analyze::allow::{self, AllowEntry};
+use ceio_analyze::source::{library_sources, strip_comments_and_strings, SourceFile};
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(),
+        Some("analyze") => analyze(&args[1..]),
         Some("help") | None => {
-            eprintln!("usage: cargo xtask lint");
-            eprintln!("  lint   run the source-audit gate (see crates/xtask/src/main.rs)");
+            eprintln!("usage: cargo xtask <lint|analyze> [--format json]");
+            eprintln!("  lint      run the line-oriented source audit");
+            eprintln!("  analyze   run the AST-level analyzer (ceio-analyze)");
             ExitCode::SUCCESS
         }
         Some(other) => {
-            eprintln!("unknown xtask `{other}` (try: cargo xtask lint)");
+            eprintln!("unknown xtask `{other}` (try: cargo xtask lint | analyze)");
             ExitCode::FAILURE
         }
     }
@@ -50,59 +68,70 @@ fn workspace_root() -> PathBuf {
         .unwrap_or(manifest)
 }
 
-/// One allowlist entry: file path (workspace-relative) + a substring the
-/// offending line must contain.
-#[derive(Debug)]
-struct AllowEntry {
-    path: String,
-    pattern: String,
-    used: bool,
+/// The AST-level gate: delegate to `ceio-analyze` and render its report.
+fn analyze(args: &[String]) -> ExitCode {
+    let mut format = "text";
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => format = "json",
+                Some("text") => format = "text",
+                other => {
+                    eprintln!("xtask analyze: unknown format {other:?} (json|text)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--json" => format = "json",
+            other => {
+                eprintln!("xtask analyze: unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = workspace_root();
+    match ceio_analyze::analyze_workspace(&root) {
+        Ok(analysis) => {
+            if format == "json" {
+                print!("{}", analysis.to_json());
+            } else {
+                print!("{}", analysis.to_text());
+            }
+            if analysis.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("xtask analyze: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
-fn load_allowlist(root: &Path) -> Vec<AllowEntry> {
-    let path = root.join("crates/xtask/lint-allow.txt");
-    let Ok(text) = std::fs::read_to_string(&path) else {
-        return Vec::new();
-    };
-    text.lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .filter_map(|l| {
-            let (path, pattern) = l.split_once(char::is_whitespace)?;
-            Some(AllowEntry {
-                path: path.to_string(),
-                pattern: pattern.trim().to_string(),
-                used: false,
-            })
-        })
-        .collect()
-}
-
+/// The line-oriented gate. The analyzer crate is scanned too — it is
+/// library code and holds to the same standard; only this crate (whose
+/// diagnostics must spell out the denied tokens) is exempt.
 fn lint() -> ExitCode {
     let root = workspace_root();
-    let mut allow = load_allowlist(&root);
+    let allow = allow::load_allowlist(&root.join("crates/xtask/lint-allow.txt"));
     let mut findings: Vec<String> = Vec::new();
 
-    for file in library_sources(&root) {
-        let rel = file
-            .strip_prefix(&root)
-            .unwrap_or(&file)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let Ok(text) = std::fs::read_to_string(&file) else {
-            findings.push(format!("{rel}: unreadable source file"));
-            continue;
-        };
-        lint_file(&rel, &text, &mut allow, &mut findings);
+    match library_sources(&root, &["xtask"]) {
+        Ok(files) => {
+            for file in &files {
+                lint_file(file, &allow, &mut findings);
+            }
+        }
+        Err(e) => findings.push(format!("source discovery failed: {e}")),
     }
 
-    for entry in &allow {
-        if !entry.used {
-            findings.push(format!(
-                "lint-allow.txt: stale entry `{} {}` (no longer matches — remove it)",
-                entry.path, entry.pattern
-            ));
-        }
+    for entry in allow::stale_entries(&allow) {
+        findings.push(format!(
+            "lint-allow.txt: stale entry `{} {}` (no longer matches — remove it)",
+            entry.path, entry.pattern
+        ));
     }
 
     if findings.is_empty() {
@@ -119,45 +148,6 @@ fn lint() -> ExitCode {
     }
 }
 
-/// All `.rs` files under the library source trees.
-fn library_sources(root: &Path) -> Vec<PathBuf> {
-    let mut dirs: Vec<PathBuf> = vec![root.join("src")];
-    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
-        for e in entries.flatten() {
-            let name = e.file_name();
-            // This crate audits the others, not itself (its diagnostics
-            // must mention the denied tokens); compat/ stubs are exempt.
-            if name == "xtask" {
-                continue;
-            }
-            let src = e.path().join("src");
-            if src.is_dir() {
-                dirs.push(src);
-            }
-        }
-    }
-    let mut files = Vec::new();
-    for d in dirs {
-        collect_rs(&d, &mut files);
-    }
-    files.sort();
-    files
-}
-
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for e in entries.flatten() {
-        let p = e.path();
-        if p.is_dir() {
-            collect_rs(&p, out);
-        } else if p.extension().is_some_and(|x| x == "rs") {
-            out.push(p);
-        }
-    }
-}
-
 /// Tokens denied in non-test library code.
 const DENIED: &[&str] = &[
     ".unwrap()",
@@ -167,21 +157,30 @@ const DENIED: &[&str] = &[
     "unimplemented!(",
 ];
 
-fn lint_file(rel: &str, text: &str, allow: &mut [AllowEntry], findings: &mut Vec<String>) {
+fn lint_file(file: &SourceFile, allow: &[AllowEntry], findings: &mut Vec<String>) {
+    let rel = file.rel.as_str();
+    let text = file.text.as_str();
     let is_core = rel.starts_with("crates/core/src");
+    // Lexer-accurate stripped view of the whole file (handles escapes, raw
+    // strings, char literals, and block comments — the places the old
+    // per-line scanner could desynchronize).
+    let stripped = strip_comments_and_strings(text);
+    let mut stripped_lines = stripped.lines();
     let mut pending_attrs: Vec<String> = Vec::new();
     for (idx, raw) in text.lines().enumerate() {
         let lineno = idx + 1;
+        let code = stripped_lines.next().unwrap_or("").to_string();
         // Everything from the unit-test module to EOF is test code.
         if raw.trim_start().starts_with("#[cfg(test)]") {
             break;
         }
-        let code = strip_comments_and_strings(raw);
         let trimmed = raw.trim_start();
+
+        let allowed = |raw: &str| allow::is_allowed(allow, None, rel, &[raw]);
 
         // -- denied panic-path tokens -------------------------------------
         for tok in DENIED {
-            if code.contains(tok) && !is_allowed(rel, raw, allow) {
+            if code.contains(tok) && !allowed(raw) {
                 findings.push(format!(
                     "{rel}:{lineno}: `{tok}` in library code (return an error, use \
                      debug_assert!, or add to crates/xtask/lint-allow.txt with review)"
@@ -197,7 +196,7 @@ fn lint_file(rel: &str, text: &str, allow: &mut [AllowEntry], findings: &mut Vec
                         .lines()
                         .nth(idx + 1)
                         .is_some_and(|next| next.trim_start().starts_with("\"invariant:")));
-            if !documented && !is_allowed(rel, raw, allow) {
+            if !documented && !allowed(raw) {
                 findings.push(format!(
                     "{rel}:{lineno}: `.expect(..)` without an `\"invariant: ...\"` message \
                      in library code"
@@ -210,7 +209,7 @@ fn lint_file(rel: &str, text: &str, allow: &mut [AllowEntry], findings: &mut Vec
             let floaty = code.contains("as_secs_f64()")
                 || code.contains("as_f64()")
                 || has_float_literal_cmp(&code);
-            if floaty && !is_allowed(rel, raw, allow) {
+            if floaty && !allowed(raw) {
                 findings.push(format!(
                     "{rel}:{lineno}: float equality on simulated time / derived f64 \
                      (compare integer nanos, or use an epsilon)"
@@ -225,7 +224,7 @@ fn lint_file(rel: &str, text: &str, allow: &mut [AllowEntry], findings: &mut Vec
             } else if trimmed.starts_with("pub fn ") || trimmed.starts_with("pub const fn ") {
                 if needs_must_use(trimmed)
                     && !pending_attrs.iter().any(|a| a.contains("must_use"))
-                    && !is_allowed(rel, raw, allow)
+                    && !allowed(raw)
                 {
                     findings.push(format!(
                         "{rel}:{lineno}: pub fn returning a count/Result in ceio-core \
@@ -286,46 +285,4 @@ fn looks_like_float(s: &str) -> bool {
         .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '_')
         .collect();
     tok.contains('.') && tok.chars().next().is_some_and(|c| c.is_ascii_digit())
-}
-
-/// Consume an allowlist entry matching this file + line, if any.
-fn is_allowed(rel: &str, raw: &str, allow: &mut [AllowEntry]) -> bool {
-    for entry in allow.iter_mut() {
-        if entry.path == rel && raw.contains(&entry.pattern) {
-            entry.used = true;
-            return true;
-        }
-    }
-    false
-}
-
-/// Remove line comments and the contents of string literals (keeps the
-/// quotes) so token scans don't fire inside docs or messages. Heuristic:
-/// handles `//` comments and plain `"` strings; raw strings and escapes
-/// beyond `\"` are not fully parsed (good enough for this codebase).
-fn strip_comments_and_strings(line: &str) -> String {
-    let mut out = String::with_capacity(line.len());
-    let mut chars = line.chars().peekable();
-    let mut in_str = false;
-    let mut prev_escape = false;
-    while let Some(c) = chars.next() {
-        if in_str {
-            if c == '"' && !prev_escape {
-                in_str = false;
-                out.push('"');
-            }
-            prev_escape = c == '\\' && !prev_escape;
-            continue;
-        }
-        match c {
-            '"' => {
-                in_str = true;
-                prev_escape = false;
-                out.push('"');
-            }
-            '/' if chars.peek() == Some(&'/') => break,
-            _ => out.push(c),
-        }
-    }
-    out
 }

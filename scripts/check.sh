@@ -14,6 +14,13 @@ cargo fmt --check
 echo "==> cargo xtask lint"
 cargo xtask lint
 
+echo "==> cargo xtask analyze"
+# The AST-level gate (crates/analyze): determinism, Eq. 1 conservation,
+# telemetry coverage, unit safety. The JSON report is the artifact CI
+# archives; a human-readable rerun is one `cargo xtask analyze` away.
+cargo xtask analyze --format json > analyze-report.json \
+    || { cat analyze-report.json; exit 1; }
+
 echo "==> cargo clippy (default features)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
