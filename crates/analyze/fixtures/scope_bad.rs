@@ -1,0 +1,37 @@
+// Known-bad fixture for the telemetry rule's scope-coverage half:
+// registered flight-recorder series that no `scope_sample` ever records.
+
+pub struct Recorder;
+
+impl Recorder {
+    pub fn register(&mut self, _key: &str, _help: &str) {}
+    pub fn register_queue(&mut self, _key: &str, _help: &str, _n: usize) {}
+    pub fn record(&mut self, _key: &str, _v: f64) {}
+    pub fn record_rate(&mut self, _key: &str, _total: f64) {}
+    pub fn record_queue(&mut self, _key: &str, _q: usize, _v: f64) {}
+}
+
+/// Registers four series; only two are ever sampled.
+pub fn scope_register(rec: &mut Recorder) {
+    rec.register("sampled_gauge", "Recorded below: fine.");
+    rec.register("forgotten_gauge", "finding: never recorded.");
+    rec.register_queue("sampled_per_queue", "Recorded below: fine.", 2);
+    rec.register_queue("forgotten_per_queue", "finding: never recorded.", 2);
+}
+
+/// The sampler: covers the two `sampled_*` keys, forgets the others.
+pub fn scope_sample(rec: &mut Recorder) {
+    rec.record_rate("sampled_gauge", 1.0);
+    rec.record_queue("sampled_per_queue", 0, 2.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Test-gated registrations are out of scope: a fixture for the rule's
+    // own test harness must not trip the rule.
+    pub fn scope_register(rec: &mut Recorder) {
+        rec.register("test_only_gauge", "never recorded, but test-gated");
+    }
+}

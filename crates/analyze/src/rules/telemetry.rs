@@ -11,6 +11,14 @@
 //! appear as a string literal inside an exporter. This pins each fault
 //! injection point to the observable counter that proves the system
 //! absorbed it.
+//!
+//! Half 3 — every flight-recorder series key registered in a
+//! `scope_register` function (via `register("key", …)` /
+//! `register_queue("key", …)`) must be recorded by some `record*` call
+//! inside a `scope_sample` function. A registered-but-never-sampled key
+//! is worse than a missing one: it renders as an empty CSV column and a
+//! blank chart, which reads as "the quantity was zero" instead of "the
+//! quantity was never measured".
 
 use std::collections::BTreeSet;
 
@@ -83,6 +91,73 @@ pub fn check(units: &[Unit]) -> Vec<Finding> {
                     hint: "export it in `Machine::snapshot` / a `fill_metrics` impl, or \
                            allowlist it with `rule=telemetry` if the component is not part \
                            of the assembled pipeline"
+                        .to_string(),
+                });
+            }
+        }
+    }
+
+    // Half 3: registered flight-recorder series must be sampled.
+    // Collect every key literal recorded by a `record*` call inside a
+    // `scope_sample` body (any crate — the policy hooks live in `core`,
+    // the machine walk in `host`)…
+    let mut recorded_keys: BTreeSet<String> = BTreeSet::new();
+    let mut sampler_count = 0usize;
+    for u in units {
+        for f in &u.pf.fns {
+            if f.is_test || f.name != "scope_sample" {
+                continue;
+            }
+            let toks = body(&u.pf, f);
+            if toks.is_empty() {
+                continue;
+            }
+            sampler_count += 1;
+            for i in 0..toks.len() {
+                if ident_text(toks, i).is_some_and(|t| t.starts_with("record"))
+                    && punct_at(toks, i + 1, '(')
+                    && toks.get(i + 2).is_some_and(|t| t.kind == TokKind::Str)
+                {
+                    recorded_keys.insert(toks[i + 2].text.clone());
+                }
+            }
+        }
+    }
+    // …then demand each key registered in a `scope_register` body in the
+    // instrumented crates appears in that set.
+    for u in units {
+        if !SCOPE.contains(&u.src.crate_name.as_str()) {
+            continue;
+        }
+        for f in &u.pf.fns {
+            if f.is_test || f.name != "scope_register" {
+                continue;
+            }
+            let toks = body(&u.pf, f);
+            for i in 0..toks.len() {
+                let is_reg =
+                    ident_text(toks, i).is_some_and(|t| t == "register" || t == "register_queue");
+                if !(is_reg
+                    && punct_at(toks, i + 1, '(')
+                    && toks.get(i + 2).is_some_and(|t| t.kind == TokKind::Str))
+                {
+                    continue;
+                }
+                let key = &toks[i + 2].text;
+                if recorded_keys.contains(key) {
+                    continue;
+                }
+                findings.push(Finding {
+                    rule: Rule::Telemetry,
+                    file: u.src.rel.clone(),
+                    line: toks[i + 2].line,
+                    message: format!(
+                        "scope series `{key}` is registered but never recorded by any \
+                         `scope_sample` body ({sampler_count} sampler bodies scanned)"
+                    ),
+                    hint: "record the series each sampling epoch in a `scope_sample` fn, \
+                           or drop the registration — an empty column reads as zero, not \
+                           as unmeasured"
                         .to_string(),
                 });
             }

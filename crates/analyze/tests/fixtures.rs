@@ -20,6 +20,7 @@ const CONSERVATION: &str = include_str!("../fixtures/conservation_bad.rs");
 const CONSERVATION_CALLER: &str = include_str!("../fixtures/conservation_caller_bad.rs");
 const TELEMETRY: &str = include_str!("../fixtures/telemetry_bad.rs");
 const UNITS: &str = include_str!("../fixtures/units_bad.rs");
+const SCOPE_BAD: &str = include_str!("../fixtures/scope_bad.rs");
 
 #[test]
 fn determinism_fires_on_known_bad() {
@@ -116,6 +117,36 @@ fn telemetry_fires_on_unexported_field_and_untagged_fault_sites() {
         .iter()
         .any(|m| m.contains("ceio_phantom_total") && m.contains("not exported")));
     assert!(!msgs.iter().any(|m| m.contains("FaultSite::Tagged ")));
+}
+
+#[test]
+fn telemetry_fires_on_registered_but_unsampled_scope_series() {
+    let a = analyze_sources(
+        vec![src("crates/host/src/scope_bad.rs", "host", SCOPE_BAD)],
+        &[],
+    );
+    let msgs: Vec<&str> = a.findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(
+        a.findings.iter().all(|f| f.rule == Rule::Telemetry),
+        "{msgs:?}"
+    );
+    // Exactly the two forgotten keys — the sampled pair and the
+    // test-gated registration stay quiet.
+    assert_eq!(a.findings.len(), 2, "{msgs:?}");
+    assert!(msgs
+        .iter()
+        .any(|m| m.contains("`forgotten_gauge`") && m.contains("never recorded")));
+    assert!(msgs.iter().any(|m| m.contains("`forgotten_per_queue`")));
+    assert!(!msgs.iter().any(|m| m.contains("sampled_gauge")));
+    assert!(!msgs.iter().any(|m| m.contains("sampled_per_queue")));
+    assert!(!msgs.iter().any(|m| m.contains("test_only_gauge")));
+
+    // Out of scope: the same file in a non-instrumented crate.
+    let a2 = analyze_sources(
+        vec![src("crates/bench/src/scope_bad.rs", "bench", SCOPE_BAD)],
+        &[],
+    );
+    assert!(a2.findings.is_empty(), "{:?}", a2.findings);
 }
 
 #[test]

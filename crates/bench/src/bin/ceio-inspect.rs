@@ -11,12 +11,25 @@
 //!   wait, slow-path residency).
 //!
 //! ```text
-//! ceio-inspect [--policy baseline|hostcc|shring|ceio] \
+//! ceio-inspect [report|timeseries]                    \
+//!              [--policy baseline|hostcc|shring|ceio] \
 //!              [--scenario kv|mixed|dynamic|burst]    \
 //!              [--millis N] [--warmup-ms N] [--ring N] \
 //!              [--trace-out FILE] [--prom-out FILE]    \
-//!              [--seed N] [--fault-plan SPEC] [--queues N]
+//!              [--seed N] [--fault-plan SPEC] [--queues N] \
+//!              [--scope-interval DUR] [--slo SPEC] [--out FILE]
 //! ```
+//!
+//! The optional leading mode selects the ceio-scope output: `report`
+//! renders a self-contained HTML document (inline-SVG occupancy and
+//! goodput charts, run metadata, SLO outcomes) and `timeseries` writes
+//! the recorded gauges as wide CSV, both to `--out` (defaults:
+//! `ceio-report.html` / `ceio-timeseries.csv`). Either mode — or passing
+//! `--scope-interval`/`--slo` explicitly — arms the sim-time flight
+//! recorder (default interval 50us). `--slo` takes `;`-separated
+//! threshold+duration rules, e.g.
+//! `alert=over,when=llc_occupancy_bytes,above=ddio_capacity_bytes,for=50us`;
+//! a malformed spec or duration exits 2.
 //!
 //! `--fault-plan` arms a deterministic fault-injection schedule (canned
 //! name or `key=value` spec; see `ceio-chaos`) seeded by `--seed`, so a
@@ -39,11 +52,23 @@ use ceio_bench::workloads::{self, AppKind, Transport};
 use ceio_chaos::FaultPlan;
 use ceio_host::Machine;
 use ceio_sim::{Duration, Time};
-use ceio_telemetry::{chrome_trace_json, json};
+use ceio_telemetry::{chrome_trace_json, json, render_html, scope, SloRule};
 #[cfg(feature = "trace")]
 use ceio_telemetry::{Stage, TraceEvent};
 
+/// ceio-scope output mode (the optional leading positional argument).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Classic inspection: trace + metrics + stdout breakdown only.
+    Inspect,
+    /// Also render the self-contained HTML report.
+    Report,
+    /// Also write the recorded scope gauges as wide CSV.
+    Timeseries,
+}
+
 struct Args {
+    mode: Mode,
     policy: PolicyKind,
     scenario: String,
     millis: u64,
@@ -51,8 +76,13 @@ struct Args {
     ring: usize,
     trace_out: String,
     prom_out: String,
+    out: Option<String>,
     plan: Option<FaultPlan>,
+    plan_label: String,
     queues: usize,
+    seed: u64,
+    scope_interval: Option<Duration>,
+    slos: Vec<SloRule>,
 }
 
 /// Parse a required numeric flag value; exit(2) when missing or malformed.
@@ -108,8 +138,29 @@ fn resolve_fault_plan(spec: Option<&String>, seed: u64) -> Option<FaultPlan> {
     }
 }
 
+/// Parse `--scope-interval`/`--slo for=` durations (ns/us/ms or bare ns),
+/// exiting 2 on a malformed literal.
+fn parse_scope_duration(flag: &str, value: Option<&String>) -> Duration {
+    match value.map(|s| scope::parse_duration(s)) {
+        Some(Ok(d)) if d > Duration::ZERO => d,
+        Some(Ok(_)) => {
+            eprintln!("{flag} must be a positive duration");
+            std::process::exit(2);
+        }
+        Some(Err(e)) => {
+            eprintln!("{flag}: {e}");
+            std::process::exit(2);
+        }
+        None => {
+            eprintln!("{flag} requires a duration (e.g. 50us, 1ms, 500ns)");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn parse_args() -> Args {
     let mut a = Args {
+        mode: Mode::Inspect,
         policy: PolicyKind::Ceio,
         scenario: "kv".to_string(),
         millis: 3,
@@ -117,13 +168,31 @@ fn parse_args() -> Args {
         ring: 1 << 16,
         trace_out: "ceio-inspect-trace.json".to_string(),
         prom_out: "ceio-inspect-metrics.prom".to_string(),
+        out: None,
         plan: None,
+        plan_label: "none".to_string(),
         queues: 1,
+        seed: 0,
+        scope_interval: None,
+        slos: Vec::new(),
     };
     let mut seed = 0u64;
     let mut plan_spec: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
+    if let Some(first) = args.first() {
+        match first.as_str() {
+            "report" => {
+                a.mode = Mode::Report;
+                i = 1;
+            }
+            "timeseries" => {
+                a.mode = Mode::Timeseries;
+                i = 1;
+            }
+            _ => {}
+        }
+    }
     while i < args.len() {
         match args[i].as_str() {
             "--policy" => {
@@ -193,6 +262,37 @@ fn parse_args() -> Args {
                 i += 1;
                 a.queues = parse_queues(args.get(i));
             }
+            "--out" => {
+                i += 1;
+                a.out = match args.get(i) {
+                    Some(p) => Some(p.clone()),
+                    None => {
+                        eprintln!("--out requires a path");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--scope-interval" => {
+                i += 1;
+                a.scope_interval = Some(parse_scope_duration("--scope-interval", args.get(i)));
+            }
+            "--slo" => {
+                i += 1;
+                let spec = match args.get(i) {
+                    Some(s) => s,
+                    None => {
+                        eprintln!("--slo requires a rule spec (see --help text in the module doc)");
+                        std::process::exit(2);
+                    }
+                };
+                match SloRule::parse_spec(spec) {
+                    Ok(mut rules) => a.slos.append(&mut rules),
+                    Err(e) => {
+                        eprintln!("--slo {spec:?}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -201,6 +301,10 @@ fn parse_args() -> Args {
         i += 1;
     }
     a.plan = resolve_fault_plan(plan_spec.as_ref(), seed);
+    if let Some(spec) = plan_spec {
+        a.plan_label = spec;
+    }
+    a.seed = seed;
     a
 }
 
@@ -271,6 +375,20 @@ fn main() {
     }
     #[cfg(not(feature = "chaos"))]
     debug_assert!(a.plan.is_none(), "resolve_fault_plan exits without chaos");
+    sim.model.set_run_label(&a.plan_label);
+
+    // Arm the flight recorder when a scope output mode or scope flag asks
+    // for it (default epoch: 50 us of sim time).
+    let scoped = a.mode != Mode::Inspect || a.scope_interval.is_some() || !a.slos.is_empty();
+    if scoped {
+        let interval = a.scope_interval.unwrap_or(Duration::micros(50));
+        ceio_host::arm_scope(
+            &mut sim,
+            interval,
+            ceio_host::DEFAULT_SCOPE_CAP,
+            a.slos.clone(),
+        );
+    }
 
     let warmup = Duration::millis(a.warmup_ms);
     let measure = Duration::millis(a.millis);
@@ -281,6 +399,63 @@ fn main() {
     let snap = sim.model.snapshot(end);
     must_validate("snapshot", &snap.to_json());
     write_file(&a.prom_out, &snap.to_prom_text());
+
+    // Scope outputs (report / timeseries modes).
+    match a.mode {
+        Mode::Inspect => {}
+        Mode::Timeseries => {
+            let rec = sim
+                .model
+                .scope()
+                .expect("invariant: timeseries mode armed the scope above");
+            let path = a
+                .out
+                .clone()
+                .unwrap_or_else(|| "ceio-timeseries.csv".into());
+            write_file(&path, &rec.to_csv());
+            eprintln!("wrote {path} ({} series)", rec.all_series().len());
+        }
+        Mode::Report => {
+            let rec = sim
+                .model
+                .scope()
+                .expect("invariant: report mode armed the scope above");
+            let meta = vec![
+                ("policy".to_string(), report.policy.clone()),
+                ("scenario".to_string(), a.scenario.clone()),
+                ("chaos seed".to_string(), a.seed.to_string()),
+                ("queues".to_string(), a.queues.to_string()),
+                ("fault plan".to_string(), a.plan_label.clone()),
+                ("measured".to_string(), format!("{} ms", a.millis)),
+                ("scope epochs".to_string(), rec.samples().to_string()),
+            ];
+            let charts = vec![
+                rec.chart(
+                    "LLC I/O occupancy vs. DDIO capacity",
+                    "bytes",
+                    &[
+                        "llc_occupancy_bytes",
+                        "ddio_capacity_bytes",
+                        "iio_occupancy_bytes",
+                    ],
+                ),
+                rec.chart(
+                    "Goodput over time",
+                    "Gbps",
+                    &["goodput_gbps", "fast_gbps", "slow_gbps"],
+                ),
+                rec.chart(
+                    "Drops and retries",
+                    "per second",
+                    &["drop_pps", "dma_retry_pps"],
+                ),
+            ];
+            let html = render_html("ceio-scope report", &meta, &rec.alert_states(), &charts);
+            let path = a.out.clone().unwrap_or_else(|| "ceio-report.html".into());
+            write_file(&path, &html);
+            eprintln!("wrote {path} ({} charts)", charts.len());
+        }
+    }
 
     // Chrome trace export.
     #[cfg(feature = "trace")]

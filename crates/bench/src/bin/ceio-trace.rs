@@ -5,7 +5,8 @@
 //! ceio-trace [--policy baseline|hostcc|shring|ceio] \
 //!            [--scenario kv|mixed|dynamic|burst]    \
 //!            [--millis N] [--warmup-ms N] [--out FILE] \
-//!            [--seed N] [--fault-plan SPEC] [--queues N]
+//!            [--seed N] [--fault-plan SPEC] [--queues N] \
+//!            [--scope-interval DUR] [--slo SPEC] [--scope-out FILE]
 //! ```
 //!
 //! Columns: `t_ms, involved_mpps, bypass_gbps, llc_miss_rate, fast_gbps,
@@ -18,16 +19,28 @@
 //! byte-identical CSV. A malformed spec exits 2, as does requesting a
 //! plan from a binary built without the `chaos` feature (silently
 //! ignoring a requested fault schedule would misreport the experiment).
+//!
+//! `--scope-interval` (a sim duration such as `50us`) arms the flight
+//! recorder at that sampling epoch; `--slo` arms SLO rules
+//! (`alert=<name>,when=<series>,above|below=<thr>,for=<dur>`, `;`-separated,
+//! repeatable) and implies recording at the default 50 µs epoch when no
+//! interval is given. When the recorder is armed, its wide-format
+//! time-series CSV is written to `--scope-out` (default
+//! `ceio-scope.csv`) alongside the measurement CSV, and fired alerts are
+//! listed on stderr. Malformed scope flags exit 2, like every other
+//! malformed argument.
 
 // CLI entry point: exiting with status 2 on a bad argument is the intended
 // operator-facing behavior (the workspace denies `clippy::exit` for library
 // code, where aborting the process is never acceptable).
 #![allow(clippy::exit)]
 
-use ceio_bench::runner::{run_one_faulted, series_csv, PolicyKind, CHAOS_COMPILED};
+use ceio_bench::runner::{run_one_scoped, series_csv, PolicyKind, ScopeOptions, CHAOS_COMPILED};
 use ceio_bench::workloads::{self, AppKind, Transport};
 use ceio_chaos::FaultPlan;
+use ceio_host::DEFAULT_SCOPE_CAP;
 use ceio_sim::Duration;
+use ceio_telemetry::{scope, SloRule};
 use std::io::Write;
 
 /// Parse a required numeric flag value; exit(2) with a diagnostic when the
@@ -64,6 +77,26 @@ fn parse_queues(value: Option<&String>) -> usize {
     }
 }
 
+/// Parse a positive sim duration (`50us`, `1ms`, bare ns); exit(2) on a
+/// malformed or zero value.
+fn parse_scope_duration(flag: &str, value: Option<&String>) -> Duration {
+    let Some(raw) = value else {
+        eprintln!("{flag} requires a duration (e.g. 50us, 1ms)");
+        std::process::exit(2);
+    };
+    match scope::parse_duration(raw) {
+        Ok(d) if d > Duration::ZERO => d,
+        Ok(_) => {
+            eprintln!("{flag} must be positive");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("{flag} {raw:?}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Resolve `--seed`/`--fault-plan` into an armed plan, exiting 2 on a
 /// malformed spec or on a plan this build cannot apply.
 fn resolve_fault_plan(spec: Option<&String>, seed: u64) -> Option<FaultPlan> {
@@ -84,15 +117,21 @@ fn resolve_fault_plan(spec: Option<&String>, seed: u64) -> Option<FaultPlan> {
     }
 }
 
-fn parse_args() -> (
-    PolicyKind,
-    String,
-    u64,
-    u64,
-    Option<String>,
-    Option<FaultPlan>,
-    usize,
-) {
+struct Args {
+    policy: PolicyKind,
+    scenario: String,
+    millis: u64,
+    warmup_ms: u64,
+    out: Option<String>,
+    plan: Option<FaultPlan>,
+    plan_label: String,
+    queues: usize,
+    scope_interval: Option<Duration>,
+    slos: Vec<SloRule>,
+    scope_out: String,
+}
+
+fn parse_args() -> Args {
     let mut policy = PolicyKind::Ceio;
     let mut scenario = "kv".to_string();
     let mut millis = 10u64;
@@ -101,6 +140,9 @@ fn parse_args() -> (
     let mut seed = 0u64;
     let mut plan_spec: Option<String> = None;
     let mut queues = 1usize;
+    let mut scope_interval: Option<Duration> = None;
+    let mut slos: Vec<SloRule> = Vec::new();
+    let mut scope_out = "ceio-scope.csv".to_string();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -152,6 +194,34 @@ fn parse_args() -> (
                 i += 1;
                 queues = parse_queues(args.get(i));
             }
+            "--scope-interval" => {
+                i += 1;
+                scope_interval = Some(parse_scope_duration("--scope-interval", args.get(i)));
+            }
+            "--slo" => {
+                i += 1;
+                let Some(spec) = args.get(i) else {
+                    eprintln!("--slo requires a rule spec (alert=...,when=...,above=...,for=...)");
+                    std::process::exit(2);
+                };
+                match SloRule::parse_spec(spec) {
+                    Ok(mut rules) => slos.append(&mut rules),
+                    Err(e) => {
+                        eprintln!("--slo {spec:?}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--scope-out" => {
+                i += 1;
+                scope_out = match args.get(i) {
+                    Some(s) => s.clone(),
+                    None => {
+                        eprintln!("--scope-out requires a file path");
+                        std::process::exit(2);
+                    }
+                };
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -160,17 +230,30 @@ fn parse_args() -> (
         i += 1;
     }
     let plan = resolve_fault_plan(plan_spec.as_ref(), seed);
-    (policy, scenario, millis, warmup_ms, out, plan, queues)
+    let plan_label = plan_spec.unwrap_or_else(|| "none".to_string());
+    Args {
+        policy,
+        scenario,
+        millis,
+        warmup_ms,
+        out,
+        plan,
+        plan_label,
+        queues,
+        scope_interval,
+        slos,
+        scope_out,
+    }
 }
 
 fn main() {
-    let (policy, scenario, millis, warmup_ms, out, plan, queues) = parse_args();
+    let a = parse_args();
     let mut host = workloads::contended_host(Transport::Dpdk);
     host.sample_window = Duration::micros(100);
-    host.num_queues = queues;
+    host.num_queues = a.queues;
     let link = host.net.link_bandwidth;
-    let phase = Duration::millis((millis / 4).max(1));
-    let (scen, app) = match scenario.as_str() {
+    let phase = Duration::millis((a.millis / 4).max(1));
+    let (scen, app) = match a.scenario.as_str() {
         "kv" => (workloads::involved_flows(8, 512, link), AppKind::Kv),
         "mixed" => (workloads::mixed_flows(4, 4, 512, link), AppKind::Mixed),
         "dynamic" => (
@@ -183,25 +266,55 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let report = run_one_faulted(
+    let scoped = a.scope_interval.is_some() || !a.slos.is_empty();
+    let scope = scoped.then(|| ScopeOptions {
+        interval: a.scope_interval.unwrap_or(Duration::micros(50)),
+        cap: DEFAULT_SCOPE_CAP,
+        slos: a.slos.clone(),
+    });
+    let (report, mut sim) = run_one_scoped(
         host,
-        policy,
+        a.policy,
         scen,
         workloads::app_factory(app),
-        Duration::millis(warmup_ms),
-        Duration::millis(millis),
-        plan.as_ref(),
+        Duration::millis(a.warmup_ms),
+        Duration::millis(a.millis),
+        a.plan.as_ref(),
+        scope,
     );
+    sim.model.set_run_label(&a.plan_label);
+
+    if scoped {
+        if let Some(rec) = sim.model.scope() {
+            let mut f = std::fs::File::create(&a.scope_out).expect("create scope CSV file");
+            f.write_all(rec.to_csv().as_bytes())
+                .expect("write scope CSV");
+            eprintln!(
+                "{}: {} scope epochs across {} series written",
+                a.scope_out,
+                rec.samples(),
+                rec.all_series().len()
+            );
+            for (alert, fired, active) in rec.alert_states() {
+                if fired > 0 {
+                    eprintln!(
+                        "alert {alert}: fired {fired}x{}",
+                        if active { " (still active)" } else { "" }
+                    );
+                }
+            }
+        }
+    }
 
     let csv = series_csv(&report);
     let n = csv.lines().count().saturating_sub(1);
-    match out {
+    match a.out {
         Some(path) => {
             let mut f = std::fs::File::create(&path).expect("create output file");
             f.write_all(csv.as_bytes()).expect("write CSV");
             eprintln!(
                 "{}: {} samples of {} ({} scenario) written",
-                path, n, report.policy, scenario
+                path, n, report.policy, a.scenario
             );
         }
         None => print!("{csv}"),

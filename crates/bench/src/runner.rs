@@ -156,6 +156,12 @@ impl IoPolicy for AnyPolicy {
     fn fill_metrics(&self, out: &mut ceio_telemetry::SnapshotBuilder) {
         delegate!(self, p => p.fill_metrics(out))
     }
+    fn scope_register(&self, rec: &mut ceio_telemetry::FlightRecorder) {
+        delegate!(self, p => p.scope_register(rec))
+    }
+    fn scope_sample(&self, rec: &mut ceio_telemetry::FlightRecorder, now: Time) {
+        delegate!(self, p => p.scope_sample(rec, now))
+    }
     #[cfg(feature = "trace")]
     fn arm_trace(&mut self, cap: usize) {
         delegate!(self, p => p.arm_trace(cap))
@@ -225,6 +231,34 @@ pub fn run_one_keep_faulted(
     measure: Duration,
     plan: Option<&FaultPlan>,
 ) -> (RunReport, ceio_sim::Simulation<Machine<AnyPolicy>>) {
+    run_one_scoped(host, kind, scenario, factory, warmup, measure, plan, None)
+}
+
+/// Flight-recorder arming parameters for [`run_one_scoped`].
+pub struct ScopeOptions {
+    /// Sampling interval in sim time.
+    pub interval: Duration,
+    /// Ring capacity per recorded series (drop-oldest beyond).
+    pub cap: usize,
+    /// SLO rules to arm, evaluated each sampling epoch.
+    pub slos: Vec<ceio_telemetry::SloRule>,
+}
+
+/// The full-surface run entry point: optional fault plan, optional armed
+/// flight recorder. The finished simulation is returned so callers can
+/// read the recorder ([`Machine::scope`]), snapshot metrics, or drain
+/// traces after the run.
+#[allow(clippy::too_many_arguments)]
+pub fn run_one_scoped(
+    host: HostConfig,
+    kind: PolicyKind,
+    scenario: Scenario,
+    factory: AppFactory,
+    warmup: Duration,
+    measure: Duration,
+    plan: Option<&FaultPlan>,
+    scope: Option<ScopeOptions>,
+) -> (RunReport, ceio_sim::Simulation<Machine<AnyPolicy>>) {
     let policy = kind.build(&host);
     let mut sim = Machine::build(host, policy, scenario, factory);
     #[cfg(feature = "chaos")]
@@ -233,6 +267,9 @@ pub fn run_one_keep_faulted(
     }
     #[cfg(not(feature = "chaos"))]
     let _ = plan;
+    if let Some(s) = scope {
+        ceio_host::arm_scope(&mut sim, s.interval, s.cap, s.slos);
+    }
     let mut report = run_to_report(&mut sim, warmup, measure);
     report.policy = kind.name().to_string();
     (report, sim)

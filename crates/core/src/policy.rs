@@ -987,6 +987,42 @@ impl IoPolicy for CeioPolicy {
         }
     }
 
+    /// Declare the credit-ledger gauges CEIO contributes to an armed
+    /// flight recorder: outstanding/free credits per queue partition plus
+    /// the global slack pool and live-lease count.
+    fn scope_register(&self, rec: &mut ceio_telemetry::FlightRecorder) {
+        rec.register(
+            "credit_pool_free",
+            "Slack credits parked in the hierarchical global pool.",
+        );
+        rec.register(
+            "credit_leases",
+            "Grants currently covered by a live lease (0 when disarmed).",
+        );
+        rec.register_queue(
+            "credit_outstanding",
+            "In-flight credits of this queue's partition.",
+            self.credits.num_queues(),
+        );
+        rec.register_queue(
+            "credit_free",
+            "Free credits of this queue's partition (pool slack).",
+            self.credits.num_queues(),
+        );
+    }
+
+    fn scope_sample(&self, rec: &mut ceio_telemetry::FlightRecorder, now: ceio_sim::Time) {
+        rec.record("credit_pool_free", now, self.credits.global_free() as f64);
+        rec.record("credit_leases", now, self.credits.live_leases() as f64);
+        for q in 0..self.credits.num_queues() {
+            let Some(p) = self.credits.partition(q) else {
+                continue;
+            };
+            rec.record_queue("credit_outstanding", q, now, p.outstanding() as f64);
+            rec.record_queue("credit_free", q, now, p.free_pool() as f64);
+        }
+    }
+
     #[cfg(feature = "trace")]
     fn arm_trace(&mut self, cap: usize) {
         self.tracer = Some(TraceRing::new(cap));

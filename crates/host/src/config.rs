@@ -83,6 +83,20 @@ impl HostConfig {
         Duration::nanos(bytes * self.copy_ns_per_kib / 1024)
     }
 
+    /// A stable fingerprint of the full configuration (FNV-1a over its
+    /// debug rendering). Two runs with different parameters get different
+    /// fingerprints with overwhelming probability; the value is carried as
+    /// the `config` label of `ceio_run_info` so archived snapshots stay
+    /// attributable to the configuration that produced them.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in format!("{self:?}").bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
     /// Validate cross-field constraints. Returns a description of the
     /// first violation found, or `Ok(())`.
     ///
@@ -132,6 +146,22 @@ mod tests {
             ..HostConfig::default()
         };
         assert!(bad_buf.validate().is_err());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs() {
+        let a = HostConfig::default();
+        let b = HostConfig {
+            seed: a.seed + 1,
+            ..HostConfig::default()
+        };
+        let c = HostConfig {
+            num_queues: 4,
+            ..HostConfig::default()
+        };
+        assert_eq!(a.fingerprint(), HostConfig::default().fingerprint());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
     }
 
     #[test]

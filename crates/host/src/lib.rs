@@ -35,6 +35,7 @@ pub mod machine;
 pub mod measure;
 pub mod policy;
 pub mod rxq;
+pub mod scope;
 pub mod telemetry;
 
 #[cfg(feature = "audit")]
@@ -45,5 +46,6 @@ pub use machine::{run_to_report, AppFactory, Event, HostState, Machine, Recovery
 pub use measure::{ClassSample, Measurements, RunReport};
 pub use policy::{DrainRequest, IoPolicy, SteerDecision, UnmanagedPolicy};
 pub use rxq::{RxQueue, RxQueueStats};
+pub use scope::{arm_scope, DEFAULT_SCOPE_CAP};
 #[cfg(feature = "trace")]
 pub use telemetry::HostTrace;

@@ -83,6 +83,9 @@ pub enum Event {
     ControllerPoll,
     /// Close a measurement window.
     Sample,
+    /// Flight-recorder sampling epoch (see [`crate::scope`]); only
+    /// scheduled while a recorder is armed.
+    Scope,
     /// Retry pending DMA issues on one receive queue (pacing gap, retry
     /// backoff, or descriptor-issue gap elapsed).
     Pump(usize),
@@ -100,6 +103,7 @@ impl Event {
             Event::CorePoll(_) => "CorePoll",
             Event::ControllerPoll => "ControllerPoll",
             Event::Sample => "Sample",
+            Event::Scope => "Scope",
             Event::Pump(_) => "Pump",
         }
     }
@@ -200,6 +204,11 @@ pub struct HostState {
     /// Host-side chaos injector; `None` until [`Machine::arm_chaos`].
     #[cfg(feature = "chaos")]
     pub(crate) chaos: Option<Box<HostChaos>>,
+    /// Flight recorder; `None` until [`crate::scope::arm_scope`] arms it.
+    pub(crate) scope: Option<Box<ceio_telemetry::FlightRecorder>>,
+    /// Run label for archived-snapshot metadata: the fault-plan name or
+    /// `"none"` (see `ceio_run_info` in [`crate::telemetry`]).
+    pub(crate) run_label: String,
     pacing: Pacing,
     /// Event-trace recorder; `None` until [`Machine::arm_trace`] arms it.
     #[cfg(feature = "trace")]
@@ -441,6 +450,8 @@ impl<P: IoPolicy> Machine<P> {
             read_backoff_until: Time::ZERO,
             #[cfg(feature = "chaos")]
             chaos: None,
+            scope: None,
+            run_label: "none".to_string(),
             pacing: Pacing::Poisson,
             #[cfg(feature = "trace")]
             trace: None,
@@ -470,6 +481,12 @@ impl<P: IoPolicy> Machine<P> {
     /// Use CBR pacing instead of Poisson (latency-benchmark style runs).
     pub fn set_cbr_pacing(&mut self) {
         self.st.pacing = Pacing::Cbr;
+    }
+
+    /// Label this run for archived-snapshot metadata (the fault-plan name;
+    /// surfaces as the `fault_plan` label of `ceio_run_info`).
+    pub fn set_run_label(&mut self, label: &str) {
+        self.st.run_label = label.to_string();
     }
 
     fn new_core(&mut self) -> usize {
@@ -1395,6 +1412,21 @@ impl<P: IoPolicy> Model for Machine<P> {
                 let (h, m) = (s.hits, s.misses);
                 self.st.meas.close_window(now, h, m);
                 queue.schedule_in(self.st.cfg.sample_window, Event::Sample);
+            }
+            Event::Scope => {
+                // Take the recorder out of the state so sampling can read
+                // `st` immutably while the recorder is written.
+                if let Some(mut rec) = self.st.scope.take() {
+                    crate::scope::scope_sample(&self.st, now, &mut rec);
+                    self.policy.scope_sample(&mut rec, now);
+                    for fire in rec.end_epoch(now) {
+                        self.st
+                            .trace_event(now, None, TraceKind::SloAlert, fire.rule as u64);
+                    }
+                    let iv = rec.interval();
+                    self.st.scope = Some(rec);
+                    queue.schedule_in(iv, Event::Scope);
+                }
             }
             Event::Pump(q) => {
                 self.st.rxq[q].pump_scheduled = false;

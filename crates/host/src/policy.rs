@@ -8,9 +8,9 @@
 use crate::machine::HostState;
 use ceio_net::{FlowId, Packet};
 use ceio_sim::{Duration, Time};
-use ceio_telemetry::SnapshotBuilder;
 #[cfg(feature = "trace")]
 use ceio_telemetry::TraceEvent;
+use ceio_telemetry::{FlightRecorder, SnapshotBuilder};
 
 /// Steering decision for one packet at the NIC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,6 +126,21 @@ pub trait IoPolicy {
     /// contributes nothing.
     fn fill_metrics(&self, out: &mut SnapshotBuilder) {
         let _ = out;
+    }
+
+    /// Declare the policy's own flight-recorder gauges (credit ledgers,
+    /// leases) when a scope is armed (see [`crate::scope::arm_scope`]).
+    /// Every key registered here must be recorded by
+    /// [`IoPolicy::scope_sample`]; the default declares nothing.
+    fn scope_register(&self, rec: &mut FlightRecorder) {
+        let _ = rec;
+    }
+
+    /// Record one scope epoch of policy-private gauges. Called once per
+    /// `Event::Scope` tick, right after the machine gauges are sampled.
+    /// The default records nothing.
+    fn scope_sample(&self, rec: &mut FlightRecorder, now: Time) {
+        let _ = (rec, now);
     }
 
     /// Arm the policy's own trace recorders (credit manager, software

@@ -528,6 +528,27 @@ impl<P: IoPolicy> Machine<P> {
         // Policy-private metrics (credits, controller state, ...).
         self.policy.fill_metrics(&mut b);
 
+        // Flight-recorder state (scope series, SLO alert counters), when a
+        // recorder is armed (see crate::scope).
+        if let Some(rec) = st.scope.as_deref() {
+            rec.fill_metrics(&mut b);
+        }
+
+        // Run metadata, so archived snapshots from different runs stay
+        // distinguishable (which seed, sharding, fault plan, and config
+        // produced this document).
+        b.gauge_with(
+            "ceio_run_info",
+            "Run metadata carried as labels; the value is always 1.",
+            &[
+                ("seed", st.cfg.seed.to_string()),
+                ("queues", st.cfg.num_queues.to_string()),
+                ("fault_plan", st.run_label.clone()),
+                ("config", format!("{:016x}", st.cfg.fingerprint())),
+            ],
+            1.0,
+        );
+
         // Audit outcome, when the auditor is armed.
         #[cfg(feature = "audit")]
         if let Some(rep) = self.audit_report() {

@@ -555,6 +555,43 @@ mod tests {
         assert_eq!(Histogram::new().quantiles(&[0.5, 0.99]), vec![0, 0]);
     }
 
+    /// Batch quantiles on an empty histogram return a zero per requested
+    /// quantile — same shape as the request, never a shorter vector — and
+    /// an empty request on a populated histogram returns an empty vector.
+    #[test]
+    fn quantiles_batch_empty_cases() {
+        let empty = Histogram::new();
+        assert_eq!(empty.quantiles(&[0.0, 0.5, 1.0]), vec![0, 0, 0]);
+        assert!(empty.quantiles(&[]).is_empty());
+        let mut h = Histogram::new();
+        h.record(42);
+        assert!(h.quantiles(&[]).is_empty());
+    }
+
+    /// With exactly one recorded sample, every quantile — including the
+    /// q=0 and q=1 extremes — reports that sample (the linear region is
+    /// exact for small values, so no bucket error applies).
+    #[test]
+    fn quantiles_batch_single_sample() {
+        let mut h = Histogram::new();
+        h.record(77);
+        let got = h.quantiles(&[0.0, 0.25, 0.5, 0.75, 1.0]);
+        assert_eq!(got, vec![77; 5]);
+    }
+
+    /// q=0 reports the smallest recorded value and q=1 the largest; values
+    /// in the linear region make both exact. Out-of-range requests clamp
+    /// (q<0 behaves as 0, q>1 as 1) instead of panicking or wrapping.
+    #[test]
+    fn quantiles_batch_extremes_bracket_min_and_max() {
+        let mut h = Histogram::new();
+        for v in [9u64, 3, 27] {
+            h.record(v);
+        }
+        assert_eq!(h.quantiles(&[0.0, 1.0]), vec![3, 27]);
+        assert_eq!(h.quantiles(&[-0.5, 2.0]), vec![3, 27]);
+    }
+
     #[test]
     fn histogram_sum_and_display() {
         let mut h = Histogram::new();

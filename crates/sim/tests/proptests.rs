@@ -34,6 +34,28 @@ proptest! {
         prop_assert_eq!(h.count(), values.len() as u64);
     }
 
+    /// The single-pass batch [`Histogram::quantiles`] is monotone over an
+    /// ascending quantile list, bracketed by the histogram max, and agrees
+    /// exactly with the per-call [`Histogram::quantile`] scan — the batch
+    /// sweep's target-reordering must not change any answer.
+    #[test]
+    fn histogram_batch_quantiles_monotone(values in prop::collection::vec(0u64..10_000_000, 1..200)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0];
+        let batch = h.quantiles(&qs);
+        prop_assert_eq!(batch.len(), qs.len());
+        for w in batch.windows(2) {
+            prop_assert!(w[0] <= w[1], "batch quantiles not monotone: {:?}", batch);
+        }
+        for (q, got) in qs.iter().zip(&batch) {
+            prop_assert!(*got <= h.max());
+            prop_assert_eq!(*got, h.quantile(*q), "batch disagrees with per-call at q={}", q);
+        }
+    }
+
     /// Histogram mean is exact (tracked outside the buckets).
     #[test]
     fn histogram_mean_exact(values in prop::collection::vec(0u64..1_000_000, 1..100)) {

@@ -104,6 +104,9 @@ pub enum TraceKind {
     ArmStall,
     /// An injected RMT rule-install delay (`value` = delay nanoseconds).
     RmtDelay,
+    /// An armed SLO rule fired at this sampling epoch (`value` = the
+    /// rule's index in the armed rule list; see [`crate::scope`]).
+    SloAlert,
 }
 
 /// Chrome trace-event phase for a kind: instant, span begin, or span end.
@@ -158,6 +161,7 @@ impl TraceKind {
             TraceKind::ConsumerPause => "consumer-pause",
             TraceKind::ArmStall => "arm-stall",
             TraceKind::RmtDelay => "rmt-delay",
+            TraceKind::SloAlert => "slo-alert",
         }
     }
 

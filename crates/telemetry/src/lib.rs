@@ -30,11 +30,15 @@ pub mod breakdown;
 pub mod chrome;
 pub mod event;
 pub mod json;
+pub mod scope;
 pub mod snapshot;
 
 pub use breakdown::{BreakdownSet, PathBreakdown, Stage};
 pub use chrome::chrome_trace_json;
 pub use event::{merge_events, Phase, TraceEvent, TraceKind, TraceRing};
+pub use scope::{
+    render_html, AlertFire, Chart, FlightRecorder, ScopeSeries, SloPredicate, SloRule,
+};
 pub use snapshot::{
     AuditSummary, Metric, MetricValue, Snapshot, SnapshotBuilder, SUMMARY_QUANTILES,
 };

@@ -111,22 +111,23 @@ impl Snapshot {
     /// surface them in every export instead of dropping them.
     pub fn to_prom_text(&self) -> String {
         let mut out = String::new();
-        let mut seen: Vec<&str> = Vec::new();
+        let mut seen: Vec<String> = Vec::new();
         for m in &self.metrics {
-            if !seen.contains(&m.name.as_str()) {
-                seen.push(&m.name);
-                let _ = writeln!(out, "# HELP {} {}", m.name, m.help);
-                let _ = writeln!(out, "# TYPE {} {}", m.name, m.value.type_name());
+            let name = sanitize_metric_name(&m.name);
+            if !seen.contains(&name) {
+                seen.push(name.clone());
+                let _ = writeln!(out, "# HELP {} {}", name, m.help);
+                let _ = writeln!(out, "# TYPE {} {}", name, m.value.type_name());
             }
             match &m.value {
                 MetricValue::Counter(v) => {
-                    let _ = writeln!(out, "{}{} {}", m.name, prom_labels(&m.labels, None), v);
+                    let _ = writeln!(out, "{}{} {}", name, prom_labels(&m.labels, None), v);
                 }
                 MetricValue::Gauge(v) => {
                     let _ = writeln!(
                         out,
                         "{}{} {}",
-                        m.name,
+                        name,
                         prom_labels(&m.labels, None),
                         fmt_f64(*v)
                     );
@@ -137,20 +138,13 @@ impl Snapshot {
                     count,
                 } => {
                     for (q, v) in quantiles {
-                        let _ =
-                            writeln!(out, "{}{} {}", m.name, prom_labels(&m.labels, Some(*q)), v);
+                        let _ = writeln!(out, "{}{} {}", name, prom_labels(&m.labels, Some(*q)), v);
                     }
-                    let _ = writeln!(
-                        out,
-                        "{}_sum{} {}",
-                        m.name,
-                        prom_labels(&m.labels, None),
-                        sum
-                    );
+                    let _ = writeln!(out, "{}_sum{} {}", name, prom_labels(&m.labels, None), sum);
                     let _ = writeln!(
                         out,
                         "{}_count{} {}",
-                        m.name,
+                        name,
                         prom_labels(&m.labels, None),
                         count
                     );
@@ -266,6 +260,30 @@ impl Snapshot {
         out.push('}');
         out
     }
+}
+
+/// Coerce a metric name into the Prometheus exposition grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every character outside that set becomes
+/// `_`, and a name whose first character is a digit gains a `_` prefix.
+/// Scrapers reject malformed names outright, so a snapshot carrying one
+/// stray key (say, a flow tag with a dash) would otherwise poison the
+/// whole export. JSON output keeps the original name — only the prom
+/// format constrains the alphabet.
+fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        match c {
+            'a'..='z' | 'A'..='Z' | '_' | ':' => out.push(c),
+            '0'..='9' => {
+                if i == 0 {
+                    out.push('_');
+                }
+                out.push(c);
+            }
+            _ => out.push('_'),
+        }
+    }
+    out
 }
 
 /// Render a Prometheus label set, optionally with a `quantile` label.
@@ -472,6 +490,54 @@ mod tests {
         let json = s.to_json();
         validate(&json).expect("audit JSON must parse");
         assert!(json.contains("\"total_violations\":2"));
+    }
+
+    /// Golden pin of the prom exposition's escaping rules: per-queue
+    /// labels render as `queue="k"`, label values escape quote, backslash,
+    /// and newline, and metric names are coerced into the prom grammar
+    /// (spaces/dots/dashes/percent → `_`, leading digit gains a `_`).
+    /// Compares the whole rendering so any drift — reordering, added
+    /// whitespace, changed escapes — fails loudly.
+    #[test]
+    fn prom_escaping_and_name_sanitization_golden() {
+        let mut b = SnapshotBuilder::new(Time(0));
+        b.counter_with(
+            "ceio rx.drops-total",
+            "Packets dropped.",
+            &[("queue", "3".to_string())],
+            7,
+        );
+        b.gauge_with(
+            "9p%tile",
+            "Name starts with a digit.",
+            &[("path", "a\"b\\c\nd".to_string())],
+            2.5,
+        );
+        let got = b.finish().to_prom_text();
+        let want = concat!(
+            "# HELP ceio_rx_drops_total Packets dropped.\n",
+            "# TYPE ceio_rx_drops_total counter\n",
+            "ceio_rx_drops_total{queue=\"3\"} 7\n",
+            "# HELP _9p_tile Name starts with a digit.\n",
+            "# TYPE _9p_tile gauge\n",
+            "_9p_tile{path=\"a\\\"b\\\\c\\nd\"} 2.5\n",
+        );
+        assert_eq!(got, want);
+    }
+
+    /// Two distinct raw names that sanitize to the same prom name share
+    /// one HELP/TYPE preamble — the dedup runs on the sanitized form, so
+    /// the output never repeats a preamble for what scrapers consider a
+    /// single metric family.
+    #[test]
+    fn preamble_dedup_uses_sanitized_names() {
+        let mut b = SnapshotBuilder::new(Time(0));
+        b.counter("ceio.x", "First.", 1);
+        b.counter("ceio-x", "Second.", 2);
+        let got = b.finish().to_prom_text();
+        assert_eq!(got.matches("# HELP ceio_x").count(), 1);
+        assert!(got.contains("ceio_x 1\n"));
+        assert!(got.contains("ceio_x 2\n"));
     }
 
     #[test]

@@ -112,4 +112,28 @@ for ev in dma-retry credit-release-lost credit-lease-reclaim; do
 done
 echo "chaos smoke passed"
 
+echo "==> scope smoke (flight recorder, SLO alerts, report figures)"
+# Reuses the trace+chaos ceio-inspect built above. A short traced run
+# with an SLO that must fire (goodput above a hair over zero, held for
+# two epochs) proves the whole observability loop: the recorder samples,
+# the alert engine fires and exports, and the HTML report carries the
+# paper-style figures.
+target/debug/ceio-inspect report --scenario kv --millis 3 \
+    --fault-plan smoke --seed 1234 \
+    --slo 'alert=ci-smoke,when=goodput_gbps,above=0.0001,for=100us' \
+    --trace-out "$smoke_dir/scope-trace.json" \
+    --prom-out "$smoke_dir/scope-metrics.prom" \
+    --out "$smoke_dir/ceio-report.html" > "$smoke_dir/scope-stdout.txt"
+grep -Eq '^ceio_alert_fired_total\{alert="ci-smoke"\} [1-9]' "$smoke_dir/scope-metrics.prom" \
+    || { echo "scope smoke: always-firing SLO never fired"; exit 1; }
+grep -q '^ceio_run_info{' "$smoke_dir/scope-metrics.prom" \
+    || { echo "scope smoke: run metadata missing from export"; exit 1; }
+for chart in "LLC I/O occupancy vs. DDIO capacity" "Goodput over time"; do
+    grep -q "$chart" "$smoke_dir/ceio-report.html" \
+        || { echo "scope smoke: report is missing the '$chart' figure"; exit 1; }
+done
+grep -q "<svg" "$smoke_dir/ceio-report.html" \
+    || { echo "scope smoke: report carries no inline SVG charts"; exit 1; }
+echo "scope smoke passed"
+
 echo "All checks passed."
