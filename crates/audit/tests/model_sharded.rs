@@ -7,7 +7,8 @@
 //!
 //! ```text
 //! { add_flows, remove_flow, try_consume, release(1), release(2),
-//!   release_to_pool, reclaim, grant, grant_evenly, rebalance }
+//!   release_to_pool, reclaim, grant, grant_evenly, rebalance,
+//!   quarantine_partition, restore_partition }
 //! ```
 //!
 //! with a small universe (2 partitions, 4 total credits, 3 flows pinned by
@@ -27,7 +28,13 @@
 //! * **Aggregate accessors**: `free_pool()`/`assigned_total()` agree with
 //!   the per-partition sums;
 //! * **Insufficient-set consistency**: a flow is in `I` iff its owed
-//!   ledger is non-empty.
+//!   ledger is non-empty;
+//! * **Quarantine discipline**: the quarantine flag mirrors a reference
+//!   bit; `quarantine_partition` moves exactly the partition's prior free
+//!   pool to the global level (zero when already quarantined) and
+//!   `restore_partition` refills exactly `min(base deficit, global free)`
+//!   (zero when not quarantined) — neither ever touches assigned or
+//!   outstanding balances.
 //!
 //! Canonicalisation subtlety: `rebalance` keys its pressure detection off
 //! the *denial delta* since the previous rebalance. The absolute denial
@@ -84,6 +91,8 @@ enum Op {
     Grant(FlowId),
     GrantEvenly,
     Rebalance,
+    Quarantine(usize),
+    Restore(usize),
 }
 
 fn alphabet(flows: &[FlowId; 3]) -> Vec<Op> {
@@ -100,7 +109,18 @@ fn alphabet(flows: &[FlowId; 3]) -> Vec<Op> {
     }
     ops.push(Op::GrantEvenly);
     ops.push(Op::Rebalance);
+    for q in 0..PARTS {
+        ops.push(Op::Quarantine(q));
+        ops.push(Op::Restore(q));
+    }
     ops
+}
+
+/// The base share `ShardedCredits::new(TOTAL, PARTS)` seeds partition `q`
+/// with (and `restore_partition` refills toward): an even split, integer
+/// remainder to partition 0.
+fn base_share(q: usize) -> u64 {
+    TOTAL / PARTS as u64 + if q == 0 { TOTAL % PARTS as u64 } else { 0 }
 }
 
 /// Reference ledger mirrored beside the hierarchy: naive per-partition
@@ -109,6 +129,7 @@ fn alphabet(flows: &[FlowId; 3]) -> Vec<Op> {
 struct RefLedger {
     outstanding: [u64; PARTS],
     denied_at_last: [u64; PARTS],
+    quarantined: [bool; PARTS],
 }
 
 impl RefLedger {
@@ -128,11 +149,12 @@ fn canon(sc: &ShardedCredits, r: &RefLedger, flows: &[FlowId; 3]) -> String {
         let p = sc.partition(q).expect("partition exists");
         let _ = write!(
             s,
-            "|q{q}:t{}p{}o{}d{}",
+            "|q{q}:t{}p{}o{}d{}x{}",
             p.total(),
             p.free_pool(),
             p.outstanding(),
-            r.denied_delta(sc, q).min(TOTAL)
+            r.denied_delta(sc, q).min(TOTAL),
+            u8::from(sc.is_quarantined(q))
         );
     }
     for f in flows {
@@ -196,6 +218,18 @@ impl Checker {
                         "partition {q}: outstanding() {} != reference {}",
                         p.outstanding(),
                         r.outstanding[q]
+                    ),
+                );
+            }
+            // Quarantine flag vs the reference bit the checker maintains.
+            if sc.is_quarantined(q) != r.quarantined[q] {
+                self.violate(
+                    depth,
+                    "quarantine-flag",
+                    format!(
+                        "partition {q}: is_quarantined() {} != reference {}",
+                        sc.is_quarantined(q),
+                        r.quarantined[q]
                     ),
                 );
             }
@@ -341,6 +375,78 @@ impl Checker {
                 for q in 0..PARTS {
                     r.denied_at_last[q] = sc.partition(q).map(|p| p.stats().denied).unwrap_or(0);
                 }
+            }
+            Op::Quarantine(q) => {
+                let free_before = sc.partition(q).map(|p| p.free_pool()).unwrap_or(0);
+                let global_before = sc.global_free();
+                let out_before = sc.outstanding();
+                let assigned_before = sc.assigned_total();
+                let moved = sc.quarantine_partition(q);
+                // Exactly the prior free pool migrates; a repeat is a no-op.
+                let expected = if r.quarantined[q] { 0 } else { free_before };
+                if moved != expected || sc.global_free() != global_before + moved {
+                    self.violate(
+                        depth,
+                        "quarantine-accounting",
+                        format!(
+                            "quarantine({q}) moved {moved} (expected {expected}); \
+                             global pool {global_before} -> {}",
+                            sc.global_free()
+                        ),
+                    );
+                }
+                if sc.outstanding() != out_before || sc.assigned_total() != assigned_before {
+                    self.violate(
+                        depth,
+                        "quarantine-moves-free-only",
+                        format!(
+                            "quarantine({q}) touched non-free credits: outstanding \
+                             {out_before} -> {}, assigned {assigned_before} -> {}",
+                            sc.outstanding(),
+                            sc.assigned_total()
+                        ),
+                    );
+                }
+                r.quarantined[q] = true;
+            }
+            Op::Restore(q) => {
+                let global_before = sc.global_free();
+                let out_before = sc.outstanding();
+                let assigned_before = sc.assigned_total();
+                let deficit =
+                    base_share(q).saturating_sub(sc.partition(q).map(|p| p.total()).unwrap_or(0));
+                let returned = sc.restore_partition(q);
+                // Refill is bounded by both the base-share deficit and the
+                // global slack; restoring a healthy partition is a no-op.
+                let expected = if r.quarantined[q] {
+                    deficit.min(global_before)
+                } else {
+                    0
+                };
+                if returned != expected || sc.global_free() + returned != global_before {
+                    self.violate(
+                        depth,
+                        "restore-accounting",
+                        format!(
+                            "restore({q}) returned {returned} (expected {expected}); \
+                             global pool {global_before} -> {}",
+                            sc.global_free()
+                        ),
+                    );
+                }
+                if sc.outstanding() != out_before || sc.assigned_total() != assigned_before {
+                    self.violate(
+                        depth,
+                        "restore-moves-free-only",
+                        format!(
+                            "restore({q}) touched non-free credits: outstanding \
+                             {out_before} -> {}, assigned {assigned_before} -> {}",
+                            sc.outstanding(),
+                            sc.assigned_total()
+                        ),
+                    );
+                }
+                r.quarantined[q] = false;
             }
         }
         self.check_state(depth, sc, r);
@@ -491,5 +597,78 @@ fn injected_global_mint_is_caught() {
     assert_eq!(
         checker.sink.violations()[0].invariant,
         "hierarchy-conservation"
+    );
+}
+
+/// Mutation test across the failover path: a credit minted into the
+/// global pool *while a partition is quarantined* must still trip the
+/// hierarchy-level sum — the quarantine sweep legitimately inflates
+/// `global_free`, and the checker must not mistake minted credits for
+/// swept ones.
+#[test]
+fn injected_mint_during_quarantine_is_caught() {
+    let flows = universe();
+    let mut checker = Checker {
+        sink: AuditSink::with_capacity(4),
+        states: 0,
+        flows,
+    };
+    let mut sc = ShardedCredits::new(TOTAL, PARTS);
+    let mut r = RefLedger::default();
+    checker.apply(1, Op::Quarantine(0), &mut sc, &mut r);
+    assert!(
+        checker.sink.is_clean(),
+        "quarantining a healthy hierarchy must check clean"
+    );
+    assert!(
+        sc.global_free() > 0,
+        "the sweep must have moved partition 0's free share global"
+    );
+    sc.mint_global_credit_for_tests();
+    checker.check_state(2, &sc, &r);
+    assert!(
+        checker.sink.total() > 0,
+        "credit minted during a quarantine must violate hierarchy conservation"
+    );
+    assert_eq!(
+        checker.sink.violations()[0].invariant,
+        "hierarchy-conservation"
+    );
+}
+
+/// Mutation test across a full failover round-trip: quarantine, restore,
+/// then leak one credit from the restored partition's refilled pool. The
+/// per-partition Eq. 1 check must still hold the restored partition to
+/// account — recovery must not leave a partition the checker trusts
+/// blindly.
+#[test]
+fn injected_leak_after_restore_is_caught() {
+    let flows = universe();
+    let mut checker = Checker {
+        sink: AuditSink::with_capacity(4),
+        states: 0,
+        flows,
+    };
+    let mut sc = ShardedCredits::new(TOTAL, PARTS);
+    let mut r = RefLedger::default();
+    checker.apply(1, Op::Quarantine(1), &mut sc, &mut r);
+    checker.apply(2, Op::Restore(1), &mut sc, &mut r);
+    assert!(
+        checker.sink.is_clean(),
+        "a clean quarantine/restore round-trip must check clean"
+    );
+    assert!(
+        sc.partition(1).is_some_and(|p| p.free_pool() > 0),
+        "restore must have refilled partition 1's pool"
+    );
+    sc.leak_partition_credit_for_tests(1);
+    checker.check_state(3, &sc, &r);
+    assert!(
+        checker.sink.total() > 0,
+        "credit leaked from a restored partition must violate conservation"
+    );
+    assert_eq!(
+        checker.sink.violations()[0].invariant,
+        "partition-conservation"
     );
 }

@@ -371,7 +371,9 @@ fn main() {
     eprintln!("note: built without the `trace` feature; the event trace will be empty");
     #[cfg(feature = "chaos")]
     if let Some(plan) = a.plan.as_ref() {
-        sim.model.arm_chaos(plan);
+        // The free function also arms the queue-health watchdog when the
+        // plan carries a queue-level fault site.
+        ceio_host::arm_chaos(&mut sim, plan);
     }
     #[cfg(not(feature = "chaos"))]
     debug_assert!(a.plan.is_none(), "resolve_fault_plan exits without chaos");
@@ -465,6 +467,16 @@ fn main() {
     let trace = chrome_trace_json(&events, dropped);
     must_validate("chrome trace", &trace);
     write_file(&a.trace_out, &trace);
+    // Anyone mining slo-alert events out of the trace needs to know when
+    // the drop-oldest ring overflowed: early fires are silently gone.
+    if dropped > 0 && !a.slos.is_empty() {
+        eprintln!(
+            "warning: trace ring evicted {dropped} events during the run; early \
+             slo-alert fires may be missing from {} (raise --ring; the \
+             ceio_alert_* metrics remain exact)",
+            a.trace_out
+        );
+    }
 
     // Stdout: run headline + per-flow timeline breakdown.
     println!(

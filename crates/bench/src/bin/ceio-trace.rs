@@ -267,10 +267,15 @@ fn main() {
         }
     };
     let scoped = a.scope_interval.is_some() || !a.slos.is_empty();
+    // When SLO rules are armed, also arm the event trace (trace builds
+    // only) so alert fires are minable from the trace as `slo-alert`
+    // events — and so we can tell when the drop-oldest ring evicted any.
+    let mine_alerts = cfg!(feature = "trace") && !a.slos.is_empty();
     let scope = scoped.then(|| ScopeOptions {
         interval: a.scope_interval.unwrap_or(Duration::micros(50)),
         cap: DEFAULT_SCOPE_CAP,
         slos: a.slos.clone(),
+        trace_cap: mine_alerts.then_some(1 << 16),
     });
     let (report, mut sim) = run_one_scoped(
         host,
@@ -302,6 +307,25 @@ fn main() {
                         if active { " (still active)" } else { "" }
                     );
                 }
+            }
+        }
+        // Mine alert fires back out of the event trace. The ring drops
+        // oldest-first when full, so a long busy run can silently lose
+        // early `slo-alert` events — be loud about that.
+        #[cfg(feature = "trace")]
+        if !a.slos.is_empty() {
+            let (events, evicted) = sim.model.trace_events();
+            let fires = events
+                .iter()
+                .filter(|e| e.kind == ceio_telemetry::TraceKind::SloAlert)
+                .count();
+            eprintln!("trace: {fires} slo-alert events recorded");
+            if evicted > 0 {
+                eprintln!(
+                    "warning: trace ring evicted {evicted} events during the run; \
+                     early slo-alert fires may be missing from the trace \
+                     (the alert counts above remain exact)"
+                );
             }
         }
     }

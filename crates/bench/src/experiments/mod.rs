@@ -1,6 +1,7 @@
 //! One module per table/figure of the paper's evaluation.
 
 pub mod ablations;
+pub mod failover;
 pub mod fig04;
 pub mod fig09;
 pub mod fig10;
@@ -29,6 +30,7 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("table4", table4::run),
         ("limited", limited::run),
         ("queues", queues::run),
+        ("failover", failover::run),
         ("ablations", ablations::run),
         ("sensitivity", sensitivity::run),
     ]

@@ -153,6 +153,12 @@ impl IoPolicy for AnyPolicy {
     fn controller_interval(&self) -> Option<Duration> {
         delegate!(self, p => p.controller_interval())
     }
+    fn on_queue_failed(&mut self, st: &mut HostState, now: Time, queue: ceio_nic::QueueId) {
+        delegate!(self, p => p.on_queue_failed(st, now, queue))
+    }
+    fn on_queue_recovered(&mut self, st: &mut HostState, now: Time, queue: ceio_nic::QueueId) {
+        delegate!(self, p => p.on_queue_recovered(st, now, queue))
+    }
     fn fill_metrics(&self, out: &mut ceio_telemetry::SnapshotBuilder) {
         delegate!(self, p => p.fill_metrics(out))
     }
@@ -242,6 +248,10 @@ pub struct ScopeOptions {
     pub cap: usize,
     /// SLO rules to arm, evaluated each sampling epoch.
     pub slos: Vec<ceio_telemetry::SloRule>,
+    /// Also arm the event trace ring at this capacity, so alert fires
+    /// land in the trace as `slo-alert` events. Ignored (with the plan
+    /// caller gating on the `trace` feature) in trace-less builds.
+    pub trace_cap: Option<usize>,
 }
 
 /// The full-surface run entry point: optional fault plan, optional armed
@@ -263,11 +273,17 @@ pub fn run_one_scoped(
     let mut sim = Machine::build(host, policy, scenario, factory);
     #[cfg(feature = "chaos")]
     if let Some(p) = plan {
-        sim.model.arm_chaos(p);
+        // The free function also schedules the queue-health watchdog when
+        // the plan carries a queue-level fault site.
+        ceio_host::arm_chaos(&mut sim, p);
     }
     #[cfg(not(feature = "chaos"))]
     let _ = plan;
     if let Some(s) = scope {
+        #[cfg(feature = "trace")]
+        if let Some(cap) = s.trace_cap {
+            sim.model.arm_trace(cap);
+        }
         ceio_host::arm_scope(&mut sim, s.interval, s.cap, s.slos);
     }
     let mut report = run_to_report(&mut sim, warmup, measure);

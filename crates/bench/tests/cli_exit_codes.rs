@@ -1,0 +1,98 @@
+//! Exit-code contract of the operator-facing CLIs: every malformed-spec
+//! path (`--slo`, `--fault-plan`, `--queues`, `--scope-interval`, plus
+//! missing values and unknown flags) must exit 2 with a one-line reason
+//! on stderr naming the offending flag — never a panic, never a silent
+//! fallback into a multi-second simulation with the wrong config.
+//!
+//! Table-driven over both binaries: `ceio-trace` and `ceio-inspect`
+//! share their flag grammar, so any divergence in their rejection
+//! behavior is itself a bug this test catches.
+
+use std::process::Command;
+
+/// Every malformed invocation: (case label, extra args, flag token the
+/// stderr reason must name).
+fn cases() -> Vec<(&'static str, Vec<&'static str>, &'static str)> {
+    vec![
+        ("zero queues", vec!["--queues", "0"], "--queues"),
+        ("non-numeric queues", vec!["--queues", "many"], "--queues"),
+        ("missing queues value", vec!["--queues"], "--queues"),
+        (
+            "malformed scope interval",
+            vec!["--scope-interval", "5xs"],
+            "--scope-interval",
+        ),
+        (
+            "zero scope interval",
+            vec!["--scope-interval", "0ns"],
+            "--scope-interval",
+        ),
+        (
+            "missing scope interval value",
+            vec!["--scope-interval"],
+            "--scope-interval",
+        ),
+        (
+            "slo rule without a watched series",
+            vec!["--slo", "alert=a,above=1"],
+            "--slo",
+        ),
+        (
+            "slo rule with a bad duration",
+            vec!["--slo", "alert=a,when=goodput_gbps,above=1,for=5xs"],
+            "--slo",
+        ),
+        ("missing slo value", vec!["--slo"], "--slo"),
+        (
+            "unknown fault plan",
+            vec!["--fault-plan", "not-a-plan"],
+            "--fault-plan",
+        ),
+        (
+            "missing fault plan value",
+            vec!["--fault-plan"],
+            "--fault-plan",
+        ),
+        ("unknown policy", vec!["--policy", "bogus"], "bogus"),
+        ("unknown flag", vec!["--no-such-flag"], "--no-such-flag"),
+    ]
+}
+
+fn assert_rejects(bin: &str, label: &str, args: &[&str], token: &str) {
+    let out = Command::new(bin)
+        .args(args)
+        .output()
+        .expect("spawn CLI binary");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{bin} / {label}: expected exit 2, got {:?} (stderr: {stderr:?})",
+        out.status.code()
+    );
+    assert_eq!(
+        stderr.lines().count(),
+        1,
+        "{bin} / {label}: expected a one-line reason, got {stderr:?}"
+    );
+    assert!(
+        stderr.contains(token),
+        "{bin} / {label}: stderr must name {token}, got {stderr:?}"
+    );
+    assert!(
+        out.stdout.is_empty(),
+        "{bin} / {label}: a rejected invocation must not produce output"
+    );
+}
+
+#[test]
+fn malformed_specs_exit_2_with_one_line_reasons() {
+    for bin in [
+        env!("CARGO_BIN_EXE_ceio-trace"),
+        env!("CARGO_BIN_EXE_ceio-inspect"),
+    ] {
+        for (label, args, token) in cases() {
+            assert_rejects(bin, label, &args, token);
+        }
+    }
+}

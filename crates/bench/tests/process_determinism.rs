@@ -56,6 +56,50 @@ fn same_flags_same_bytes_across_processes() {
     );
 }
 
+/// The failover acceptance pin: a seed-pinned 4-queue run through the
+/// canned `queue-flap` plan — watchdog, failover, credit quarantine,
+/// recovery and all — must be byte-identical across two independent
+/// processes, and must actually differ from the fault-free run (so the
+/// identity check cannot pass vacuously on an inert plan).
+#[test]
+#[cfg(feature = "chaos")]
+fn queue_flap_same_bytes_across_processes() {
+    let flap = [
+        "--policy",
+        "ceio",
+        "--scenario",
+        "kv",
+        "--millis",
+        "3",
+        "--warmup-ms",
+        "1",
+        "--seed",
+        "42",
+        "--queues",
+        "4",
+        "--fault-plan",
+        "queue-flap",
+    ];
+    let a = trace_stdout(&flap);
+    let b = trace_stdout(&flap);
+    assert!(
+        a.lines_count() > 1,
+        "expected a CSV header plus samples, got {} bytes",
+        a.len()
+    );
+    assert_eq!(
+        a, b,
+        "two queue-flap processes with identical seed diverged — the \
+         failover path leaked ambient non-determinism"
+    );
+    let fault_free = trace_stdout(&flap[..flap.len() - 2]);
+    assert_ne!(
+        a, fault_free,
+        "queue-flap run is identical to the fault-free run — the plan \
+         never perturbed the data path"
+    );
+}
+
 #[test]
 fn different_scenarios_actually_differ() {
     // Guards the test above against vacuous success (e.g. an empty or

@@ -34,6 +34,7 @@ fn scoped_run() -> (String, Vec<(String, u64, bool)>, String) {
             interval: Duration::micros(20),
             cap: DEFAULT_SCOPE_CAP,
             slos,
+            trace_cap: None,
         }),
     );
     let rec = sim.model.scope().expect("recorder stays armed after run");

@@ -75,11 +75,29 @@ pub enum FaultSite {
     ///
     /// recovery: ceio_recovery_consumer_pauses_total
     ConsumerPause,
+    /// A receive queue wedges for the plan's `queue_stall` (descriptor
+    /// pipeline hiccup; the watchdog marks it Suspect and, if it recovers
+    /// in time, records a false alarm instead of failing it over).
+    ///
+    /// recovery: ceio_failover_false_alarms_total
+    QueueStall,
+    /// A receive queue dies for the plan's `queue_death`: long enough that
+    /// the watchdog fails it over (flows re-steered, credits quarantined)
+    /// and later walks it back to `Healthy`.
+    ///
+    /// recovery: ceio_failover_recoveries_total
+    QueueDeath,
+    /// A link-level flap wedges *every* receive queue for the plan's
+    /// `link_flap` — a correlated burst the per-queue watchdogs must not
+    /// misread as independent queue deaths.
+    ///
+    /// recovery: ceio_failover_suspects_total
+    LinkFlap,
 }
 
 impl FaultSite {
     /// Number of distinct sites (array-index domain).
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 13;
 
     /// Every site, in stable declaration order.
     pub const ALL: [FaultSite; FaultSite::COUNT] = [
@@ -93,6 +111,9 @@ impl FaultSite {
         FaultSite::ArmStall,
         FaultSite::RmtInstallDelay,
         FaultSite::ConsumerPause,
+        FaultSite::QueueStall,
+        FaultSite::QueueDeath,
+        FaultSite::LinkFlap,
     ];
 
     /// Stable dense index (for counter arrays).
@@ -109,6 +130,9 @@ impl FaultSite {
             FaultSite::ArmStall => 7,
             FaultSite::RmtInstallDelay => 8,
             FaultSite::ConsumerPause => 9,
+            FaultSite::QueueStall => 10,
+            FaultSite::QueueDeath => 11,
+            FaultSite::LinkFlap => 12,
         }
     }
 
@@ -126,6 +150,9 @@ impl FaultSite {
             FaultSite::ArmStall => "arm-stall",
             FaultSite::RmtInstallDelay => "rmt-install-delay",
             FaultSite::ConsumerPause => "consumer-pause",
+            FaultSite::QueueStall => "queue-stall",
+            FaultSite::QueueDeath => "queue-death",
+            FaultSite::LinkFlap => "link-flap",
         }
     }
 
@@ -166,6 +193,14 @@ pub struct FaultPlan {
     /// Extra latency charged to a timed-out DMA transaction before the
     /// failure is reported.
     pub dma_timeout: Duration,
+    /// How long an injected queue stall wedges one receive queue (short
+    /// of the watchdog's failure threshold under default settings).
+    pub queue_stall: Duration,
+    /// How long an injected queue death wedges one receive queue (long
+    /// enough to cross the watchdog's failure threshold).
+    pub queue_death: Duration,
+    /// How long an injected link flap wedges every receive queue.
+    pub link_flap: Duration,
     /// Credit-lease time-to-live armed alongside this plan. `None` keeps
     /// leases disabled (lost releases then strand credits — useful for
     /// demonstrating *why* leases exist).
@@ -184,6 +219,9 @@ impl FaultPlan {
             rmt_delay: Duration::micros(3),
             consumer_pause: Duration::micros(10),
             dma_timeout: Duration::micros(1),
+            queue_stall: Duration::micros(8),
+            queue_death: Duration::micros(120),
+            link_flap: Duration::micros(8),
             lease_ttl: Some(Duration::micros(200)),
         }
     }
@@ -214,7 +252,13 @@ impl FaultPlan {
     }
 
     /// Names of the canned plans accepted by [`FaultPlan::parse`].
-    pub const CANNED: [&'static str; 4] = ["smoke", "credit-storm", "dma-flaky", "nic-pressure"];
+    pub const CANNED: [&'static str; 5] = [
+        "smoke",
+        "credit-storm",
+        "dma-flaky",
+        "nic-pressure",
+        "queue-flap",
+    ];
 
     /// A canned, named plan (used by the CI chaos-smoke lane and as quick
     /// CLI shorthand). Returns `None` for unknown names.
@@ -249,6 +293,14 @@ impl FaultPlan {
                 .with_rate(FaultSite::OnboardExhaust, 0.30)
                 .with_rate(FaultSite::ArmStall, 0.05)
                 .with_rate(FaultSite::RmtInstallDelay, 0.10),
+            // Queue failure domains: stalls trip the watchdog's Suspect
+            // state, deaths cross the failover threshold, and rare link
+            // flaps wedge every queue at once. Rates are evaluated once
+            // per queue per watchdog tick, not per packet.
+            "queue-flap" => p
+                .with_rate(FaultSite::QueueStall, 0.04)
+                .with_rate(FaultSite::QueueDeath, 0.02)
+                .with_rate(FaultSite::LinkFlap, 0.005),
             _ => return None,
         })
     }
@@ -261,11 +313,12 @@ impl FaultPlan {
     /// - a comma-separated list of `key=value` tokens, where `key` is a
     ///   [`FaultSite`] name with a probability value in `[0,1]`, or one of
     ///   the duration knobs `release-delay` / `arm-stall` / `rmt-delay` /
-    ///   `consumer-pause` / `dma-timeout` / `lease-ttl` with a value like
-    ///   `500ns`, `20us`, `1ms` (`lease-ttl=off` disables leases). For the
-    ///   two keys that name both a site and a knob (`arm-stall`,
-    ///   `consumer-pause`), a bare number is the injection probability and
-    ///   a unit-suffixed duration is the knob.
+    ///   `consumer-pause` / `dma-timeout` / `queue-stall` / `queue-death` /
+    ///   `link-flap` / `lease-ttl` with a value like `500ns`, `20us`, `1ms`
+    ///   (`lease-ttl=off` disables leases). For the keys that name both a
+    ///   site and a knob (`arm-stall`, `consumer-pause`, `queue-stall`,
+    ///   `queue-death`, `link-flap`), a bare number is the injection
+    ///   probability and a unit-suffixed duration is the knob.
     ///
     /// Errors carry a human-readable reason (the CLIs exit 2 with it).
     pub fn parse(spec: &str, seed: u64) -> Result<FaultPlan, String> {
@@ -286,11 +339,14 @@ impl FaultPlan {
                 .split_once('=')
                 .ok_or_else(|| format!("malformed fault-plan token {token:?} (want key=value)"))?;
             let (key, value) = (key.trim(), value.trim());
-            // Two keys (`arm-stall`, `consumer-pause`) name both a fault
-            // site and its duration knob: a bare probability sets the
-            // rate, a suffixed duration (`10us`) sets the knob.
-            let duration_knob =
-                matches!(key, "arm-stall" | "consumer-pause") && value.parse::<f64>().is_err();
+            // Several keys (`arm-stall`, `consumer-pause`, the queue
+            // sites) name both a fault site and its duration knob: a bare
+            // probability sets the rate, a suffixed duration (`10us`)
+            // sets the knob.
+            let duration_knob = matches!(
+                key,
+                "arm-stall" | "consumer-pause" | "queue-stall" | "queue-death" | "link-flap"
+            ) && value.parse::<f64>().is_err();
             if let Some(site) = (!duration_knob)
                 .then(|| FaultSite::from_name(key))
                 .flatten()
@@ -309,6 +365,9 @@ impl FaultPlan {
                     "rmt-delay" => plan.rmt_delay = parse_duration(value)?,
                     "consumer-pause" => plan.consumer_pause = parse_duration(value)?,
                     "dma-timeout" => plan.dma_timeout = parse_duration(value)?,
+                    "queue-stall" => plan.queue_stall = parse_duration(value)?,
+                    "queue-death" => plan.queue_death = parse_duration(value)?,
+                    "link-flap" => plan.link_flap = parse_duration(value)?,
                     "lease-ttl" => {
                         plan.lease_ttl = if value == "off" {
                             None
@@ -319,8 +378,8 @@ impl FaultPlan {
                     _ => {
                         return Err(format!(
                             "unknown fault-plan key {key:?} (sites: {}; knobs: release-delay, \
-                             arm-stall, rmt-delay, consumer-pause, dma-timeout, lease-ttl; \
-                             canned: {})",
+                             arm-stall, rmt-delay, consumer-pause, dma-timeout, queue-stall, \
+                             queue-death, link-flap, lease-ttl; canned: {})",
                             FaultSite::ALL.map(FaultSite::name).join(", "),
                             FaultPlan::CANNED.join(", "),
                         ))
@@ -512,6 +571,41 @@ mod tests {
         // Still malformed when neither shape fits.
         assert!(FaultPlan::parse("consumer-pause=fast", 0).is_err());
         assert!(FaultPlan::parse("arm-stall=1.5", 0).is_err());
+    }
+
+    #[test]
+    fn queue_site_homonyms_disambiguate_by_value_shape() {
+        let p =
+            FaultPlan::parse("queue-stall=0.1, queue-death=0.05, link-flap=1.0", 0).expect("rates");
+        assert_eq!(p.rate(FaultSite::QueueStall), 0.1);
+        assert_eq!(p.rate(FaultSite::QueueDeath), 0.05);
+        assert_eq!(p.rate(FaultSite::LinkFlap), 1.0);
+        let q = FaultPlan::parse("queue-stall=5us, queue-death=300us, link-flap=20us", 0)
+            .expect("knobs");
+        assert_eq!(q.queue_stall, Duration::micros(5));
+        assert_eq!(q.queue_death, Duration::micros(300));
+        assert_eq!(q.link_flap, Duration::micros(20));
+        assert_eq!(q.rate(FaultSite::QueueDeath), 0.0);
+        assert!(FaultPlan::parse("queue-death=dead", 0).is_err());
+        assert!(FaultPlan::parse("link-flap=7.0", 0).is_err());
+    }
+
+    #[test]
+    fn queue_flap_plan_arms_only_queue_sites() {
+        let p = FaultPlan::canned("queue-flap", 9).expect("canned");
+        assert!(p.rate(FaultSite::QueueStall) > 0.0);
+        assert!(p.rate(FaultSite::QueueDeath) > 0.0);
+        assert!(p.rate(FaultSite::LinkFlap) > 0.0);
+        // Every non-queue site stays disarmed: a queue-flap run's DMA and
+        // credit schedules are byte-identical to a fault-free run's.
+        for site in FaultSite::ALL {
+            if !matches!(
+                site,
+                FaultSite::QueueStall | FaultSite::QueueDeath | FaultSite::LinkFlap
+            ) {
+                assert_eq!(p.rate(site), 0.0, "{site} must stay disarmed");
+            }
+        }
     }
 
     #[test]

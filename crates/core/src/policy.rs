@@ -29,7 +29,7 @@ use crate::sharded::ShardedCredits;
 use ceio_chaos::{FaultInjector, FaultSite};
 use ceio_host::{DrainRequest, HostState, IoPolicy, SteerDecision};
 use ceio_net::{FlowId, Packet};
-use ceio_nic::{rss_queue, SteerAction};
+use ceio_nic::{QueueId, SteerAction};
 use ceio_sim::Time;
 use ceio_telemetry::SnapshotBuilder;
 #[cfg(feature = "trace")]
@@ -85,6 +85,10 @@ pub struct CeioStats {
     pub rebalance_returned: u64,
     /// Credits pressured queue partitions borrowed from the global pool.
     pub rebalance_borrowed: u64,
+    /// Credits swept from failed queues' partitions into the global pool.
+    pub quarantined_credits: u64,
+    /// Credits refilled into recovered queues' partitions from the pool.
+    pub restored_credits: u64,
 }
 
 /// Controller operating mode (graceful degradation, ROADMAP item: the
@@ -359,6 +363,34 @@ impl CeioPolicy {
         }
     }
 
+    /// Rewrite every fast-path steering rule whose queue no longer matches
+    /// the machine's failover remap. Sweeps `ctl` in flow-id order (the
+    /// `BTreeMap` iteration order), so the re-steer sequence — and with it
+    /// the ARM-core charge timeline and RMT rewrite accounting — is fully
+    /// deterministic for a given failure. Slow-path rules are untouched:
+    /// their queue binding re-resolves when the fast path resumes.
+    fn resteer_to_remap(&mut self, st: &mut HostState, now: Time) {
+        let flows: Vec<FlowId> = self.ctl.keys().copied().collect();
+        for flow in flows {
+            let desired = QueueId(st.queue_of(flow));
+            if let Some(SteerAction::FastPath { queue }) = st.rmt.action(&flow) {
+                if queue != desired {
+                    self.sync_rule(st, now, flow, SteerAction::FastPath { queue: desired });
+                    st.failover.flows_resteered += 1;
+                    #[cfg(feature = "trace")]
+                    if let Some(r) = self.tracer.as_mut() {
+                        r.push(TraceEvent {
+                            at: now,
+                            flow: Some(flow.0),
+                            kind: TraceKind::FlowResteer,
+                            value: desired.index() as u64,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
     /// Record a rule rewrite — and, because the RMT rule *is* the phase
     /// under phase exclusivity, the matching slow-phase span edge.
     #[cfg(feature = "trace")]
@@ -403,9 +435,10 @@ impl IoPolicy for CeioPolicy {
 
     fn on_flow_start(&mut self, st: &mut HostState, now: Time, flow: FlowId) {
         // Connection establishment: offload the steering rule (fast path,
-        // RSS-sharded onto a receive queue) and run Algorithm 1's
-        // assignment in that queue's credit partition.
-        let queue = rss_queue(flow.0, self.cfg.num_queues);
+        // RSS-sharded onto a receive queue, through the failover remap)
+        // and run Algorithm 1's assignment in that queue's credit
+        // partition (the flow's RSS *home*, stable across failovers).
+        let queue = QueueId(st.queue_of(flow));
         st.rmt.install(flow, SteerAction::FastPath { queue });
         st.nic_arm.execute(now, st.cfg.nic.arm_table_update);
         self.credits.add_flows(&[flow]);
@@ -465,9 +498,10 @@ impl IoPolicy for CeioPolicy {
             ),
             None => return SteerDecision::Drop { loss: false },
         };
-        // The RSS shard this flow's fast path lands on (stable per flow,
-        // so rule-rewrite counts are unaffected by the queue value).
-        let queue = rss_queue(flow.0, self.cfg.num_queues);
+        // The RSS shard this flow's fast path lands on, through the
+        // failover remap. Identity (and thus stable per flow) while every
+        // queue is usable, so fault-free rule-rewrite counts are unchanged.
+        let queue = QueueId(st.queue_of(flow));
         // Production outrunning slow-path consumption: echo congestion to
         // the sender's CCA, per packet, like a shallow-queue ECN marker
         // (§4.1 Q2). Without this the elastic buffer would just absorb an
@@ -801,6 +835,37 @@ impl IoPolicy for CeioPolicy {
         Some(self.cfg.controller_interval)
     }
 
+    /// Queue failover (DESIGN.md §13): sweep the dead queue's free credits
+    /// into the global pool — nothing new can be granted against a
+    /// partition that cannot drain — and rewrite every displaced flow's
+    /// RMT rule onto its takeover queue. Credits already outstanding on
+    /// in-flight packets return through the normal lazy-release path.
+    fn on_queue_failed(&mut self, st: &mut HostState, now: Time, queue: QueueId) {
+        #[cfg(feature = "trace")]
+        self.credits.set_trace_now(now);
+        let moved = self.credits.quarantine_partition(queue.index());
+        self.stats.quarantined_credits += moved;
+        if moved > 0 {
+            st.nic_arm.execute(now, st.cfg.nic.arm_credit_op);
+        }
+        self.resteer_to_remap(st, now);
+        debug_assert!(self.credits.conserved(), "credit conservation violated");
+    }
+
+    /// Queue recovery: refill the partition back toward its base share
+    /// from the global pool and steer its flows home.
+    fn on_queue_recovered(&mut self, st: &mut HostState, now: Time, queue: QueueId) {
+        #[cfg(feature = "trace")]
+        self.credits.set_trace_now(now);
+        let returned = self.credits.restore_partition(queue.index());
+        self.stats.restored_credits += returned;
+        if returned > 0 {
+            st.nic_arm.execute(now, st.cfg.nic.arm_credit_op);
+        }
+        self.resteer_to_remap(st, now);
+        debug_assert!(self.credits.conserved(), "credit conservation violated");
+    }
+
     /// Arm the policy's chaos stream and — when the plan carries a lease
     /// TTL — the credit-lease watchdog that recovers lost releases.
     #[cfg(feature = "chaos")]
@@ -922,6 +987,16 @@ impl IoPolicy for CeioPolicy {
             "ceio_ctl_rebalance_borrowed_total",
             "Credits pressured queue partitions borrowed from the global pool.",
             self.stats.rebalance_borrowed,
+        );
+        out.counter(
+            "ceio_credit_quarantined_total",
+            "Credits swept from failed queues' partitions into the global pool.",
+            self.stats.quarantined_credits,
+        );
+        out.counter(
+            "ceio_credit_restored_total",
+            "Credits refilled into recovered queues' partitions from the pool.",
+            self.stats.restored_credits,
         );
         out.gauge(
             "ceio_credit_queues",

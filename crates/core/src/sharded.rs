@@ -49,6 +49,10 @@ pub struct ShardedCredits {
     /// Per-partition denial count observed at the previous rebalance, so
     /// pressure detection is a delta, not an absolute.
     denied_at_last: Vec<u64>,
+    /// Partitions whose receive queue failed over: their free credits
+    /// drain to the global pool and they neither borrow nor receive
+    /// granted slack until restored.
+    quarantined: Vec<bool>,
 }
 
 impl ShardedCredits {
@@ -73,6 +77,7 @@ impl ShardedCredits {
             configured_total: total,
             base,
             denied_at_last: vec![0; n],
+            quarantined: vec![false; n],
         }
     }
 
@@ -318,7 +323,7 @@ impl ShardedCredits {
         }
         if self.global_free > 0 {
             let live: Vec<usize> = (0..self.parts.len())
-                .filter(|&q| !per_part[q].is_empty())
+                .filter(|&q| !per_part[q].is_empty() && !self.quarantined[q])
                 .collect();
             if !live.is_empty() {
                 let per = self.global_free / live.len() as u64;
@@ -363,19 +368,26 @@ impl ShardedCredits {
         let mut returned = 0u64;
         let mut borrowed = 0u64;
         // Phase 1: quiet partitions yield their (unassigned) free pool.
+        // Quarantined partitions always yield, pressured or not: credits
+        // trickling back through lazy releases after the failover must
+        // keep draining to the global pool, not re-fund a dead queue.
         for q in 0..self.parts.len() {
             let denied_delta = self.parts[q].stats().denied - self.denied_at_last[q];
             let spare = self.parts[q].free_pool();
-            if denied_delta == 0 && spare > 0 {
+            if (denied_delta == 0 || self.quarantined[q]) && spare > 0 {
                 let got = self.parts[q].withdraw_pool(spare);
                 self.global_free += got;
                 returned += got;
             }
         }
-        // Phase 2: pressured partitions borrow, bounded.
+        // Phase 2: pressured partitions borrow, bounded. Quarantined
+        // partitions never borrow.
         for q in 0..self.parts.len() {
             if self.global_free == 0 {
                 break;
+            }
+            if self.quarantined[q] {
+                continue;
             }
             let denied_delta = self.parts[q].stats().denied - self.denied_at_last[q];
             if denied_delta == 0 {
@@ -397,6 +409,61 @@ impl ShardedCredits {
             "rebalance broke hierarchical conservation"
         );
         (returned, borrowed)
+    }
+
+    /// Whether partition `q` is quarantined (its receive queue failed
+    /// over and has not yet recovered).
+    #[must_use]
+    pub fn is_quarantined(&self, q: usize) -> bool {
+        self.quarantined.get(q).copied().unwrap_or(false)
+    }
+
+    /// Quarantine partition `q` after its receive queue failed over: its
+    /// entire free pool moves to the global pool (conservation-preserving
+    /// — only *free* credits migrate; assigned and outstanding balances
+    /// stay in the partition and drain back through the normal release
+    /// paths, from where [`ShardedCredits::rebalance`] keeps sweeping
+    /// them global until the partition is restored). While quarantined
+    /// the partition neither borrows at rebalance nor receives
+    /// granted-down global slack. Idempotent; returns the credits moved.
+    #[must_use = "the swept credit count feeds the failover accounting"]
+    pub fn quarantine_partition(&mut self, q: usize) -> u64 {
+        if q >= self.parts.len() || self.quarantined[q] {
+            return 0;
+        }
+        self.quarantined[q] = true;
+        let spare = self.parts[q].free_pool();
+        let got = self.parts[q].withdraw_pool(spare);
+        self.global_free += got;
+        debug_assert!(
+            self.conserved(),
+            "quarantine_partition broke hierarchical conservation"
+        );
+        got
+    }
+
+    /// Restore partition `q` after its receive queue recovered: lift the
+    /// quarantine and refill the partition back toward its base share
+    /// from the global pool (bounded by both the base-share deficit and
+    /// the slack actually available — never minting, never raiding other
+    /// partitions). Idempotent; returns the credits returned.
+    #[must_use = "the refilled credit count feeds the recovery accounting"]
+    pub fn restore_partition(&mut self, q: usize) -> u64 {
+        if q >= self.parts.len() || !self.quarantined[q] {
+            return 0;
+        }
+        self.quarantined[q] = false;
+        let deficit = self.base[q].saturating_sub(self.parts[q].total());
+        let give = deficit.min(self.global_free);
+        if give > 0 {
+            self.parts[q].inject_pool(give);
+            self.global_free -= give;
+        }
+        debug_assert!(
+            self.conserved(),
+            "restore_partition broke hierarchical conservation"
+        );
+        give
     }
 
     /// Deliberately leak one credit from partition `q`'s free pool without
@@ -573,6 +640,139 @@ mod tests {
         assert_eq!(sc.expire_leases(), 2);
         assert_eq!(sc.stats().lease_reclaims, 2);
         assert_eq!(sc.outstanding(), 0);
+        assert!(sc.conserved());
+    }
+
+    #[test]
+    fn quarantine_moves_free_credits_and_restore_refills() {
+        let mut sc = ShardedCredits::new(4000, 4);
+        let f = flow_in(&sc, 1);
+        sc.add_flows(&[f]);
+        for _ in 0..5 {
+            assert!(sc.try_consume(f));
+        }
+        // Park the flow's unconsumed credits in the partition pool so the
+        // quarantine has free credits to migrate.
+        let _ = sc.reclaim(f);
+        let free_before = sc.partition(1).map(|p| p.free_pool()).unwrap_or(0);
+        assert!(free_before > 0);
+        let out_before = sc.outstanding();
+        let moved = sc.quarantine_partition(1);
+        assert_eq!(moved, free_before, "exactly the free pool migrates");
+        assert!(sc.is_quarantined(1));
+        assert_eq!(sc.partition(1).map(|p| p.free_pool()), Some(0));
+        assert_eq!(sc.global_free(), moved);
+        // Outstanding and assigned balances never migrate.
+        assert_eq!(sc.outstanding(), out_before);
+        assert!(sc.conserved());
+        // Idempotent.
+        assert_eq!(sc.quarantine_partition(1), 0);
+        // Restore refills toward base from the global pool.
+        let returned = sc.restore_partition(1);
+        assert!(!sc.is_quarantined(1));
+        assert_eq!(returned, moved, "slack untouched, full refill available");
+        assert_eq!(sc.global_free(), 0);
+        assert!(sc.conserved());
+        assert_eq!(sc.restore_partition(1), 0, "restore is idempotent");
+    }
+
+    #[test]
+    fn quarantined_partition_keeps_draining_and_never_borrows() {
+        let mut sc = ShardedCredits::new(4000, 4);
+        let f = flow_in(&sc, 2);
+        sc.add_flows(&[f]);
+        // Exhaust the partition so it registers denials (pressure), then
+        // let some in-flight credits come back after the quarantine.
+        while sc.try_consume(f) {}
+        let _ = sc.quarantine_partition(2);
+        sc.release(f, 7);
+        let _ = sc.reclaim(f);
+        let part_free = sc.partition(2).map(|p| p.free_pool()).unwrap_or(0);
+        assert!(part_free > 0, "released credits land in the partition pool");
+        let total_before = sc.partition(2).map(|p| p.total()).unwrap_or(0);
+        let (returned, _borrowed) = sc.rebalance();
+        // Despite its denial pressure the quarantined partition donates
+        // its trickled-back credits and borrows nothing.
+        assert!(returned >= part_free);
+        assert!(sc.partition(2).map(|p| p.total()).unwrap_or(0) <= total_before);
+        assert_eq!(sc.partition(2).map(|p| p.free_pool()), Some(0));
+        assert!(sc.conserved());
+    }
+
+    #[test]
+    fn grant_evenly_skips_quarantined_partitions() {
+        let mut sc = ShardedCredits::new(4000, 4);
+        let a = flow_in(&sc, 0);
+        let b = flow_in(&sc, 1);
+        sc.add_flows(&[a, b]);
+        let _ = sc.rebalance(); // quiet partitions 2,3 yield global slack
+        let moved = sc.quarantine_partition(1);
+        let slack = sc.global_free();
+        assert!(slack >= moved);
+        let b_total_before = sc.partition(1).map(|p| p.total()).unwrap_or(0);
+        sc.grant_evenly(&[a, b]);
+        // All pushed-down slack went to partition 0; the quarantined
+        // partition's total is unchanged.
+        assert_eq!(sc.partition(1).map(|p| p.total()), Some(b_total_before));
+        assert!(sc.credits(a) > 0);
+        assert!(sc.conserved());
+    }
+
+    #[test]
+    fn rebalance_with_no_spare_moves_nothing() {
+        let mut sc = ShardedCredits::new(4000, 4);
+        // Every partition fully assigns its share to a local flow: no
+        // partition holds free credits, so nothing can migrate even
+        // though one partition registers pressure.
+        let flows: Vec<FlowId> = (0..4).map(|q| flow_in(&sc, q)).collect();
+        sc.add_flows(&flows);
+        while sc.try_consume(flows[0]) {}
+        assert!(!sc.try_consume(flows[0]));
+        let (returned, borrowed) = sc.rebalance();
+        assert_eq!(returned, 0, "no spare anywhere, nothing returned");
+        assert_eq!(borrowed, 0, "empty global pool, nothing borrowed");
+        assert!(sc.conserved());
+    }
+
+    #[test]
+    fn rebalance_borrow_saturates_at_twice_base() {
+        let mut sc = ShardedCredits::new(4000, 4);
+        let hot = flow_in(&sc, 2);
+        sc.add_flows(&[hot]);
+        // Deny far more than the 2x-base headroom could ever satisfy.
+        for _ in 0..5000 {
+            let _ = sc.try_consume(hot);
+        }
+        let denied = sc.partition(2).map(|p| p.stats().denied).unwrap_or(0);
+        assert!(denied > 2000, "demand must exceed the cap: {denied}");
+        let (_returned, borrowed) = sc.rebalance();
+        let total = sc.partition(2).map(|p| p.total()).unwrap_or(0);
+        assert_eq!(total, 2 * 1000, "borrow stops exactly at 2x base");
+        assert_eq!(borrowed, 1000);
+        // A second rebalance under continued pressure borrows nothing
+        // more: the ceiling saturates.
+        while sc.try_consume(hot) {}
+        let (_r2, b2) = sc.rebalance();
+        assert_eq!(b2, 0, "already at the cap");
+        assert_eq!(sc.partition(2).map(|p| p.total()), Some(2 * 1000));
+        assert!(sc.conserved());
+    }
+
+    #[test]
+    fn single_queue_rebalance_and_quarantine_are_noops() {
+        let mut sc = ShardedCredits::new(3000, 1);
+        sc.add_flows(&ids(&[1, 2]));
+        assert!(sc.try_consume(FlowId(1)));
+        assert_eq!(sc.rebalance(), (0, 0), "one partition: nothing to move");
+        assert_eq!(sc.global_free(), 0);
+        // Quarantining the only partition still conserves (degenerate but
+        // legal: the machine never fails over its last usable queue, yet
+        // the ledger must not corrupt if asked).
+        let moved = sc.quarantine_partition(0);
+        assert!(sc.conserved());
+        let back = sc.restore_partition(0);
+        assert_eq!(back, moved);
+        assert_eq!(sc.global_free(), 0);
         assert!(sc.conserved());
     }
 

@@ -42,10 +42,15 @@ pub mod telemetry;
 pub use audit::HostAuditor;
 pub use config::HostConfig;
 pub use flowstate::{FlowState, ReadyPkt, SlowPkt};
-pub use machine::{run_to_report, AppFactory, Event, HostState, Machine, RecoveryStats};
+#[cfg(feature = "chaos")]
+pub use machine::arm_chaos;
+pub use machine::{
+    run_to_report, AppFactory, Event, FailoverStats, HostState, Machine, RecoveryStats,
+    WATCHDOG_INTERVAL,
+};
 pub use measure::{ClassSample, Measurements, RunReport};
 pub use policy::{DrainRequest, IoPolicy, SteerDecision, UnmanagedPolicy};
-pub use rxq::{RxQueue, RxQueueStats};
+pub use rxq::{QueueState, RxQueue, RxQueueStats};
 pub use scope::{arm_scope, DEFAULT_SCOPE_CAP};
 #[cfg(feature = "trace")]
 pub use telemetry::HostTrace;

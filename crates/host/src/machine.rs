@@ -22,7 +22,7 @@ use crate::config::HostConfig;
 use crate::flowstate::{FlowState, ReadyPkt, SlowPkt};
 use crate::measure::{Measurements, RunReport};
 use crate::policy::{IoPolicy, SteerDecision};
-use crate::rxq::{PendingDma, RxQueue};
+use crate::rxq::{PendingDma, QueueState, RxQueue};
 #[cfg(feature = "chaos")]
 use ceio_chaos::{FaultInjector, FaultPlan, FaultSite};
 use ceio_cpu::{Application, CpuCore};
@@ -65,6 +65,11 @@ pub enum Event {
         nic_seq: u64,
         /// Whether this data travelled the slow path.
         via_slow: bool,
+        /// Receive queue whose write channel issued the DMA (meaningless
+        /// for slow-path reads). Carried in the event because failover can
+        /// remap `queue_of` between issue and completion, and the credit
+        /// must return to the channel that paid it.
+        queue: usize,
     },
     /// The memory controller retired the data (readable by the CPU).
     HostRetire {
@@ -89,6 +94,11 @@ pub enum Event {
     /// Retry pending DMA issues on one receive queue (pacing gap, retry
     /// backoff, or descriptor-issue gap elapsed).
     Pump(usize),
+    /// Queue-health watchdog tick: inject queue-level faults, advance each
+    /// receive queue's lifecycle state machine, and drive failover. Only
+    /// scheduled when an armed fault plan carries a queue-level site (see
+    /// [`arm_chaos`]), so fault-free schedules never see it.
+    Watchdog,
 }
 
 impl Event {
@@ -105,6 +115,7 @@ impl Event {
             Event::Sample => "Sample",
             Event::Scope => "Scope",
             Event::Pump(_) => "Pump",
+            Event::Watchdog => "Watchdog",
         }
     }
 }
@@ -132,8 +143,59 @@ pub struct RecoveryStats {
     pub consumer_pause_ns: u64,
 }
 
+/// Queue-failover statistics. Always compiled (and always zero without a
+/// queue-level fault site armed, since the watchdog is only scheduled by
+/// [`arm_chaos`] and healthy queues never trip it); exported through the
+/// telemetry snapshot so failover experiments can assert detection,
+/// re-steer, and recovery all ran.
+#[derive(Debug, Default, Clone, Serialize)]
+pub struct FailoverStats {
+    /// Watchdog ticks processed.
+    pub watchdog_polls: u64,
+    /// `Healthy → Suspect` transitions (no-progress ticks crossed the
+    /// suspect threshold).
+    pub suspects: u64,
+    /// `Suspect → Healthy` transitions (progress resumed before the fail
+    /// threshold — the watchdog was wrong).
+    pub false_alarms: u64,
+    /// `Suspect → Failed` transitions (queues declared dead).
+    pub failures: u64,
+    /// Flows whose RMT steering rule was rewritten off a failed queue (or
+    /// back home on recovery); counted by the policy's re-steer hooks.
+    pub flows_resteered: u64,
+    /// Staged packets migrated off a failed queue into a healthy one.
+    pub drained_pkts: u64,
+    /// Staged packets head-dropped during failover because the target
+    /// queue's staging partition could not absorb them.
+    pub head_dropped_pkts: u64,
+    /// `Recovering → Healthy` transitions (queues re-admitted for good).
+    pub recoveries: u64,
+}
+
 /// Retry budget for a single DMA write before the packet is dropped.
 const DMA_RETRY_LIMIT: u32 = 8;
+
+/// Watchdog poll period. Coarse against the per-packet timescale (~100ns
+/// inter-arrival at line rate) so per-tick fault draws stay cheap, fine
+/// against fault durations (`queue_death` defaults to 120us ≈ 24 ticks).
+pub const WATCHDOG_INTERVAL: Duration = Duration::micros(5);
+
+/// Consecutive no-progress watchdog ticks before a queue turns `Suspect`.
+const SUSPECT_TICKS: u32 = 2;
+
+/// Consecutive no-progress ticks (total, from Healthy) before a `Suspect`
+/// queue is declared `Failed` and failover runs.
+const FAIL_TICKS: u32 = 4;
+
+/// Watchdog ticks a `Failed` queue spends `Draining` before it re-enters
+/// the steering mask as `Recovering` (lets the wedge and any in-flight
+/// poison clear; 16 ticks = 80us covers the default `queue_stall` and
+/// `link_flap` wedges with margin).
+const DRAIN_TICKS: u32 = 16;
+
+/// Idle watchdog ticks a `Recovering` queue must survive (when no traffic
+/// arrives to prove progress) before it is confirmed `Healthy`.
+const PROBE_TICKS: u32 = 2;
 
 /// Base backoff after the first failed DMA attempt (doubles per attempt,
 /// capped at `base << 6`, plus deterministic jitter under chaos).
@@ -145,6 +207,11 @@ const DMA_BACKOFF_BASE: Duration = Duration::nanos(100);
 #[derive(Debug)]
 pub(crate) struct HostChaos {
     injector: FaultInjector,
+    /// One independent stream per receive queue (tags `rxq0..rxqN`), so a
+    /// stall drawn for queue 2 never perturbs queue 5's schedule.
+    queue_injectors: Vec<FaultInjector>,
+    /// Link-wide stream (tag `link`): a flap wedges every queue at once.
+    link_injector: FaultInjector,
 }
 
 /// Everything in the machine except the policy. Policies receive
@@ -181,6 +248,11 @@ pub struct HostState {
     /// Per-receive-queue DMA issue pipelines (RSS shards). Length is
     /// `cfg.num_queues`; index `q` is the queue `rss_queue` maps a flow to.
     pub rxq: Vec<RxQueue>,
+    /// Failover indirection over the RSS hash: `queue_remap[h]` is the
+    /// queue flows hashing to `h` are actually steered through. Identity
+    /// while every queue is usable; rewritten to the healthy-queue mask by
+    /// the watchdog on failure and restored on recovery.
+    queue_remap: Vec<usize>,
     iio_pending: VecDeque<PendingDma>,
     /// NIC→host DMA pacing rate installed by policies (HostCC throttling).
     pub dma_pace: Option<Bandwidth>,
@@ -199,6 +271,8 @@ pub struct HostState {
     pub slow_latency: Histogram,
     /// Fault-recovery counters (DMA retries, backoff, consumer pauses).
     pub recovery: RecoveryStats,
+    /// Queue-failover counters (watchdog detections, re-steers, drains).
+    pub failover: FailoverStats,
     read_attempts: u32,
     read_backoff_until: Time,
     /// Host-side chaos injector; `None` until [`Machine::arm_chaos`].
@@ -223,9 +297,18 @@ impl HostState {
         id
     }
 
-    /// The receive queue (RSS shard) a flow's packets are DMAed through.
+    /// The receive queue (RSS shard) a flow's packets are DMAed through:
+    /// the flow's RSS hash bucket, indirected through the failover remap.
+    /// Identity composition while every queue is usable.
     #[inline]
     pub fn queue_of(&self, flow: FlowId) -> usize {
+        self.queue_remap[rss_queue(flow.0, self.rxq.len()).index()]
+    }
+
+    /// The flow's RSS home queue, ignoring any failover remap (where its
+    /// credit partition lives, and where steering returns after recovery).
+    #[inline]
+    pub fn home_queue_of(&self, flow: FlowId) -> usize {
         rss_queue(flow.0, self.rxq.len()).index()
     }
 
@@ -435,6 +518,7 @@ impl<P: IoPolicy> Machine<P> {
             flows_started_per_queue: vec![0; num_queues],
             poll_queued: Vec::new(),
             rxq: (0..num_queues).map(|_| RxQueue::new()).collect(),
+            queue_remap: (0..num_queues).collect(),
             iio_pending: VecDeque::new(),
             dma_pace: None,
             dma_pace_until: Time::ZERO,
@@ -446,6 +530,7 @@ impl<P: IoPolicy> Machine<P> {
             fast_latency: Histogram::new(),
             slow_latency: Histogram::new(),
             recovery: RecoveryStats::default(),
+            failover: FailoverStats::default(),
             read_attempts: 0,
             read_backoff_until: Time::ZERO,
             #[cfg(feature = "chaos")]
@@ -670,6 +755,7 @@ impl<P: IoPolicy> Machine<P> {
                     buf,
                     nic_seq,
                     via_slow: false,
+                    queue: q,
                 });
                 self.pump(queue, now + fw, q);
             }
@@ -733,9 +819,16 @@ impl<P: IoPolicy> Machine<P> {
     /// accounting so the queue cannot wedge behind a poisoned issue.
     fn pump(&mut self, queue: &mut EventQueue<Event>, now: Time, q: usize) {
         let issue_gap = self.st.cfg.nic.queue_issue_gap;
+        self.st.rxq[q].credit_blocked = false;
         while let Some(front) = self.st.rxq[q].pending.front() {
             let bytes = front.pkt.bytes;
             let flow = front.pkt.flow;
+            // Injected wedge gate (queue stall/death, link flap): nothing
+            // issues, and the pump deliberately does not self-reschedule —
+            // detecting and waking a wedged queue is the watchdog's job.
+            if self.st.rxq[q].wedged_until > now {
+                break;
+            }
             // Retry-backoff gate (set after a transient DMA fault).
             if self.st.rxq[q].write_backoff_until > now {
                 if !self.st.rxq[q].pump_scheduled {
@@ -788,12 +881,17 @@ impl<P: IoPolicy> Machine<P> {
                             buf: pd.buf,
                             nic_seq: pd.nic_seq,
                             via_slow: pd.via_slow,
+                            queue: q,
                         },
                     );
                 }
                 // Credit stall: the issue retries when a completion frees a
-                // credit (`on_host_arrive` re-pumps).
-                Err(DmaError::NoWriteCredit | DmaError::NoReadCredit) => break,
+                // credit (`on_host_arrive` re-pumps). Flagged so the
+                // watchdog never mistakes an honest stall for a wedge.
+                Err(DmaError::NoWriteCredit | DmaError::NoReadCredit) => {
+                    self.st.rxq[q].credit_blocked = true;
+                    break;
+                }
                 // Transient fault: bounded retry with exponential backoff.
                 Err(
                     err @ (DmaError::WriteFault
@@ -861,19 +959,204 @@ impl<P: IoPolicy> Machine<P> {
         }
     }
 
-    fn on_host_arrive(
-        &mut self,
-        now: Time,
-        pkt: Packet,
-        buf: BufferId,
-        nic_seq: u64,
-        via_slow: bool,
-        queue: &mut EventQueue<Event>,
-    ) {
+    /// Recompute the failover remap from the current queue states: usable
+    /// queues map to themselves, failed ones spread round-robin across the
+    /// usable set (identity if nothing is usable — no failover possible).
+    fn recompute_remap(&mut self) {
+        let n = self.st.rxq.len();
+        let usable: Vec<usize> = (0..n)
+            .filter(|&i| self.st.rxq[i].state().usable())
+            .collect();
+        for i in 0..n {
+            self.st.queue_remap[i] = if self.st.rxq[i].state().usable() || usable.is_empty() {
+                i
+            } else {
+                usable[i % usable.len()]
+            };
+        }
+    }
+
+    /// Declare queue `q` failed: re-steer its RSS bucket to the healthy
+    /// mask, migrate its staged packets to the takeover queue (head-drop
+    /// on target staging overflow, under the same loss accounting as the
+    /// DMA retry limit), and let the policy quarantine its resources.
+    fn fail_queue(&mut self, now: Time, q: usize) {
+        self.st.rxq[q].state = QueueState::Failed;
+        self.st.rxq[q].stall_ticks = 0;
+        self.st.rxq[q].drain_ticks = 0;
+        self.st.rxq[q].write_attempts = 0;
+        self.st.rxq[q].stats.failovers += 1;
+        self.st.failover.failures += 1;
+        self.st
+            .trace_event(now, None, TraceKind::QueueFailed, q as u64);
+        self.recompute_remap();
+        let target = self.st.queue_remap[q];
+        let budget = self.st.queue_staging_bytes();
+        while let Some(mut pd) = self.st.rxq[q].pending.pop_front() {
+            let bytes = pd.pkt.bytes;
+            self.st.rxq[q].pending_bytes -= bytes;
+            if target != q && self.st.rxq[target].pending_bytes() + bytes <= budget {
+                pd.queue = target;
+                self.st.rxq[target].push(pd);
+                self.st.failover.drained_pkts += 1;
+            } else {
+                // Target partition full (or no healthy queue): head-drop
+                // with full loss accounting so nothing is stranded.
+                self.st.failover.head_dropped_pkts += 1;
+                if let Some(f) = self.st.flows.get_mut(&pd.pkt.flow) {
+                    f.ring_inflight = f.ring_inflight.saturating_sub(1);
+                    f.counters.dropped += 1;
+                    f.accounted += 1;
+                }
+                self.st.dropped_total += 1;
+                self.st.meas.record_drop();
+                self.st
+                    .trace_event(now, Some(pd.pkt.flow.0), TraceKind::Drop, pd.pkt.bytes);
+                self.st.signal_loss(now, pd.pkt.flow);
+                self.policy.on_fast_drop(&mut self.st, now, pd.pkt.flow);
+            }
+        }
+        self.policy.on_queue_failed(&mut self.st, now, QueueId(q));
+    }
+
+    /// One watchdog tick: inject queue-level faults, advance every queue's
+    /// lifecycle state machine, and re-pump whatever the tick unwedged or
+    /// migrated. Only ever scheduled by [`arm_chaos`] when the plan
+    /// carries a queue-level fault site.
+    fn on_watchdog(&mut self, now: Time, queue: &mut EventQueue<Event>) {
+        self.st.failover.watchdog_polls += 1;
+
+        // Phase 1 — fault injection: wedge queues per the armed plan. One
+        // draw per site per queue per tick (ascending queue order), plus
+        // one link-wide draw, all from independent tag-hashed streams.
+        #[cfg(feature = "chaos")]
+        if let Some(ch) = self.st.chaos.as_mut() {
+            let (stall, death, flap) = {
+                let plan = ch.injector.plan();
+                (plan.queue_stall, plan.queue_death, plan.link_flap)
+            };
+            let mut wedges: Vec<(usize, Duration, TraceKind)> = Vec::new();
+            for (q, inj) in ch.queue_injectors.iter_mut().enumerate() {
+                if inj.fire(FaultSite::QueueStall) {
+                    wedges.push((q, stall, TraceKind::QueueStall));
+                }
+                if inj.fire(FaultSite::QueueDeath) {
+                    wedges.push((q, death, TraceKind::QueueDeath));
+                }
+            }
+            if ch.link_injector.fire(FaultSite::LinkFlap) {
+                for q in 0..self.st.rxq.len() {
+                    wedges.push((q, flap, TraceKind::LinkFlap));
+                }
+            }
+            for (q, dur, kind) in wedges {
+                let until = now + dur;
+                self.st.rxq[q].wedged_until = self.st.rxq[q].wedged_until.max(until);
+                // A wedge supersedes any earlier credit stall: the queue
+                // must now be watched, not excused.
+                self.st.rxq[q].credit_blocked = false;
+                self.st.trace_event(now, None, kind, q as u64);
+            }
+        }
+
+        // Phase 2 — per-queue state machine, ascending. "Stalled" means
+        // work is pending, no issue happened since the last tick, and the
+        // queue has no legitimate excuse (a scheduled pump wake-up or a
+        // PCIe credit stall, both of which resolve without the watchdog).
+        for q in 0..self.st.rxq.len() {
+            let issued = self.st.rxq[q].stats.issued;
+            let progressed = issued != self.st.rxq[q].issued_at_last_tick;
+            self.st.rxq[q].issued_at_last_tick = issued;
+            let pending = self.st.rxq[q].pending_len() > 0;
+            let excused = self.st.rxq[q].credit_blocked || self.st.rxq[q].pump_scheduled;
+            let stalled = pending && !progressed && !excused;
+            match self.st.rxq[q].state {
+                QueueState::Healthy => {
+                    if stalled {
+                        self.st.rxq[q].stall_ticks += 1;
+                        if self.st.rxq[q].stall_ticks >= SUSPECT_TICKS {
+                            self.st.rxq[q].state = QueueState::Suspect;
+                            self.st.failover.suspects += 1;
+                            self.st
+                                .trace_event(now, None, TraceKind::QueueSuspect, q as u64);
+                        }
+                    } else {
+                        self.st.rxq[q].stall_ticks = 0;
+                    }
+                }
+                QueueState::Suspect => {
+                    if stalled {
+                        self.st.rxq[q].stall_ticks += 1;
+                        if self.st.rxq[q].stall_ticks >= FAIL_TICKS {
+                            self.fail_queue(now, q);
+                        }
+                    } else {
+                        self.st.rxq[q].state = QueueState::Healthy;
+                        self.st.rxq[q].stall_ticks = 0;
+                        self.st.failover.false_alarms += 1;
+                    }
+                }
+                QueueState::Failed => {
+                    self.st.rxq[q].state = QueueState::Draining;
+                    self.st
+                        .trace_event(now, None, TraceKind::QueueDrained, q as u64);
+                }
+                QueueState::Draining => {
+                    self.st.rxq[q].drain_ticks += 1;
+                    if self.st.rxq[q].drain_ticks >= DRAIN_TICKS {
+                        self.st.rxq[q].state = QueueState::Recovering;
+                        self.st.rxq[q].probe_ticks = 0;
+                        self.st.rxq[q].stall_ticks = 0;
+                        self.recompute_remap();
+                        self.st
+                            .trace_event(now, None, TraceKind::QueueRecovering, q as u64);
+                        self.policy
+                            .on_queue_recovered(&mut self.st, now, QueueId(q));
+                    }
+                }
+                QueueState::Recovering => {
+                    if stalled {
+                        // Re-detection: straight back under suspicion.
+                        self.st.rxq[q].state = QueueState::Suspect;
+                        self.st.rxq[q].stall_ticks = SUSPECT_TICKS;
+                        self.st.failover.suspects += 1;
+                        self.st
+                            .trace_event(now, None, TraceKind::QueueSuspect, q as u64);
+                    } else if progressed {
+                        self.st.rxq[q].state = QueueState::Healthy;
+                        self.st.failover.recoveries += 1;
+                        self.st
+                            .trace_event(now, None, TraceKind::QueueRecovered, q as u64);
+                    } else if !pending {
+                        self.st.rxq[q].probe_ticks += 1;
+                        if self.st.rxq[q].probe_ticks >= PROBE_TICKS {
+                            self.st.rxq[q].state = QueueState::Healthy;
+                            self.st.failover.recoveries += 1;
+                            self.st
+                                .trace_event(now, None, TraceKind::QueueRecovered, q as u64);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase 3 — wake-ups: expired wedges and migrated packets do not
+        // self-schedule, so the tick re-pumps everything pumpable.
+        self.pump_all(queue, now);
+        queue.schedule_in(WATCHDOG_INTERVAL, Event::Watchdog);
+    }
+
+    fn on_host_arrive(&mut self, now: Time, dma: PendingDma, queue: &mut EventQueue<Event>) {
+        let PendingDma {
+            pkt,
+            buf,
+            nic_seq,
+            via_slow,
+            queue: issue_queue,
+        } = dma;
         if self.st.memctrl.stage(pkt.bytes) {
             if !via_slow {
-                let q = self.st.queue_of(pkt.flow);
-                self.st.dma.complete_write_on(q);
+                self.st.dma.complete_write_on(issue_queue);
                 self.st.trace_event(
                     now,
                     Some(pkt.flow.0),
@@ -906,6 +1189,7 @@ impl<P: IoPolicy> Machine<P> {
                 buf,
                 nic_seq,
                 via_slow,
+                queue: issue_queue,
             });
         }
     }
@@ -960,8 +1244,7 @@ impl<P: IoPolicy> Machine<P> {
             if self.st.memctrl.stage(front.pkt.bytes) {
                 self.st.iio_pending.pop_front();
                 if !front.via_slow {
-                    let q = self.st.queue_of(front.pkt.flow);
-                    self.st.dma.complete_write_on(q);
+                    self.st.dma.complete_write_on(front.queue);
                     self.st.trace_event(
                         now,
                         Some(front.pkt.flow.0),
@@ -1155,6 +1438,7 @@ impl<P: IoPolicy> Machine<P> {
                                     buf,
                                     nic_seq: sp.nic_seq,
                                     via_slow: true,
+                                    queue: 0,
                                 },
                             );
                         }
@@ -1181,6 +1465,7 @@ impl<P: IoPolicy> Machine<P> {
                                 buf,
                                 nic_seq: sp.nic_seq,
                                 via_slow: true,
+                                queue: 0,
                             },
                         );
                     }
@@ -1338,8 +1623,13 @@ impl<P: IoPolicy> Machine<P> {
         self.st.dma.arm_chaos(plan.injector("dma"));
         self.st.onboard.arm_chaos(plan.injector("onboard"));
         self.st.nic_arm.arm_chaos(plan.injector("arm"));
+        let queue_injectors = (0..self.st.rxq.len())
+            .map(|q| plan.injector(&format!("rxq{q}")))
+            .collect();
         self.st.chaos = Some(Box::new(HostChaos {
             injector: plan.injector("host"),
+            queue_injectors,
+            link_injector: plan.injector("link"),
         }));
         self.policy.arm_chaos(&mut self.st, plan);
     }
@@ -1359,8 +1649,29 @@ impl<P: IoPolicy> Machine<P> {
         }
         if let Some(ch) = self.st.chaos.as_ref() {
             total += ch.injector.stats().total();
+            total += ch.link_injector.stats().total();
+            for inj in &ch.queue_injectors {
+                total += inj.stats().total();
+            }
         }
         total
+    }
+}
+
+/// Arm deterministic fault injection on a built simulation: install the
+/// per-component injector streams (see [`Machine::arm_chaos`]) and — iff
+/// the plan carries a queue-level fault site — schedule the queue-health
+/// watchdog that drives detection and failover. Plans without queue sites
+/// never schedule a watchdog tick, so their event schedules are untouched.
+#[cfg(feature = "chaos")]
+pub fn arm_chaos<P: IoPolicy>(sim: &mut Simulation<Machine<P>>, plan: &FaultPlan) {
+    sim.model.arm_chaos(plan);
+    if plan.rate(FaultSite::QueueStall) > 0.0
+        || plan.rate(FaultSite::QueueDeath) > 0.0
+        || plan.rate(FaultSite::LinkFlap) > 0.0
+    {
+        sim.queue
+            .schedule_at(Time::ZERO + WATCHDOG_INTERVAL, Event::Watchdog);
     }
 }
 
@@ -1393,7 +1704,18 @@ impl<P: IoPolicy> Model for Machine<P> {
                 buf,
                 nic_seq,
                 via_slow,
-            } => self.on_host_arrive(now, pkt, buf, nic_seq, via_slow, queue),
+                queue: issue_queue,
+            } => self.on_host_arrive(
+                now,
+                PendingDma {
+                    pkt,
+                    buf,
+                    nic_seq,
+                    via_slow,
+                    queue: issue_queue,
+                },
+                queue,
+            ),
             Event::HostRetire {
                 pkt,
                 buf,
@@ -1432,6 +1754,7 @@ impl<P: IoPolicy> Model for Machine<P> {
                 self.st.rxq[q].pump_scheduled = false;
                 self.pump(queue, now, q);
             }
+            Event::Watchdog => self.on_watchdog(now, queue),
         }
         #[cfg(feature = "audit")]
         if let Some(aud) = self.auditor.as_mut() {

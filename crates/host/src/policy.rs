@@ -121,6 +121,21 @@ pub trait IoPolicy {
         None
     }
 
+    /// The watchdog declared receive queue `queue` failed (see
+    /// `Machine::on_watchdog`): quarantine its resources and re-steer its
+    /// flows to the surviving mask. The default does nothing — queue-blind
+    /// policies just keep steering through the machine's remap.
+    fn on_queue_failed(&mut self, st: &mut HostState, now: Time, queue: ceio_nic::QueueId) {
+        let _ = (st, now, queue);
+    }
+
+    /// A previously-failed queue re-entered the steering mask on probation:
+    /// restore quarantined resources and steer its flows home. The default
+    /// does nothing.
+    fn on_queue_recovered(&mut self, st: &mut HostState, now: Time, queue: ceio_nic::QueueId) {
+        let _ = (st, now, queue);
+    }
+
     /// Contribute policy-private metrics (credit ledgers, controller
     /// state, software-ring depths) to a machine snapshot. The default
     /// contributes nothing.

@@ -27,6 +27,11 @@ pub(crate) struct PendingDma {
     pub(crate) buf: BufferId,
     pub(crate) nic_seq: u64,
     pub(crate) via_slow: bool,
+    /// Receive queue whose write channel the DMA was (or will be) issued
+    /// on. For staged entries this tracks the staging queue (failover
+    /// migration updates it); for IIO-parked entries it names the channel
+    /// owed the completion credit.
+    pub(crate) queue: usize,
 }
 
 /// Per-queue counters exported through the telemetry snapshot with a
@@ -41,6 +46,54 @@ pub struct RxQueueStats {
     pub staging_drops: u64,
     /// Staging-byte high-water mark.
     pub peak_pending_bytes: u64,
+    /// Times the watchdog failed this queue over (Failed transitions).
+    pub failovers: u64,
+}
+
+/// Lifecycle state of one receive queue, driven by the sim-time watchdog
+/// (see `Machine::on_watchdog`): `Healthy → Suspect → Failed → Draining →
+/// Recovering → Healthy`, with `Suspect → Healthy` (false alarm) and
+/// `Recovering → Suspect` (re-detection) side edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueState {
+    /// Making progress (or idle with nothing pending).
+    #[default]
+    Healthy,
+    /// No-progress ticks observed; under suspicion but still steered to.
+    Suspect,
+    /// Declared dead this tick: flows re-steer, credits quarantine.
+    Failed,
+    /// Failed and waiting out the drain window before re-admission.
+    Draining,
+    /// Back in the steering mask on probation; progress (or idling
+    /// empty) confirms recovery.
+    Recovering,
+}
+
+impl QueueState {
+    /// Numeric encoding for the `ceio_queue_state` gauge and scope series
+    /// (0 = Healthy … 4 = Recovering).
+    #[must_use]
+    pub fn as_gauge(self) -> u8 {
+        match self {
+            QueueState::Healthy => 0,
+            QueueState::Suspect => 1,
+            QueueState::Failed => 2,
+            QueueState::Draining => 3,
+            QueueState::Recovering => 4,
+        }
+    }
+
+    /// Whether flows may be steered onto this queue (the healthy-queue
+    /// mask includes Suspect and Recovering: a queue leaves the mask only
+    /// once actually failed, and re-enters it on probation).
+    #[must_use]
+    pub fn usable(self) -> bool {
+        matches!(
+            self,
+            QueueState::Healthy | QueueState::Suspect | QueueState::Recovering
+        )
+    }
 }
 
 /// One receive queue's share of the NIC→host DMA pipeline.
@@ -61,6 +114,24 @@ pub struct RxQueue {
     /// at `Time::ZERO` forever when the gap is zero (the default), which
     /// disables the gate.
     pub(crate) next_issue_at: Time,
+    /// Injected-fault wedge: the pump issues nothing before this instant
+    /// and deliberately does not self-reschedule (the watchdog owns the
+    /// wake-up). Stays `Time::ZERO` outside chaos runs.
+    pub(crate) wedged_until: Time,
+    /// Whether the last pump break was a PCIe credit stall (re-pumped by
+    /// the next completion, so not a watchdog no-progress signal).
+    pub(crate) credit_blocked: bool,
+    /// Lifecycle state, driven by the watchdog.
+    pub(crate) state: QueueState,
+    /// Consecutive watchdog ticks without progress while work is pending.
+    pub(crate) stall_ticks: u32,
+    /// Watchdog ticks spent in `Draining` (drives the re-admission wait).
+    pub(crate) drain_ticks: u32,
+    /// Watchdog ticks spent idle in `Recovering` (confirms recovery when
+    /// no traffic arrives to prove progress).
+    pub(crate) probe_ticks: u32,
+    /// `stats.issued` observed at the previous watchdog tick.
+    pub(crate) issued_at_last_tick: u64,
     /// Exported counters.
     pub stats: RxQueueStats,
 }
@@ -75,6 +146,13 @@ impl RxQueue {
             write_attempts: 0,
             write_backoff_until: Time::ZERO,
             next_issue_at: Time::ZERO,
+            wedged_until: Time::ZERO,
+            credit_blocked: false,
+            state: QueueState::default(),
+            stall_ticks: 0,
+            drain_ticks: 0,
+            probe_ticks: 0,
+            issued_at_last_tick: 0,
             stats: RxQueueStats::default(),
         }
     }
@@ -84,6 +162,13 @@ impl RxQueue {
     #[must_use]
     pub fn pending_len(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Current lifecycle state.
+    #[inline]
+    #[must_use]
+    pub fn state(&self) -> QueueState {
+        self.state
     }
 
     /// Bytes currently staged.
@@ -136,6 +221,7 @@ mod tests {
                 buf: BufferId(i),
                 nic_seq: i,
                 via_slow: false,
+                queue: 0,
             });
         }
         assert_eq!(q.pending_len(), 3);

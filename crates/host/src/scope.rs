@@ -125,6 +125,15 @@ fn scope_register(rec: &mut FlightRecorder, num_queues: usize) {
         "dma_retry_pps",
         "DMA retry issues per second over the epoch.",
     );
+    rec.register_queue(
+        "queue_state",
+        "Lifecycle state of this receive queue (0 Healthy … 4 Recovering).",
+        num_queues,
+    );
+    rec.register(
+        "failover_pps",
+        "Watchdog state transitions per second (suspects + failures + recoveries).",
+    );
 }
 
 /// Sample every machine-level gauge at `now`. Runs once per scope epoch
@@ -150,6 +159,7 @@ pub(crate) fn scope_sample(st: &HostState, now: Time, rec: &mut FlightRecorder) 
         rec.record_queue("rxq_depth", q, now, rxq.pending_len() as f64);
         rec.record_queue("rxq_pending_bytes", q, now, rxq.pending_bytes() as f64);
         rec.record_queue("slow_backlog", q, now, backlog[q] as f64);
+        rec.record_queue("queue_state", q, now, rxq.state().as_gauge() as f64);
     }
     // Utilizations: lifetime byte totals normalized by link capacity turn
     // into per-epoch fractions through the recorder's windowed delta.
@@ -183,6 +193,11 @@ pub(crate) fn scope_sample(st: &HostState, now: Time, rec: &mut FlightRecorder) 
         "dma_retry_pps",
         now,
         (st.recovery.dma_write_retries + st.recovery.dma_read_retries) as f64,
+    );
+    rec.record_rate(
+        "failover_pps",
+        now,
+        (st.failover.suspects + st.failover.failures + st.failover.recoveries) as f64,
     );
 }
 

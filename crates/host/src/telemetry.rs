@@ -309,6 +309,51 @@ impl<P: IoPolicy> Machine<P> {
             st.recovery.consumer_pause_ns,
         );
 
+        // Queue failure domains (DESIGN.md §13): watchdog detection,
+        // failover re-steer, and recovery counters. All zero unless a
+        // queue-level fault site is armed — healthy queues never trip the
+        // watchdog, and the watchdog is only scheduled under such a plan.
+        b.counter(
+            "ceio_failover_watchdog_polls_total",
+            "Queue-health watchdog ticks processed.",
+            st.failover.watchdog_polls,
+        );
+        b.counter(
+            "ceio_failover_suspects_total",
+            "Queues moved under suspicion by the watchdog.",
+            st.failover.suspects,
+        );
+        b.counter(
+            "ceio_failover_false_alarms_total",
+            "Suspect queues that resumed progress before being failed.",
+            st.failover.false_alarms,
+        );
+        b.counter(
+            "ceio_failover_failures_total",
+            "Queues declared failed by the watchdog.",
+            st.failover.failures,
+        );
+        b.counter(
+            "ceio_failover_flows_resteered_total",
+            "Flow steering rules rewritten by failover (off and back).",
+            st.failover.flows_resteered,
+        );
+        b.counter(
+            "ceio_failover_drained_pkts_total",
+            "Staged packets migrated off failed queues.",
+            st.failover.drained_pkts,
+        );
+        b.counter(
+            "ceio_failover_head_dropped_total",
+            "Staged packets head-dropped during failover migration.",
+            st.failover.head_dropped_pkts,
+        );
+        b.counter(
+            "ceio_failover_recoveries_total",
+            "Failed queues confirmed healthy again after probation.",
+            st.failover.recoveries,
+        );
+
         // Chaos injection counters, when the feature is compiled in.
         // Zero unless a fault plan is armed.
         #[cfg(feature = "chaos")]
@@ -469,6 +514,18 @@ impl<P: IoPolicy> Machine<P> {
                 "Staging-byte high-water mark of this queue.",
                 &lbl,
                 rxq.stats.peak_pending_bytes as f64,
+            );
+            b.counter_with(
+                "ceio_rxq_failovers_total",
+                "Times the watchdog failed this queue over.",
+                &lbl,
+                rxq.stats.failovers,
+            );
+            b.gauge_with(
+                "ceio_queue_state",
+                "Lifecycle state of this queue (0 Healthy, 1 Suspect, 2 Failed, 3 Draining, 4 Recovering).",
+                &lbl,
+                rxq.state().as_gauge() as f64,
             );
         }
 

@@ -107,6 +107,31 @@ pub enum TraceKind {
     /// An armed SLO rule fired at this sampling epoch (`value` = the
     /// rule's index in the armed rule list; see [`crate::scope`]).
     SloAlert,
+    /// An injected receive-queue stall (`value` = queue index).
+    QueueStall,
+    /// An injected receive-queue death (`value` = queue index).
+    QueueDeath,
+    /// An injected link flap wedging every receive queue (`value` = flap
+    /// nanoseconds).
+    LinkFlap,
+    /// The watchdog marked a no-progress queue Suspect
+    /// (`value` = queue index).
+    QueueSuspect,
+    /// The watchdog failed a queue over: flows re-steer, credits
+    /// quarantine (`value` = queue index).
+    QueueFailed,
+    /// A failed queue's in-flight work finished draining
+    /// (`value` = queue index).
+    QueueDrained,
+    /// A failed queue re-entered service probation (`value` = queue
+    /// index).
+    QueueRecovering,
+    /// A recovering queue proved progress and returned to `Healthy`
+    /// (`value` = queue index).
+    QueueRecovered,
+    /// One flow's RSS steering was rewritten off a failed queue (or back
+    /// home on recovery); `value` = the target queue index.
+    FlowResteer,
 }
 
 /// Chrome trace-event phase for a kind: instant, span begin, or span end.
@@ -162,6 +187,15 @@ impl TraceKind {
             TraceKind::ArmStall => "arm-stall",
             TraceKind::RmtDelay => "rmt-delay",
             TraceKind::SloAlert => "slo-alert",
+            TraceKind::QueueStall => "queue-stall",
+            TraceKind::QueueDeath => "queue-death",
+            TraceKind::LinkFlap => "link-flap",
+            TraceKind::QueueSuspect => "queue-suspect",
+            TraceKind::QueueFailed => "queue-failed",
+            TraceKind::QueueDrained => "queue-drained",
+            TraceKind::QueueRecovering => "queue-recovering",
+            TraceKind::QueueRecovered => "queue-recovered",
+            TraceKind::FlowResteer => "flow-resteer",
         }
     }
 

@@ -136,4 +136,29 @@ grep -q "<svg" "$smoke_dir/ceio-report.html" \
     || { echo "scope smoke: report carries no inline SVG charts"; exit 1; }
 echo "scope smoke passed"
 
+echo "==> failover smoke (queue-flap plan, 4 queues)"
+# Reuses the trace+chaos ceio-inspect built above. The canned queue-flap
+# plan must kill at least one RSS queue, the watchdog must fail it over
+# and bring it back to Healthy, and the credit ledger must stay
+# conserving across quarantine and restore.
+target/debug/ceio-inspect --scenario kv --millis 3 --queues 4 \
+    --fault-plan queue-flap --seed 42 \
+    --trace-out "$smoke_dir/failover-trace.json" \
+    --prom-out "$smoke_dir/failover-metrics.prom" \
+    > "$smoke_dir/failover-stdout.txt"
+for ev in queue-death queue-failed queue-recovered flow-resteer; do
+    grep -q "\"name\":\"$ev\"" "$smoke_dir/failover-trace.json" \
+        || { echo "failover smoke: trace is missing '$ev' events"; exit 1; }
+done
+for metric in ceio_failover_failures_total ceio_failover_recoveries_total \
+              ceio_failover_flows_resteered_total; do
+    grep -Eq "^$metric [1-9]" "$smoke_dir/failover-metrics.prom" \
+        || { echo "failover smoke: '$metric' is zero — no failover exercised"; exit 1; }
+done
+grep -Eq '^ceio_queue_state\{queue="[0-3]"\} 0$' "$smoke_dir/failover-metrics.prom" \
+    || { echo "failover smoke: no queue ended the run Healthy"; exit 1; }
+grep -q "^ceio_credit_conserved 1$" "$smoke_dir/failover-metrics.prom" \
+    || { echo "failover smoke: credits not conserved across quarantine/restore"; exit 1; }
+echo "failover smoke passed"
+
 echo "All checks passed."
