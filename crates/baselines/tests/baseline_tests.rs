@@ -136,7 +136,7 @@ fn shring_outstanding_never_exceeds_capacity() {
     // Step manually, checking the global cap as an invariant.
     let horizon = Time::ZERO + Duration::millis(4);
     let cap = ShRingConfig::default().entries;
-    while sim.now() < horizon && sim.step() {
+    while sim.step(horizon) {
         let outstanding = sim.model.st.total_ring_outstanding();
         assert!(
             outstanding <= cap + 1,

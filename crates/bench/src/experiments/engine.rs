@@ -1,0 +1,164 @@
+//! `engine` — events/sec microbenchmark of the future-event list itself.
+//!
+//! Unlike every other experiment (which measures the *modeled* hardware),
+//! this one measures the *simulator*: how many events per wall-clock second
+//! the engine dispatches under the hierarchical timing wheel versus the
+//! seed-era binary heap kept as the reference backend. Both backends produce
+//! bit-identical `(time, seq)` pop order (pinned by the `ceio-sim`
+//! proptests), so this is a pure cost comparison.
+//!
+//! Wall-clock timing is deliberately out of scope for the determinism rules:
+//! the simulations themselves never read host time, but the harness may —
+//! the measured quantity here *is* host time. Results land in
+//! `BENCH_engine.json` in the working directory so the perf-smoke CI lane
+//! can archive the trajectory run over run.
+
+use ceio_sim::{EventQueue, QueueBackend, Rng, Time};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One churn pattern driven identically through both backends.
+struct Workload {
+    name: &'static str,
+    /// Steady-state pending-event population (heap depth is `log2` of this;
+    /// the wheel is insensitive to it).
+    pending: usize,
+    /// Dispatches measured after the queue is pre-filled.
+    churn: usize,
+    /// Delays are drawn uniformly from `1..=max_delay_ns` past `now`.
+    max_delay_ns: u64,
+    /// Fraction of schedules that go through a cancellable timer which is
+    /// then cancelled before it can fire (the `Pump`/`Emit` reschedule
+    /// pattern the host machine uses).
+    cancel_per_mille: u64,
+}
+
+/// The measured workloads. The storm keeps a deep pending population where
+/// the heap pays `O(log n)` per op; the cancel churn replays the host
+/// machine's timer-rearm pattern where the wheel's O(1) cancel shines.
+const WORKLOADS: [Workload; 2] = [
+    Workload {
+        name: "storm",
+        pending: 1 << 17,
+        churn: 2_000_000,
+        max_delay_ns: 1_000_000,
+        cancel_per_mille: 0,
+    },
+    Workload {
+        name: "cancel-churn",
+        pending: 1 << 14,
+        churn: 1_500_000,
+        max_delay_ns: 100_000,
+        cancel_per_mille: 500,
+    },
+];
+
+/// Measured throughput of one backend on one workload.
+struct Measurement {
+    events_per_sec: f64,
+    dispatched: u64,
+}
+
+/// Drive `workload` through `backend` once and return events/sec. The event
+/// payload is a bare `u64` so the measurement isolates the priority
+/// structure, not payload movement.
+fn run_once(backend: QueueBackend, w: &Workload, seed: u64) -> Measurement {
+    let mut q: EventQueue<u64> = EventQueue::with_backend(backend);
+    let mut rng = Rng::seed_from_u64(seed);
+    let t0 = Instant::now();
+    for i in 0..w.pending {
+        let at = Time(1 + rng.gen_range(w.max_delay_ns));
+        q.schedule_at(at, i as u64);
+    }
+    // Steady-state churn: every dispatch schedules a successor, so the
+    // pending population stays at `w.pending` throughout.
+    for i in 0..w.churn {
+        let e = q.pop().expect("invariant: churn keeps the queue non-empty");
+        let at = Time(e.at.0 + 1 + rng.gen_range(w.max_delay_ns));
+        if rng.gen_range(1000) < w.cancel_per_mille {
+            // Rearm pattern: arm a cancellable timer, cancel it, then
+            // schedule the replacement — two extra queue ops per event.
+            let tok = q.schedule_cancellable_at(at, u64::MAX);
+            q.cancel(tok);
+        }
+        q.schedule_at(at, i as u64);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let dispatched = q.dispatched_total();
+    Measurement {
+        events_per_sec: dispatched as f64 / elapsed.max(1e-9),
+        dispatched,
+    }
+}
+
+/// Best-of-`trials` events/sec (best-of filters scheduler noise; the two
+/// backends see identical schedules per trial).
+fn measure(backend: QueueBackend, w: &Workload, trials: usize) -> Measurement {
+    (0..trials)
+        .map(|t| run_once(backend, w, 0xCE10 + t as u64))
+        .max_by(|a, b| a.events_per_sec.total_cmp(&b.events_per_sec))
+        .expect("invariant: at least one trial")
+}
+
+/// Run the engine benchmark, write `BENCH_engine.json`, and return the
+/// formatted report.
+pub fn run(quick: bool) -> String {
+    let trials = if quick { 2 } else { 3 };
+    let scale = if quick { 8 } else { 1 };
+    let mut report =
+        String::from("engine events/sec — timing wheel vs reference heap (identical schedules)\n");
+    let mut rows = String::new();
+    let mut min_speedup = f64::INFINITY;
+    for w in &WORKLOADS {
+        // Quick mode shrinks only the measured churn: the pending
+        // population is what separates the backends (heap depth), so it
+        // stays full-size in both modes.
+        let scaled = Workload {
+            churn: w.churn / scale,
+            ..*w
+        };
+        let wheel = measure(QueueBackend::Wheel, &scaled, trials);
+        let heap = measure(QueueBackend::Heap, &scaled, trials);
+        let speedup = wheel.events_per_sec / heap.events_per_sec;
+        min_speedup = min_speedup.min(speedup);
+        let _ = writeln!(
+            report,
+            "  {:<13} wheel {:>6.2} Mev/s  heap {:>6.2} Mev/s  speedup {:.2}x  ({} events, pending {})",
+            scaled.name,
+            wheel.events_per_sec / 1e6,
+            heap.events_per_sec / 1e6,
+            speedup,
+            wheel.dispatched,
+            scaled.pending,
+        );
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        let _ = write!(
+            rows,
+            "    {{\"name\": \"{}\", \"pending\": {}, \"events\": {}, \
+             \"wheel_events_per_sec\": {:.0}, \"heap_events_per_sec\": {:.0}, \
+             \"speedup\": {:.3}}}",
+            scaled.name,
+            scaled.pending,
+            wheel.dispatched,
+            wheel.events_per_sec,
+            heap.events_per_sec,
+            speedup,
+        );
+    }
+    let _ = writeln!(
+        report,
+        "  min speedup {min_speedup:.2}x (target >= 1.5x; BENCH_engine.json written)"
+    );
+    let json = format!(
+        "{{\n  \"experiment\": \"engine\",\n  \"mode\": \"{}\",\n  \"trials\": {trials},\n  \
+         \"workloads\": [\n{rows}\n  ],\n  \"min_speedup\": {min_speedup:.3},\n  \
+         \"target_speedup\": 1.5\n}}\n",
+        if quick { "quick" } else { "full" },
+    );
+    if let Err(e) = std::fs::write("BENCH_engine.json", &json) {
+        let _ = writeln!(report, "  warning: could not write BENCH_engine.json: {e}");
+    }
+    report
+}

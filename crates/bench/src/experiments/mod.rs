@@ -1,6 +1,7 @@
 //! One module per table/figure of the paper's evaluation.
 
 pub mod ablations;
+pub mod engine;
 pub mod failover;
 pub mod fig04;
 pub mod fig09;
@@ -33,5 +34,6 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("failover", failover::run),
         ("ablations", ablations::run),
         ("sensitivity", sensitivity::run),
+        ("engine", engine::run),
     ]
 }

@@ -96,3 +96,24 @@ fn malformed_specs_exit_2_with_one_line_reasons() {
         }
     }
 }
+
+/// `ceio-experiments` has its own flag grammar (`--jobs`, experiment
+/// names) but the same rejection contract.
+#[test]
+fn experiments_binary_rejects_malformed_invocations() {
+    let bin = env!("CARGO_BIN_EXE_ceio-experiments");
+    let cases: Vec<(&str, Vec<&str>, &str)> = vec![
+        ("zero jobs", vec!["--jobs", "0"], "--jobs"),
+        ("non-numeric jobs", vec!["--jobs", "many"], "--jobs"),
+        ("missing jobs value", vec!["--jobs"], "--jobs"),
+        ("unknown flag", vec!["--no-such-flag"], "--no-such-flag"),
+        (
+            "unknown experiment",
+            vec!["no-such-experiment"],
+            "no matching experiments",
+        ),
+    ];
+    for (label, args, token) in cases {
+        assert_rejects(bin, label, &args, token);
+    }
+}

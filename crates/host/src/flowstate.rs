@@ -9,7 +9,7 @@
 
 use ceio_mem::BufferId;
 use ceio_net::{Dctcp, FlowClass, FlowSpec, Packet, TrafficGen};
-use ceio_sim::{Histogram, Time};
+use ceio_sim::{Histogram, Time, TimerToken};
 use std::collections::{BTreeMap, VecDeque};
 
 /// A packet retired into host memory, awaiting in-order delivery.
@@ -70,6 +70,11 @@ pub struct FlowState {
     /// ignored, so demand retargeting can restart the chain without
     /// duplicating it.
     pub emit_epoch: u64,
+    /// Token of the queued next `Emit` of the current chain, if any;
+    /// cancelled on demand retargets and teardown so dead chain links
+    /// never occupy the event queue. The epoch check stays as
+    /// defense-in-depth.
+    pub emit_timer: Option<TimerToken>,
     /// Next NIC-arrival sequence number to assign.
     pub nic_seq_next: u64,
     /// Next sequence number the driver will deliver.
@@ -121,6 +126,7 @@ impl FlowState {
             queue,
             active: true,
             emit_epoch: 0,
+            emit_timer: None,
             nic_seq_next: 0,
             next_deliver_seq: 0,
             scan_next: 0,

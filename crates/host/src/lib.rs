@@ -36,6 +36,7 @@ pub mod measure;
 pub mod policy;
 pub mod rxq;
 pub mod scope;
+pub mod slab;
 pub mod telemetry;
 
 #[cfg(feature = "audit")]
@@ -45,12 +46,13 @@ pub use flowstate::{FlowState, ReadyPkt, SlowPkt};
 #[cfg(feature = "chaos")]
 pub use machine::arm_chaos;
 pub use machine::{
-    run_to_report, AppFactory, Event, FailoverStats, HostState, Machine, RecoveryStats,
-    WATCHDOG_INTERVAL,
+    run_to_report, AppFactory, EngineStats, Event, FailoverStats, HostState, Machine,
+    RecoveryStats, WATCHDOG_INTERVAL,
 };
 pub use measure::{ClassSample, Measurements, RunReport};
 pub use policy::{DrainRequest, IoPolicy, SteerDecision, UnmanagedPolicy};
 pub use rxq::{QueueState, RxQueue, RxQueueStats};
 pub use scope::{arm_scope, DEFAULT_SCOPE_CAP};
+pub use slab::{DmaId, PktId};
 #[cfg(feature = "trace")]
 pub use telemetry::HostTrace;

@@ -1,0 +1,152 @@
+//! Ingress handlers: sender emission (`Emit`) and NIC receive/steer
+//! (`NicRx`).
+//!
+//! Emission is a self-rescheduling chain per flow, keyed by an epoch and —
+//! since the timer overhaul — armed as a *cancellable* timer whose token
+//! lives in [`crate::flowstate::FlowState::emit_timer`]: a demand retarget
+//! or flow stop cancels the old chain in O(1) instead of letting a stale
+//! event dispatch and fizzle on the epoch check (which stays as
+//! defense-in-depth for same-nanosecond races that dispatch before the
+//! cancel runs).
+//!
+//! `NicRx` carries a [`PktId`]; the wire packet is interned at emission and
+//! redeemed here, so the event stays two words on the engine's hot path.
+
+use crate::flowstate::SlowPkt;
+use crate::policy::{IoPolicy, SteerDecision};
+use crate::rxq::PendingDma;
+use crate::slab::PktId;
+use ceio_net::ingress::IngressOutcome;
+use ceio_net::FlowId;
+use ceio_sim::{EventQueue, Time};
+use ceio_telemetry::TraceKind;
+
+use super::{Event, Machine};
+
+impl<P: IoPolicy> Machine<P> {
+    pub(super) fn on_emit(
+        &mut self,
+        now: Time,
+        id: FlowId,
+        epoch: u64,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let Some(f) = self.st.flows.get_mut(&id) else {
+            return;
+        };
+        if f.emit_epoch != epoch {
+            return; // stale chain that dispatched before its cancel ran
+        }
+        // This dispatch consumed the chain's pending timer; every path
+        // below either stores a fresh token or leaves the chain ended.
+        f.emit_timer = None;
+        if !f.active || now >= f.spec.stop {
+            f.active = false;
+            return;
+        }
+        if f.cca.paused() {
+            return; // chain ends; SetDemand restarts it
+        }
+        f.cca.tick(now);
+        let mut pkt = f.gen.emit(now);
+        let rate = f.cca.rate();
+        let next = f.gen.next_emission(now, rate);
+        match self.st.ingress.offer(now, pkt.bytes) {
+            IngressOutcome::Delivered { arrival, marked } => {
+                pkt.ecn = marked;
+                pkt.arrived_nic = arrival;
+                let pid = self.st.slabs.intern_pkt(pkt);
+                queue.schedule_at(arrival, Event::NicRx(pid));
+            }
+            IngressOutcome::Dropped => {
+                // Network drop, visible to the sender as loss.
+                self.st.account_drop(now, id, pkt.bytes, true);
+            }
+        }
+        let tok = queue.schedule_cancellable_at(next, Event::Emit { flow: id, epoch });
+        if let Some(f) = self.st.flows.get_mut(&id) {
+            f.emit_timer = Some(tok);
+        }
+    }
+
+    pub(super) fn on_nic_rx(&mut self, now: Time, pid: PktId, queue: &mut EventQueue<Event>) {
+        let pkt = self
+            .st
+            .slabs
+            .take_pkt(pid)
+            .expect("invariant: a NicRx handle is interned once and redeemed once");
+        if !self.st.flows.contains_key(&pkt.flow) {
+            self.st.account_drop(now, pkt.flow, pkt.bytes, false);
+            return;
+        }
+        let decision = self.policy.steer(&mut self.st, now, &pkt);
+        let fw = self.st.cfg.nic.firmware_per_packet;
+        match decision {
+            SteerDecision::FastPath { mark } => {
+                self.st.feedback(now, pkt.flow, pkt.ecn || mark);
+                let f = self
+                    .st
+                    .flows
+                    .get_mut(&pkt.flow)
+                    .expect("invariant: flow presence was checked earlier in this handler");
+                if f.ring_free() == 0 {
+                    // No RX descriptor: the NIC must drop.
+                    self.st.account_drop(now, pkt.flow, pkt.bytes, true);
+                    self.policy.on_fast_drop(&mut self.st, now, pkt.flow);
+                    return;
+                }
+                let q = self.st.queue_of(pkt.flow);
+                if self.st.rxq[q].pending_bytes() + pkt.bytes > self.st.queue_staging_bytes() {
+                    // This queue's staging partition overflowed while its
+                    // DMA pipeline is backpressured.
+                    self.st.rxq[q].stats.staging_drops += 1;
+                    self.st.account_drop(now, pkt.flow, pkt.bytes, true);
+                    self.policy.on_fast_drop(&mut self.st, now, pkt.flow);
+                    return;
+                }
+                let f = self
+                    .st
+                    .flows
+                    .get_mut(&pkt.flow)
+                    .expect("invariant: flow presence was checked earlier in this handler");
+                f.ring_inflight += 1;
+                let nic_seq = f.take_seq();
+                let buf = self.st.alloc_buf();
+                self.st.rxq[q].push(PendingDma {
+                    pkt,
+                    buf,
+                    nic_seq,
+                    via_slow: false,
+                    queue: q,
+                });
+                self.pump(queue, now + fw, q);
+            }
+            SteerDecision::SlowPath { mark } => {
+                self.st.feedback(now, pkt.flow, pkt.ecn || mark);
+                match self.st.onboard.write(now + fw, pkt.bytes) {
+                    Some(ready_at_nic) => {
+                        let f =
+                            self.st.flows.get_mut(&pkt.flow).expect(
+                                "invariant: flow presence was checked earlier in this handler",
+                            );
+                        let nic_seq = f.take_seq();
+                        f.slow_queue.push_back(SlowPkt {
+                            pkt,
+                            nic_seq,
+                            ready_at_nic,
+                        });
+                        f.counters.slow_pkts += 1;
+                        self.st
+                            .trace_event(now, Some(pkt.flow.0), TraceKind::SlowPark, pkt.bytes);
+                    }
+                    None => {
+                        self.st.account_drop(now, pkt.flow, pkt.bytes, true);
+                    }
+                }
+            }
+            SteerDecision::Drop { loss } => {
+                self.st.account_drop(now, pkt.flow, pkt.bytes, loss);
+            }
+        }
+    }
+}

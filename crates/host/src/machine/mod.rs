@@ -1,0 +1,619 @@
+//! The receive-host machine: composes all substrate models and dispatches
+//! the full packet lifecycle of Fig. 2.
+//!
+//! Event flow per packet:
+//!
+//! ```text
+//! Emit ─▶ (ingress link: serialize, ECN/drop) ─▶ NicRx
+//!   NicRx: RMT/policy steer
+//!     FastPath ─▶ [DMA credit + pacing] ─▶ HostArrive (IIO stage)
+//!                   ─▶ HostRetire (LLC/DRAM retire) ─▶ flow.ready
+//!     SlowPath ─▶ on-NIC memory ─▶ flow.slow_queue (await driver drain)
+//!     Drop     ─▶ loss feedback to DCTCP
+//!   CorePoll: driver poll hook (slow drain) + in-order batch delivery to
+//!             the app, charging memory stalls, compute, copies
+//! ```
+//!
+//! The machine is generic over the [`IoPolicy`]; the policy sees
+//! [`HostState`] (everything except itself), which keeps borrows simple and
+//! the plumbing identical across CEIO and the baselines.
+//!
+//! The event handlers live in per-subsystem child modules over this shared
+//! state, so each dispatch arm is readable and testable on its own:
+//!
+//! * [`mod@ingress`] — sender emission and NIC receive/steer (`Emit`, `NicRx`);
+//! * [`mod@dma`] — the NIC→host DMA pipeline (`Pump`, `HostArrive`,
+//!   `HostRetire`);
+//! * [`mod@consume`] — driver polls and application delivery (`CorePoll`);
+//! * [`mod@control`] — scenario steps, flow lifecycle, the queue-health
+//!   watchdog and failover (`ScenarioStep`, `Watchdog`), and chaos arming.
+//!
+//! Packet-carrying events hold slab handles ([`PktId`], [`DmaId`]) rather
+//! than payloads, keeping `Event` small on the event queue's hot path (see
+//! [`crate::slab`]).
+
+pub(crate) mod consume;
+pub(crate) mod control;
+pub(crate) mod dma;
+pub(crate) mod ingress;
+
+pub use control::{FailoverStats, WATCHDOG_INTERVAL};
+pub use dma::RecoveryStats;
+
+#[cfg(feature = "chaos")]
+pub use control::arm_chaos;
+#[cfg(feature = "chaos")]
+pub(crate) use control::HostChaos;
+
+use crate::config::HostConfig;
+use crate::flowstate::FlowState;
+use crate::measure::{Measurements, RunReport};
+use crate::policy::IoPolicy;
+use crate::rxq::{PendingDma, RxQueue};
+use crate::slab::{DmaId, PayloadSlabs, PktId};
+use ceio_cpu::{Application, CpuCore};
+use ceio_mem::{BufferId, MemoryController};
+use ceio_net::generator::Pacing;
+use ceio_net::{FlowClass, FlowId, FlowSpec, IngressLink, Scenario, ScenarioEvent};
+use ceio_nic::{rss_queue, ArmCore, OnboardMemory, QueueId, RmtEngine, SteerAction};
+use ceio_pcie::DmaEngine;
+use ceio_sim::{Bandwidth, EventQueue, Histogram, Model, Rng, Simulation, Time};
+use serde::Serialize;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Machine events.
+///
+/// Heap-resident size matters: every queued event rides the engine's
+/// priority structure, so packet-carrying variants hold generational slab
+/// handles ([`PktId`], [`DmaId`]) instead of payloads — the whole enum is a
+/// tag plus at most two machine words (pinned by a `size_of` test).
+#[derive(Debug, Clone, Copy)]
+pub enum Event {
+    /// Apply scenario event `idx`.
+    ScenarioStep(usize),
+    /// A flow's sender emits its next packet. `epoch` must match the
+    /// flow's current emission epoch (stale chains are cancelled on a
+    /// demand retarget; the epoch check stays as defense-in-depth).
+    Emit {
+        /// The emitting flow.
+        flow: FlowId,
+        /// Emission-chain epoch.
+        epoch: u64,
+    },
+    /// A packet arrived at the NIC from the wire (payload interned in the
+    /// packet slab).
+    NicRx(PktId),
+    /// DMA-written data arrived at the host IIO buffer (descriptor
+    /// interned in the DMA slab; it carries the issuing queue, because
+    /// failover can remap `queue_of` between issue and completion and the
+    /// credit must return to the channel that paid it).
+    HostArrive(DmaId),
+    /// The memory controller retired the data (readable by the CPU).
+    HostRetire(DmaId),
+    /// A core polls its flow's rings.
+    CorePoll(usize),
+    /// Periodic policy controller loop.
+    ControllerPoll,
+    /// Close a measurement window.
+    Sample,
+    /// Flight-recorder sampling epoch (see [`crate::scope`]); only
+    /// scheduled while a recorder is armed.
+    Scope,
+    /// Retry pending DMA issues on one receive queue (pacing gap, retry
+    /// backoff, or descriptor-issue gap elapsed).
+    Pump(usize),
+    /// Queue-health watchdog tick: inject queue-level faults, advance each
+    /// receive queue's lifecycle state machine, and drive failover. Only
+    /// scheduled when an armed fault plan carries a queue-level site (see
+    /// [`arm_chaos`]), so fault-free schedules never see it.
+    Watchdog,
+}
+
+impl Event {
+    /// Short label naming the event variant (used by audit reports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Event::ScenarioStep(_) => "ScenarioStep",
+            Event::Emit { .. } => "Emit",
+            Event::NicRx(_) => "NicRx",
+            Event::HostArrive(_) => "HostArrive",
+            Event::HostRetire(_) => "HostRetire",
+            Event::CorePoll(_) => "CorePoll",
+            Event::ControllerPoll => "ControllerPoll",
+            Event::Sample => "Sample",
+            Event::Scope => "Scope",
+            Event::Pump(_) => "Pump",
+            Event::Watchdog => "Watchdog",
+        }
+    }
+}
+
+/// Constructor for per-flow application consumers.
+pub type AppFactory = Box<dyn FnMut(&FlowSpec) -> Box<dyn Application>>;
+
+/// Mirror of the simulation engine's event-queue counters, copied into the
+/// host state after every dispatched event (the telemetry snapshot reads
+/// [`HostState`] and has no access to the `Simulation` that owns the
+/// queue). Exported as `ceio_sim_*` metrics.
+#[derive(Debug, Default, Clone, Copy, Serialize)]
+pub struct EngineStats {
+    /// Events dispatched by the engine so far (`ceio_sim_events_total`).
+    pub events_total: u64,
+    /// High-water mark of pending events (`ceio_sim_queue_peak`).
+    pub queue_peak: u64,
+    /// Timers cancelled before dispatch
+    /// (`ceio_sim_timers_cancelled_total`).
+    pub timers_cancelled: u64,
+}
+
+/// Everything in the machine except the policy. Policies receive
+/// `&mut HostState` in every hook.
+pub struct HostState {
+    /// Configuration of this host.
+    pub cfg: HostConfig,
+    /// Deterministic RNG (forked per flow).
+    pub rng: Rng,
+    /// All flows ever started (inactive ones retained for reporting).
+    pub flows: BTreeMap<FlowId, FlowState>,
+    /// Per-flow applications.
+    pub apps: BTreeMap<FlowId, Box<dyn Application>>,
+    app_factory: AppFactory,
+    /// The shared receiver link.
+    pub ingress: IngressLink,
+    /// The NIC's RMT steering engine (policies program it).
+    pub rmt: RmtEngine<FlowId>,
+    /// On-NIC elastic-buffer memory.
+    pub onboard: OnboardMemory,
+    /// On-NIC ARM control core (policies charge their work here).
+    pub nic_arm: ArmCore,
+    /// PCIe DMA engine and link.
+    pub dma: DmaEngine,
+    /// Host memory hierarchy.
+    pub memctrl: MemoryController,
+    /// Host CPU cores (index = core id).
+    pub cores: Vec<CpuCore>,
+    core_flows: Vec<Vec<FlowId>>,
+    core_rr: Vec<usize>,
+    flows_started: usize,
+    flows_started_per_queue: Vec<usize>,
+    poll_queued: Vec<bool>,
+    /// Per-receive-queue DMA issue pipelines (RSS shards). Length is
+    /// `cfg.num_queues`; index `q` is the queue `rss_queue` maps a flow to.
+    pub rxq: Vec<RxQueue>,
+    /// Failover indirection over the RSS hash: `queue_remap[h]` is the
+    /// queue flows hashing to `h` are actually steered through. Identity
+    /// while every queue is usable; rewritten to the healthy-queue mask by
+    /// the watchdog on failure and restored on recovery.
+    queue_remap: Vec<usize>,
+    iio_pending: VecDeque<PendingDma>,
+    /// Slabs interning in-flight packet payloads, so packet-carrying
+    /// events are handle-sized on the event queue (see [`crate::slab`]).
+    pub(crate) slabs: PayloadSlabs,
+    /// Engine event-queue counters, mirrored per event for telemetry.
+    pub engine: EngineStats,
+    /// NIC→host DMA pacing rate installed by policies (HostCC throttling).
+    pub dma_pace: Option<Bandwidth>,
+    dma_pace_until: Time,
+    next_buf_id: u64,
+    scenario: Vec<(Time, ScenarioEvent)>,
+    /// Live measurements.
+    pub meas: Measurements,
+    /// Packets dropped anywhere on the receive path.
+    pub dropped_total: u64,
+    /// Deliveries stalled by an ordering gap while later data was ready.
+    pub ordering_stalls: u64,
+    /// End-to-end latency of fast-path deliveries (post-warmup).
+    pub fast_latency: Histogram,
+    /// End-to-end latency of slow-path deliveries (post-warmup).
+    pub slow_latency: Histogram,
+    /// Fault-recovery counters (DMA retries, backoff, consumer pauses).
+    pub recovery: RecoveryStats,
+    /// Queue-failover counters (watchdog detections, re-steers, drains).
+    pub failover: FailoverStats,
+    read_attempts: u32,
+    read_backoff_until: Time,
+    /// Host-side chaos injector; `None` until [`Machine::arm_chaos`].
+    #[cfg(feature = "chaos")]
+    pub(crate) chaos: Option<Box<HostChaos>>,
+    /// Flight recorder; `None` until [`crate::scope::arm_scope`] arms it.
+    pub(crate) scope: Option<Box<ceio_telemetry::FlightRecorder>>,
+    /// Run label for archived-snapshot metadata: the fault-plan name or
+    /// `"none"` (see `ceio_run_info` in [`crate::telemetry`]).
+    pub(crate) run_label: String,
+    pacing: Pacing,
+    /// Event-trace recorder; `None` until [`Machine::arm_trace`] arms it.
+    #[cfg(feature = "trace")]
+    pub(crate) trace: Option<Box<crate::telemetry::HostTrace>>,
+}
+
+impl HostState {
+    /// Allocate a fresh host I/O buffer id.
+    fn alloc_buf(&mut self) -> BufferId {
+        let id = BufferId(self.next_buf_id);
+        self.next_buf_id += 1;
+        id
+    }
+
+    /// The receive queue (RSS shard) a flow's packets are DMAed through:
+    /// the flow's RSS hash bucket, indirected through the failover remap.
+    /// Identity composition while every queue is usable.
+    #[inline]
+    pub fn queue_of(&self, flow: FlowId) -> usize {
+        self.queue_remap[rss_queue(flow.0, self.rxq.len()).index()]
+    }
+
+    /// The flow's RSS home queue, ignoring any failover remap (where its
+    /// credit partition lives, and where steering returns after recovery).
+    #[inline]
+    pub fn home_queue_of(&self, flow: FlowId) -> usize {
+        rss_queue(flow.0, self.rxq.len()).index()
+    }
+
+    /// Per-queue staging budget: the NIC packet buffer is partitioned
+    /// evenly across the receive queues (one shard each, as RSS hardware
+    /// does), so one hot queue cannot starve the others of staging space.
+    /// With one queue this is the whole buffer — the monolithic limit.
+    #[inline]
+    fn queue_staging_bytes(&self) -> u64 {
+        self.cfg.nic_staging_bytes / self.rxq.len().max(1) as u64
+    }
+
+    /// Apply ECN feedback for one delivered packet to its sender.
+    fn feedback(&mut self, now: Time, flow: FlowId, marked: bool) {
+        if let Some(f) = self.flows.get_mut(&flow) {
+            f.cca.on_feedback(now, marked);
+        }
+    }
+
+    /// Signal a receive-path loss to the sender's congestion controller.
+    pub fn signal_loss(&mut self, now: Time, flow: FlowId) {
+        if let Some(f) = self.flows.get_mut(&flow) {
+            f.cca.on_loss(now);
+        }
+    }
+
+    /// Apply a controller-initiated ECN mark to a flow (receiver-side CCA
+    /// trigger, as HostCC and CEIO's slow-path overload detection do).
+    pub fn mark_flow(&mut self, now: Time, flow: FlowId) {
+        self.feedback(now, flow, true);
+    }
+
+    /// Install or clear the NIC DMA pacing rate (HostCC's throttle knob).
+    pub fn set_dma_pace(&mut self, pace: Option<Bandwidth>) {
+        self.dma_pace = pace;
+    }
+
+    /// IIO buffer occupancy fraction (HostCC's congestion signal).
+    pub fn iio_fraction(&self) -> f64 {
+        self.memctrl.iio.occupancy_fraction()
+    }
+
+    /// Sum of host-ring outstanding entries across all flows (the ShRing
+    /// shared-capacity view).
+    pub fn total_ring_outstanding(&self) -> u64 {
+        self.flows
+            .values()
+            .map(|f| f.ring_outstanding() as u64)
+            .sum()
+    }
+
+    /// Ids of flows that are currently active (still emitting).
+    pub fn active_flow_ids(&self) -> Vec<FlowId> {
+        let mut ids: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.active)
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Slow-queue length of a flow (packets parked in on-NIC memory).
+    pub fn slow_queue_len(&self, flow: FlowId) -> usize {
+        self.flows
+            .get(&flow)
+            .map(|f| f.slow_queue.len())
+            .unwrap_or(0)
+    }
+
+    /// Account one receive-path packet drop: run totals, window counters,
+    /// trace, the owning flow's counters (if the flow still exists), and —
+    /// when `loss` — congestion feedback to the sender. Callers layer any
+    /// path-specific bookkeeping (ring slots, staging stats, policy hooks)
+    /// on top.
+    pub(crate) fn account_drop(&mut self, now: Time, flow: FlowId, bytes: u64, loss: bool) {
+        self.dropped_total += 1;
+        self.meas.record_drop();
+        self.trace_event(now, Some(flow.0), ceio_telemetry::TraceKind::Drop, bytes);
+        if let Some(f) = self.flows.get_mut(&flow) {
+            f.counters.dropped += 1;
+            f.accounted += 1;
+        }
+        if loss {
+            self.signal_loss(now, flow);
+        }
+    }
+
+    /// Reset all measurements at `now` (end of warmup).
+    pub fn reset_measurements(&mut self, now: Time) {
+        let s = self.memctrl.llc.stats();
+        let (h, m) = (s.hits, s.misses);
+        self.meas.reset(now, h, m);
+        self.fast_latency.clear();
+        self.slow_latency.clear();
+        self.ordering_stalls = 0;
+        self.dropped_total = 0;
+        for f in self.flows.values_mut() {
+            f.latency.clear();
+            f.counters = Default::default();
+        }
+    }
+
+    /// Build the final report for this run.
+    pub fn report(&self, now: Time, policy: &str) -> RunReport {
+        let measured = now.since(self.meas.started_at);
+        let secs = measured.as_secs_f64().max(1e-12);
+        let mut involved_latency = Histogram::new();
+        let mut bypass_latency = Histogram::new();
+        for f in self.flows.values() {
+            match f.spec.class {
+                FlowClass::CpuInvolved => involved_latency.merge(&f.latency),
+                FlowClass::CpuBypass => bypass_latency.merge(&f.latency),
+            }
+        }
+        let s = self.memctrl.llc.stats();
+        let dh = s.hits - self.meas.hits_at_start;
+        let dm = s.misses - self.meas.misses_at_start;
+        let llc_miss_rate = if dh + dm == 0 {
+            0.0
+        } else {
+            dm as f64 / (dh + dm) as f64
+        };
+        RunReport {
+            policy: policy.to_string(),
+            measured,
+            involved_mpps: self.meas.total_involved_pkts as f64 / secs / 1e6,
+            involved_gbps: self.meas.total_involved_bytes as f64 * 8.0 / secs / 1e9,
+            bypass_gbps: self.meas.total_bypass_bytes as f64 * 8.0 / secs / 1e9,
+            bypass_mpps: self.meas.total_bypass_pkts as f64 / secs / 1e6,
+            llc_miss_rate,
+            involved_latency,
+            bypass_latency,
+            dropped: self.dropped_total,
+            slow_path_pkts: self.meas.slow_path_pkts,
+            fast_path_gbps: self.meas.fast_path_bytes as f64 * 8.0 / secs / 1e9,
+            slow_path_gbps: self.meas.slow_path_bytes as f64 * 8.0 / secs / 1e9,
+            fast_latency: self.fast_latency.clone(),
+            slow_latency: self.slow_latency.clone(),
+            ordering_stalls: self.ordering_stalls,
+            involved_mpps_series: self.meas.involved_mpps.clone(),
+            bypass_gbps_series: self.meas.bypass_gbps.clone(),
+            miss_series: self.meas.miss_rate.clone(),
+            fast_gbps_series: self.meas.fast_gbps.clone(),
+            slow_gbps_series: self.meas.slow_gbps.clone(),
+            drops_series: self.meas.drops.clone(),
+        }
+    }
+}
+
+/// The machine: host state plus the policy under test.
+pub struct Machine<P: IoPolicy> {
+    /// All simulated state.
+    pub st: HostState,
+    /// The I/O management policy.
+    pub policy: P,
+    /// The invariant auditor, when audit mode is armed (see
+    /// [`crate::audit`]). `None` costs one pointer-width test per event.
+    #[cfg(feature = "audit")]
+    pub auditor: Option<crate::audit::HostAuditor>,
+}
+
+impl<P: IoPolicy> Machine<P> {
+    /// Build a machine and seed its event queue with the scenario,
+    /// controller polls, and sampling; returns a ready-to-run simulation.
+    ///
+    /// `app_factory` constructs the application consuming each flow.
+    pub fn build(
+        cfg: HostConfig,
+        policy: P,
+        scenario: Scenario,
+        app_factory: AppFactory,
+    ) -> Simulation<Machine<P>> {
+        cfg.validate()
+            .expect("invariant: HostConfig passed to Machine::build must validate");
+        let num_queues = cfg.num_queues;
+        let mut rng = Rng::seed_from_u64(cfg.seed);
+        let mut dma = DmaEngine::new(cfg.pcie.clone());
+        dma.set_write_channels(num_queues);
+        let st = HostState {
+            rng: rng.fork(),
+            flows: BTreeMap::new(),
+            apps: BTreeMap::new(),
+            app_factory,
+            ingress: IngressLink::new(cfg.net.clone()),
+            rmt: RmtEngine::new(SteerAction::FastPath {
+                queue: QueueId::ZERO,
+            }),
+            onboard: OnboardMemory::new(
+                cfg.nic.onboard_capacity,
+                cfg.nic.onboard_bandwidth,
+                cfg.nic.onboard_base_latency,
+            ),
+            nic_arm: ArmCore::new(),
+            dma,
+            memctrl: MemoryController::new(cfg.mem.clone()),
+            cores: Vec::new(),
+            core_flows: Vec::new(),
+            core_rr: Vec::new(),
+            flows_started: 0,
+            flows_started_per_queue: vec![0; num_queues],
+            poll_queued: Vec::new(),
+            rxq: (0..num_queues).map(|_| RxQueue::new()).collect(),
+            queue_remap: (0..num_queues).collect(),
+            iio_pending: VecDeque::new(),
+            slabs: PayloadSlabs::new(),
+            engine: EngineStats::default(),
+            dma_pace: None,
+            dma_pace_until: Time::ZERO,
+            next_buf_id: 0,
+            scenario: scenario.events.clone(),
+            meas: Measurements::new(cfg.sample_window),
+            dropped_total: 0,
+            ordering_stalls: 0,
+            fast_latency: Histogram::new(),
+            slow_latency: Histogram::new(),
+            recovery: RecoveryStats::default(),
+            failover: FailoverStats::default(),
+            read_attempts: 0,
+            read_backoff_until: Time::ZERO,
+            #[cfg(feature = "chaos")]
+            chaos: None,
+            scope: None,
+            run_label: "none".to_string(),
+            pacing: Pacing::Poisson,
+            #[cfg(feature = "trace")]
+            trace: None,
+            cfg,
+        };
+        let mut sim = Simulation::new(Machine {
+            st,
+            policy,
+            // Arm the auditor at build time when the runtime switch is on
+            // (`CEIO_AUDIT=1` or `ceio_audit::set_enabled(true)`); tests
+            // can also arm it explicitly via [`Machine::arm_audit`].
+            #[cfg(feature = "audit")]
+            auditor: ceio_audit::enabled().then(crate::audit::HostAuditor::new),
+        });
+        for (idx, (at, _)) in sim.model.st.scenario.iter().enumerate() {
+            sim.queue.schedule_at(*at, Event::ScenarioStep(idx));
+        }
+        if let Some(iv) = sim.model.policy.controller_interval() {
+            sim.queue
+                .schedule_at(Time::ZERO + iv, Event::ControllerPoll);
+        }
+        let w = sim.model.st.cfg.sample_window;
+        sim.queue.schedule_at(Time::ZERO + w, Event::Sample);
+        sim
+    }
+
+    /// Use CBR pacing instead of Poisson (latency-benchmark style runs).
+    pub fn set_cbr_pacing(&mut self) {
+        self.st.pacing = Pacing::Cbr;
+    }
+
+    /// Label this run for archived-snapshot metadata (the fault-plan name;
+    /// surfaces as the `fault_plan` label of `ceio_run_info`).
+    pub fn set_run_label(&mut self, label: &str) {
+        self.st.run_label = label.to_string();
+    }
+}
+
+/// Run a machine for `warmup`, reset measurements, run `measure` more, and
+/// return the final report. This is the standard experiment entry point.
+pub fn run_to_report<P: IoPolicy>(
+    sim: &mut Simulation<Machine<P>>,
+    warmup: ceio_sim::Duration,
+    measure: ceio_sim::Duration,
+) -> RunReport {
+    let t_warm = Time::ZERO + warmup;
+    sim.run_until(t_warm, u64::MAX);
+    sim.model.st.reset_measurements(t_warm);
+    let t_end = t_warm + measure;
+    sim.run_until(t_end, u64::MAX);
+    let name = sim.model.policy.name().to_string();
+    sim.model.st.report(t_end, &name)
+}
+
+#[cfg(feature = "audit")]
+impl<P: IoPolicy> Machine<P> {
+    /// Install the invariant auditor regardless of the global runtime
+    /// switch (test harness entry point).
+    pub fn arm_audit(&mut self) {
+        self.auditor = Some(crate::audit::HostAuditor::new());
+    }
+
+    /// The audit report, if an auditor is armed.
+    pub fn audit_report(&self) -> Option<ceio_audit::AuditReport> {
+        self.auditor.as_ref().map(crate::audit::HostAuditor::report)
+    }
+}
+
+impl<P: IoPolicy> Model for Machine<P> {
+    type Event = Event;
+
+    fn handle(&mut self, now: Time, event: Event, queue: &mut EventQueue<Event>) {
+        #[cfg(feature = "audit")]
+        let label = event.label();
+        match event {
+            Event::ScenarioStep(idx) => self.scenario_step(now, idx, queue),
+            Event::Emit { flow, epoch } => self.on_emit(now, flow, epoch, queue),
+            Event::NicRx(pkt) => self.on_nic_rx(now, pkt, queue),
+            Event::HostArrive(dma) => self.on_host_arrive(now, dma, queue),
+            Event::HostRetire(dma) => self.on_host_retire(now, dma, queue),
+            Event::CorePoll(core) => self.on_core_poll(now, core, queue),
+            Event::ControllerPoll => {
+                self.policy.on_controller_poll(&mut self.st, now);
+                if let Some(iv) = self.policy.controller_interval() {
+                    queue.schedule_in(iv, Event::ControllerPoll);
+                }
+            }
+            Event::Sample => {
+                let s = self.st.memctrl.llc.stats();
+                let (h, m) = (s.hits, s.misses);
+                self.st.meas.close_window(now, h, m);
+                queue.schedule_in(self.st.cfg.sample_window, Event::Sample);
+            }
+            Event::Scope => {
+                // Take the recorder out of the state so sampling can read
+                // `st` immutably while the recorder is written.
+                if let Some(mut rec) = self.st.scope.take() {
+                    crate::scope::scope_sample(&self.st, now, &mut rec);
+                    self.policy.scope_sample(&mut rec, now);
+                    for fire in rec.end_epoch(now) {
+                        self.st.trace_event(
+                            now,
+                            None,
+                            ceio_telemetry::TraceKind::SloAlert,
+                            fire.rule as u64,
+                        );
+                    }
+                    let iv = rec.interval();
+                    self.st.scope = Some(rec);
+                    queue.schedule_in(iv, Event::Scope);
+                }
+            }
+            Event::Pump(q) => {
+                self.st.rxq[q].pump_timer = None;
+                self.pump(queue, now, q);
+            }
+            Event::Watchdog => self.on_watchdog(now, queue),
+        }
+        // Mirror the engine counters for the telemetry snapshot (three u64
+        // copies; the queue itself is invisible to `HostState` readers).
+        self.st.engine.events_total = queue.dispatched_total();
+        self.st.engine.queue_peak = queue.peak_pending() as u64;
+        self.st.engine.timers_cancelled = queue.cancelled_total();
+        #[cfg(feature = "audit")]
+        if let Some(aud) = self.auditor.as_mut() {
+            aud.after_event(now, label, &self.st, &self.policy);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pin the heap-resident event size: the payload-slimming refactor
+    /// holds only if `Event` stays a tag plus at most two machine words.
+    /// The issue's ceiling is 64 bytes; the current layout is 16 (the
+    /// `Emit` variant's tag+`FlowId` word plus its epoch word), asserted
+    /// exactly so an accidental fat variant fails loudly.
+    #[test]
+    fn event_size_is_pinned() {
+        assert!(std::mem::size_of::<Event>() <= 64);
+        assert_eq!(std::mem::size_of::<Event>(), 16);
+        assert!(std::mem::size_of::<Event>() <= 2 * std::mem::size_of::<usize>());
+    }
+}

@@ -10,13 +10,13 @@
 //! stays shared, exactly as in hardware.
 //!
 //! With one queue the struct holds precisely the fields the monolithic
-//! machine held (`nic_pending`, `nic_pending_bytes`, `pump_scheduled`,
+//! machine held (`nic_pending`, `nic_pending_bytes`, the pump wake flag,
 //! `write_attempts`, `write_backoff_until`), so the single-queue pipeline
 //! is the old pipeline under a new name — bit-identical by construction.
 
 use ceio_mem::BufferId;
 use ceio_net::Packet;
-use ceio_sim::Time;
+use ceio_sim::{Time, TimerToken};
 use serde::Serialize;
 use std::collections::VecDeque;
 
@@ -103,8 +103,10 @@ pub struct RxQueue {
     pub(crate) pending: VecDeque<PendingDma>,
     /// Bytes currently staged.
     pub(crate) pending_bytes: u64,
-    /// Whether a `Pump(q)` event for this queue is already scheduled.
-    pub(crate) pump_scheduled: bool,
+    /// Token of the pending `Pump(q)` wake-up for this queue, if one is
+    /// scheduled. Doubles as the dedup flag the machine previously kept as
+    /// a bool, and lets failover cancel a dead queue's wake in O(1).
+    pub(crate) pump_timer: Option<TimerToken>,
     /// Consecutive failed attempts of the head DMA write.
     pub(crate) write_attempts: u32,
     /// Retry-backoff gate: no issue before this instant.
@@ -142,7 +144,7 @@ impl RxQueue {
         RxQueue {
             pending: VecDeque::new(),
             pending_bytes: 0,
-            pump_scheduled: false,
+            pump_timer: None,
             write_attempts: 0,
             write_backoff_until: Time::ZERO,
             next_issue_at: Time::ZERO,

@@ -354,6 +354,25 @@ impl<P: IoPolicy> Machine<P> {
             st.failover.recoveries,
         );
 
+        // Simulation engine (DESIGN.md §14): event-queue counters mirrored
+        // into the host state after every dispatch, so schedule pressure
+        // and timer-cancellation effectiveness are observable per run.
+        b.counter(
+            "ceio_sim_events_total",
+            "Events dispatched by the simulation engine.",
+            st.engine.events_total,
+        );
+        b.gauge(
+            "ceio_sim_queue_peak",
+            "High-water mark of pending events in the engine queue.",
+            st.engine.queue_peak as f64,
+        );
+        b.counter(
+            "ceio_sim_timers_cancelled_total",
+            "Timers cancelled before dispatch via their TimerToken.",
+            st.engine.timers_cancelled,
+        );
+
         // Chaos injection counters, when the feature is compiled in.
         // Zero unless a fault plan is armed.
         #[cfg(feature = "chaos")]

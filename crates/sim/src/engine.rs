@@ -82,10 +82,16 @@ impl<M: Model> Simulation<M> {
         self.events_processed
     }
 
-    /// Dispatch a single event, if one is pending. Returns `false` when the
-    /// queue is empty.
-    pub fn step(&mut self) -> bool {
-        match self.queue.pop() {
+    /// Dispatch a single event, if one is pending strictly before `horizon`.
+    /// Returns `false` when the queue is empty or the next event is at or
+    /// beyond the horizon (the event stays queued and the clock holds).
+    ///
+    /// Manual steppers pass the same horizon they would give
+    /// [`Simulation::run_until`], so the two paths cannot disagree on
+    /// whether a boundary event runs; pass [`Time::MAX`] for "next event,
+    /// whenever it is".
+    pub fn step(&mut self, horizon: Time) -> bool {
+        match self.queue.pop_before(horizon) {
             Some(entry) => {
                 self.events_processed += 1;
                 self.model.handle(entry.at, entry.event, &mut self.queue);
@@ -100,19 +106,29 @@ impl<M: Model> Simulation<M> {
     ///
     /// `max_events` is a runaway guard for experiment harnesses; pass
     /// `u64::MAX` for "no budget".
+    ///
+    /// The hot loop costs a single queue pop per event
+    /// ([`EventQueue::pop_before`]) — there is no separate peek-then-pop.
     pub fn run_until(&mut self, horizon: Time, max_events: u64) -> StepOutcome {
         let mut budget = max_events;
         loop {
-            match self.queue.peek_time() {
-                None => return StepOutcome::QueueExhausted,
-                Some(t) if t >= horizon => return StepOutcome::ReachedHorizon,
-                Some(_) => {}
-            }
             if budget == 0 {
-                return StepOutcome::BudgetExhausted;
+                // Out of budget: classify what stopped us without consuming
+                // anything, matching the pre-budget checks of the hot loop.
+                return match self.queue.peek_time() {
+                    None => StepOutcome::QueueExhausted,
+                    Some(t) if t >= horizon => StepOutcome::ReachedHorizon,
+                    Some(_) => StepOutcome::BudgetExhausted,
+                };
+            }
+            if !self.step(horizon) {
+                return if self.queue.is_empty() {
+                    StepOutcome::QueueExhausted
+                } else {
+                    StepOutcome::ReachedHorizon
+                };
             }
             budget -= 1;
-            self.step();
         }
     }
 }
@@ -184,7 +200,19 @@ mod tests {
     #[test]
     fn step_returns_false_on_empty_queue() {
         let mut sim = ticker_sim(0);
-        assert!(sim.step());
-        assert!(!sim.step());
+        assert!(sim.step(Time::MAX));
+        assert!(!sim.step(Time::MAX));
+    }
+
+    #[test]
+    fn step_honors_horizon_like_run_until() {
+        let mut stepped = ticker_sim(1000);
+        let mut ran = ticker_sim(1000);
+        while stepped.step(Time(35)) {}
+        ran.run_until(Time(35), u64::MAX);
+        // Both paths stop before the boundary event at t=40.
+        assert_eq!(stepped.model.fired_at, ran.model.fired_at);
+        assert_eq!(stepped.now(), ran.now());
+        assert_eq!(stepped.queue.peek_time(), Some(Time(40)));
     }
 }

@@ -1,13 +1,26 @@
 //! Deterministic future-event list.
 //!
-//! A binary-heap priority queue keyed by `(time, sequence)`. The sequence
-//! number makes simultaneous events pop in insertion order, which is what
-//! makes whole-simulation replays bit-identical: two events scheduled for the
-//! same nanosecond always dispatch in the order they were scheduled.
+//! Events are keyed by `(time, sequence)`: the sequence number makes
+//! simultaneous events pop in insertion order, which is what makes
+//! whole-simulation replays bit-identical — two events scheduled for the same
+//! nanosecond always dispatch in the order they were scheduled.
+//!
+//! Internally the queue is split in two:
+//!
+//! * a **generational slab** holding the event payloads, so the priority
+//!   structure only ever moves 24-byte `(time, seq, slot)` keys and so a
+//!   scheduled event can be cancelled in O(1) through a [`TimerToken`]
+//!   (cancellation frees the payload immediately; the orphaned key is
+//!   lazily skipped when it surfaces);
+//! * a pluggable **priority backend** ([`QueueBackend`]): the default is a
+//!   hierarchical timing wheel (64-slot radix per level, 11 levels covering
+//!   the full `u64` nanosecond range) with O(1) amortised push/pop; a binary
+//!   heap is kept as the reference implementation, pinned equivalent by
+//!   property tests and selectable for control runs.
 
 use crate::time::{Duration, Time};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// An event with its scheduled dispatch time.
 #[derive(Debug, Clone)]
@@ -33,7 +46,7 @@ impl<E> PartialOrd for EventEntry<E> {
 }
 
 impl<E> Ord for EventEntry<E> {
-    // Reverse ordering: BinaryHeap is a max-heap, we want earliest-first.
+    // Reverse ordering: earliest-first under a max-heap discipline.
     fn cmp(&self, other: &Self) -> Ordering {
         other
             .at
@@ -42,16 +55,251 @@ impl<E> Ord for EventEntry<E> {
     }
 }
 
+/// Handle to a cancellable scheduled event.
+///
+/// Returned by [`EventQueue::schedule_cancellable_at`]; pass it back to
+/// [`EventQueue::cancel`] to drop the event in O(1) before it dispatches.
+/// Tokens are generational: once the event dispatches (or is cancelled) the
+/// token goes stale and further `cancel` calls return `false`, even if the
+/// underlying slot has been reused by a newer event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerToken {
+    idx: u32,
+    gen: u32,
+}
+
+/// Which priority structure orders the future-event list.
+///
+/// Both backends produce bit-identical `(time, seq)` pop order (pinned by
+/// property tests); they differ only in cost. The wheel is the default; the
+/// heap is kept as the slow reference for debugging and as the control arm of
+/// the `engine` perf experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueBackend {
+    /// Hierarchical timing wheel: O(1) amortised schedule/pop.
+    Wheel,
+    /// Binary heap: O(log n) schedule/pop (seed-era reference).
+    Heap,
+}
+
+/// Priority key: everything the backend needs to order an event. The payload
+/// stays in the slab; `idx` points at its slot.
+#[derive(Debug, Clone, Copy)]
+struct Key {
+    at: Time,
+    seq: u64,
+    idx: u32,
+}
+
+/// [`Key`] with earliest-first ordering for the reference `BinaryHeap`.
+#[derive(Debug, Clone, Copy)]
+struct HeapKey(Key);
+
+impl PartialEq for HeapKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.at == other.0.at && self.0.seq == other.0.seq
+    }
+}
+impl Eq for HeapKey {}
+impl PartialOrd for HeapKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .0
+            .at
+            .cmp(&self.0.at)
+            .then_with(|| other.0.seq.cmp(&self.0.seq))
+    }
+}
+
+/// Bits per wheel level: 64 slots each.
+const LEVEL_BITS: u32 = 6;
+/// Slots per wheel level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Levels needed so `LEVELS * LEVEL_BITS >= 64`: the wheel spans the whole
+/// `u64` nanosecond timeline with no overflow list.
+const LEVELS: usize = 11;
+
+/// Mask of the low `bits` bits, saturating at the full word.
+#[inline]
+fn low_mask(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// Hierarchical timing wheel over absolute nanosecond times.
+///
+/// Level `l` buckets keys by bits `[6l, 6(l+1))` of their dispatch time.
+/// A key lands on the level of its *highest bit differing from the wheel
+/// cursor*, so level 0 slots each hold exactly one nanosecond and draining a
+/// slot (sorted by `seq`) preserves same-time FIFO order. Popping re-anchors
+/// the cursor to the drained window's base before rescanning, so slots whose
+/// index is below the old cursor position are still found after a
+/// higher-level bucket is redistributed.
+#[derive(Debug)]
+struct Wheel {
+    /// `LEVELS * SLOTS` buckets, row-major by level.
+    buckets: Vec<Vec<Key>>,
+    /// Per-level slot occupancy bitmap.
+    occupied: [u64; LEVELS],
+    /// Cursor: all wheel-resident keys have `at.0 > cur`; keys at or before
+    /// the cursor live in `ready`.
+    cur: u64,
+    /// Imminent keys in dispatch order (ascending `(at, seq)`).
+    ready: VecDeque<Key>,
+}
+
+impl Wheel {
+    fn new() -> Self {
+        Wheel {
+            buckets: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; LEVELS],
+            cur: 0,
+            ready: VecDeque::new(),
+        }
+    }
+
+    fn push(&mut self, key: Key) {
+        let at = key.at.0;
+        if at <= self.cur {
+            // Already inside the drained window: merge into the sorted ready
+            // run. Same-time keys sort after existing ones (their seq is
+            // larger), preserving FIFO.
+            let pos = self
+                .ready
+                .partition_point(|k| (k.at, k.seq) <= (key.at, key.seq));
+            self.ready.insert(pos, key);
+            return;
+        }
+        let diff = at ^ self.cur;
+        let level = ((63 - diff.leading_zeros()) / LEVEL_BITS) as usize;
+        let slot = ((at >> (LEVEL_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        self.buckets[level * SLOTS + slot].push(key);
+        self.occupied[level] |= 1u64 << slot;
+    }
+
+    /// Refill `ready` from the wheel until it holds the minimum key (or the
+    /// wheel is empty). Amortised O(1): every key cascades down at most
+    /// `LEVELS - 1` times over its lifetime.
+    fn advance(&mut self) {
+        while self.ready.is_empty() {
+            if self.occupied[0] != 0 {
+                // Lowest occupied level-0 slot is the earliest nanosecond:
+                // drain it in seq order.
+                let slot = self.occupied[0].trailing_zeros() as usize;
+                self.occupied[0] &= !(1u64 << slot);
+                let mut batch = std::mem::take(&mut self.buckets[slot]);
+                batch.sort_unstable_by_key(|k| k.seq);
+                debug_assert!(batch.windows(2).all(|w| w[0].at == w[1].at));
+                if let Some(first) = batch.first() {
+                    self.cur = first.at.0;
+                }
+                self.ready.extend(batch.drain(..));
+                self.buckets[slot] = batch; // hand the allocation back
+                return;
+            }
+            let Some(level) = (1..LEVELS).find(|&l| self.occupied[l] != 0) else {
+                return; // wheel empty
+            };
+            // Redistribute the earliest occupied bucket one level down,
+            // re-anchoring the cursor to the bucket's window base first so
+            // the re-pushed keys spread over the full child range.
+            let slot = self.occupied[level].trailing_zeros() as usize;
+            self.occupied[level] &= !(1u64 << slot);
+            let batch = std::mem::take(&mut self.buckets[level * SLOTS + slot]);
+            let lb = LEVEL_BITS * level as u32;
+            self.cur = (self.cur & !low_mask(lb + LEVEL_BITS)) | ((slot as u64) << lb);
+            for key in batch {
+                debug_assert!(key.at.0 >= self.cur);
+                self.push(key);
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<&Key> {
+        self.advance();
+        self.ready.front()
+    }
+
+    fn pop(&mut self) -> Option<Key> {
+        self.advance();
+        self.ready.pop_front()
+    }
+
+    /// Remove every key (in no particular order), for backend conversion.
+    fn drain_all(&mut self) -> Vec<Key> {
+        let mut out: Vec<Key> = self.ready.drain(..).collect();
+        for bucket in &mut self.buckets {
+            out.append(bucket);
+        }
+        self.occupied = [0; LEVELS];
+        out
+    }
+}
+
+/// The pluggable priority structure.
+#[derive(Debug)]
+enum Backend {
+    Wheel(Box<Wheel>),
+    Heap(BinaryHeap<HeapKey>),
+}
+
+impl Backend {
+    fn push(&mut self, key: Key) {
+        match self {
+            Backend::Wheel(w) => w.push(key),
+            Backend::Heap(h) => h.push(HeapKey(key)),
+        }
+    }
+
+    fn peek(&mut self) -> Option<Key> {
+        match self {
+            Backend::Wheel(w) => w.peek().copied(),
+            Backend::Heap(h) => h.peek().map(|k| k.0),
+        }
+    }
+
+    fn pop(&mut self) -> Option<Key> {
+        match self {
+            Backend::Wheel(w) => w.pop(),
+            Backend::Heap(h) => h.pop().map(|k| k.0),
+        }
+    }
+}
+
+/// One payload slot of the generational slab.
+#[derive(Debug)]
+struct Slot<E> {
+    /// Bumped on every free; stale [`TimerToken`]s fail the generation check.
+    gen: u32,
+    /// Seq of the current occupant; orphaned keys fail the seq check.
+    seq: u64,
+    event: Option<E>,
+}
+
 /// The future-event list of a simulation.
 ///
 /// `E` is the model's event payload type. The queue tracks the current
 /// simulated time; popping an event advances the clock to its dispatch time.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<EventEntry<E>>,
+    backend: Backend,
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
     now: Time,
     next_seq: u64,
     scheduled_total: u64,
+    dispatched_total: u64,
+    cancelled_total: u64,
+    live: usize,
+    peak_live: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -61,14 +309,62 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// An empty queue at time zero.
+    /// An empty queue at time zero, on the default (timing wheel) backend.
     pub fn new() -> Self {
+        Self::with_backend(QueueBackend::Wheel)
+    }
+
+    /// An empty queue at time zero on an explicit backend.
+    pub fn with_backend(backend: QueueBackend) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            backend: match backend {
+                QueueBackend::Wheel => Backend::Wheel(Box::new(Wheel::new())),
+                QueueBackend::Heap => Backend::Heap(BinaryHeap::new()),
+            },
+            slots: Vec::new(),
+            free: Vec::new(),
             now: Time::ZERO,
             next_seq: 0,
             scheduled_total: 0,
+            dispatched_total: 0,
+            cancelled_total: 0,
+            live: 0,
+            peak_live: 0,
         }
+    }
+
+    /// Which backend orders this queue.
+    pub fn backend(&self) -> QueueBackend {
+        match self.backend {
+            Backend::Wheel(_) => QueueBackend::Wheel,
+            Backend::Heap(_) => QueueBackend::Heap,
+        }
+    }
+
+    /// Rebuild the queue on a different backend, preserving every pending
+    /// event and the exact `(time, seq)` dispatch order. O(n); intended for
+    /// control runs that flip a fully-seeded simulation onto the reference
+    /// heap.
+    pub fn set_backend(&mut self, backend: QueueBackend) {
+        if self.backend() == backend {
+            return;
+        }
+        let keys = match &mut self.backend {
+            Backend::Wheel(w) => w.drain_all(),
+            Backend::Heap(h) => std::mem::take(h).into_iter().map(|k| k.0).collect(),
+        };
+        let mut next = match backend {
+            QueueBackend::Wheel => {
+                let mut w = Wheel::new();
+                w.cur = self.now.0;
+                Backend::Wheel(Box::new(w))
+            }
+            QueueBackend::Heap => Backend::Heap(BinaryHeap::with_capacity(keys.len())),
+        };
+        for key in keys {
+            next.push(key);
+        }
+        self.backend = next;
     }
 
     /// The current simulated time (the dispatch time of the last popped
@@ -78,11 +374,33 @@ impl<E> EventQueue<E> {
         self.now
     }
 
-    /// Schedule `event` at absolute instant `at`.
-    ///
-    /// Scheduling in the past is a model bug; the event is clamped to `now`
-    /// so causality is preserved, and debug builds panic to flag the bug.
-    pub fn schedule_at(&mut self, at: Time, event: E) {
+    fn alloc(&mut self, seq: u64, event: E) -> u32 {
+        self.live += 1;
+        self.peak_live = self.peak_live.max(self.live);
+        if let Some(idx) = self.free.pop() {
+            let slot = &mut self.slots[idx as usize];
+            slot.seq = seq;
+            slot.event = Some(event);
+            idx
+        } else {
+            debug_assert!(self.slots.len() < u32::MAX as usize, "invariant: slab full");
+            self.slots.push(Slot {
+                gen: 0,
+                seq,
+                event: Some(event),
+            });
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    fn release(&mut self, idx: u32) {
+        let slot = &mut self.slots[idx as usize];
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(idx);
+        self.live -= 1;
+    }
+
+    fn schedule_key(&mut self, at: Time, event: E) -> Key {
         debug_assert!(
             at >= self.now,
             "scheduled event in the past: at={at} now={}",
@@ -92,7 +410,18 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        self.heap.push(EventEntry { at, seq, event });
+        let idx = self.alloc(seq, event);
+        let key = Key { at, seq, idx };
+        self.backend.push(key);
+        key
+    }
+
+    /// Schedule `event` at absolute instant `at`.
+    ///
+    /// Scheduling in the past is a model bug; the event is clamped to `now`
+    /// so causality is preserved, and debug builds panic to flag the bug.
+    pub fn schedule_at(&mut self, at: Time, event: E) {
+        self.schedule_key(at, event);
     }
 
     /// Schedule `event` after a relative delay from now.
@@ -101,35 +430,140 @@ impl<E> EventQueue<E> {
         self.schedule_at(self.now + delay, event);
     }
 
+    /// Schedule `event` at `at` and return a [`TimerToken`] that can cancel
+    /// it in O(1) any time before it dispatches.
+    pub fn schedule_cancellable_at(&mut self, at: Time, event: E) -> TimerToken {
+        let key = self.schedule_key(at, event);
+        TimerToken {
+            idx: key.idx,
+            gen: self.slots[key.idx as usize].gen,
+        }
+    }
+
+    /// Cancellable variant of [`EventQueue::schedule_in`].
+    #[inline]
+    pub fn schedule_cancellable_in(&mut self, delay: Duration, event: E) -> TimerToken {
+        self.schedule_cancellable_at(self.now + delay, event)
+    }
+
+    /// Cancel a pending event in O(1). Returns `true` if the event was still
+    /// pending (and is now dropped), `false` if it already dispatched, was
+    /// already cancelled, or the token is stale. The payload is freed
+    /// immediately; the backend's orphaned key is skipped lazily on pop.
+    pub fn cancel(&mut self, token: TimerToken) -> bool {
+        let Some(slot) = self.slots.get_mut(token.idx as usize) else {
+            return false;
+        };
+        if slot.gen != token.gen || slot.event.is_none() {
+            return false;
+        }
+        slot.event = None;
+        self.release(token.idx);
+        self.cancelled_total += 1;
+        true
+    }
+
+    /// Whether the key still references a live (uncancelled) payload.
+    #[inline]
+    fn is_live(&self, key: Key) -> bool {
+        let slot = &self.slots[key.idx as usize];
+        slot.seq == key.seq && slot.event.is_some()
+    }
+
+    /// Take the payload of a known-live key, advancing the clock.
+    fn dispatch(&mut self, key: Key) -> EventEntry<E> {
+        debug_assert!(key.at >= self.now, "event queue went backwards");
+        let event = self.slots[key.idx as usize]
+            .event
+            .take()
+            .expect("invariant: dispatching a live key");
+        self.release(key.idx);
+        self.now = key.at;
+        self.dispatched_total += 1;
+        EventEntry {
+            at: key.at,
+            seq: key.seq,
+            event,
+        }
+    }
+
+    /// Discard cancelled keys at the front, returning the minimum live key
+    /// without removing it.
+    fn clean_peek(&mut self) -> Option<Key> {
+        loop {
+            let key = self.backend.peek()?;
+            if self.is_live(key) {
+                return Some(key);
+            }
+            self.backend.pop();
+        }
+    }
+
     /// Pop the earliest event, advancing the clock to its dispatch time.
     pub fn pop(&mut self) -> Option<EventEntry<E>> {
-        let entry = self.heap.pop()?;
-        debug_assert!(entry.at >= self.now, "event queue went backwards");
-        self.now = entry.at;
-        Some(entry)
+        loop {
+            let key = self.backend.pop()?;
+            if self.is_live(key) {
+                return Some(self.dispatch(key));
+            }
+        }
+    }
+
+    /// Pop the earliest event only if it dispatches strictly before
+    /// `horizon`. Events at or beyond the horizon stay queued and the clock
+    /// does not move. This is the single-pop primitive the run loop uses
+    /// instead of a separate peek-then-pop.
+    pub fn pop_before(&mut self, horizon: Time) -> Option<EventEntry<E>> {
+        let key = self.clean_peek()?;
+        if key.at >= horizon {
+            return None;
+        }
+        self.backend.pop();
+        Some(self.dispatch(key))
     }
 
     /// Dispatch time of the next event without popping it.
-    pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|e| e.at)
+    ///
+    /// Needs `&mut self`: cancelled entries at the front are lazily discarded
+    /// so the reported time always belongs to a live event.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        self.clean_peek().map(|k| k.at)
     }
 
-    /// Number of pending events.
+    /// Number of pending (live, uncancelled) events.
     #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.live
     }
 
     /// Whether no events are pending.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.live == 0
     }
 
     /// Total events ever scheduled (for run diagnostics).
     #[inline]
     pub fn scheduled_total(&self) -> u64 {
         self.scheduled_total
+    }
+
+    /// Total events dispatched (popped) so far.
+    #[inline]
+    pub fn dispatched_total(&self) -> u64 {
+        self.dispatched_total
+    }
+
+    /// Total timers cancelled before dispatch.
+    #[inline]
+    pub fn cancelled_total(&self) -> u64 {
+        self.cancelled_total
+    }
+
+    /// High-water mark of pending events over the queue's lifetime.
+    #[inline]
+    pub fn peak_pending(&self) -> usize {
+        self.peak_live
     }
 }
 
@@ -205,5 +639,145 @@ mod tests {
         q.pop();
         assert_eq!(q.len(), 1);
         assert_eq!(q.scheduled_total(), 2);
+    }
+
+    /// Times spanning every wheel level, scheduled shuffled, pop sorted.
+    #[test]
+    fn cross_level_times_pop_sorted() {
+        let times = [
+            1u64,
+            63,
+            64,
+            65,
+            127,
+            128,
+            4095,
+            4096,
+            1 << 18,
+            (1 << 18) + 1,
+            1 << 30,
+            1 << 45,
+            (1 << 45) + 12345,
+            u64::MAX / 2,
+            u64::MAX - 1,
+        ];
+        let mut q = EventQueue::new();
+        // Deliberately interleaved insertion order.
+        for (i, &t) in times.iter().enumerate().rev() {
+            q.schedule_at(Time(t), i);
+        }
+        let popped: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.at.0)).collect();
+        let mut want = times.to_vec();
+        want.sort_unstable();
+        assert_eq!(popped, want);
+    }
+
+    /// Regression: after a higher-level bucket redistributes, level-0 slots
+    /// with indices *below* the old cursor's slot index must still be found
+    /// (the cursor re-anchors to the new window base).
+    #[test]
+    fn redistribution_reaches_low_slot_indices() {
+        let mut q = EventQueue::new();
+        // 70 -> level-0 slot 6 of window [64,128); 130 -> slot 2 of [128,192).
+        q.schedule_at(Time(70), "a");
+        q.schedule_at(Time(130), "b");
+        assert_eq!(q.pop().map(|e| (e.at, e.event)), Some((Time(70), "a")));
+        assert_eq!(q.pop().map(|e| (e.at, e.event)), Some((Time(130), "b")));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_drops_pending_event() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time(10), "keep");
+        let tok = q.schedule_cancellable_at(Time(5), "drop");
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(tok));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.cancelled_total(), 1);
+        // Cancelled event neither dispatches nor advances the clock early.
+        let e = q.pop().unwrap();
+        assert_eq!((e.at, e.event), (Time(10), "keep"));
+        assert!(q.pop().is_none());
+        // Double-cancel and post-dispatch cancel are inert.
+        assert!(!q.cancel(tok));
+    }
+
+    #[test]
+    fn cancel_after_dispatch_is_stale() {
+        let mut q = EventQueue::new();
+        let tok = q.schedule_cancellable_at(Time(1), ());
+        assert!(q.pop().is_some());
+        assert!(!q.cancel(tok));
+        // Slot reuse must not resurrect the old token.
+        let _tok2 = q.schedule_cancellable_at(Time(2), ());
+        assert!(!q.cancel(tok));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn peek_skips_cancelled_front() {
+        let mut q = EventQueue::new();
+        let tok = q.schedule_cancellable_at(Time(3), 0);
+        q.schedule_at(Time(8), 1);
+        assert!(q.cancel(tok));
+        assert_eq!(q.peek_time(), Some(Time(8)));
+        assert_eq!(q.pop_before(Time(8)), None);
+        assert_eq!(q.now(), Time::ZERO);
+        assert_eq!(q.pop().map(|e| e.event), Some(1));
+    }
+
+    #[test]
+    fn pop_before_honors_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time(10), "a");
+        q.schedule_at(Time(20), "b");
+        assert_eq!(q.pop_before(Time(10)), None);
+        assert_eq!(q.now(), Time::ZERO);
+        let e = q.pop_before(Time(15)).unwrap();
+        assert_eq!((e.at, e.event), (Time(10), "a"));
+        assert_eq!(q.pop_before(Time(15)), None);
+        assert_eq!(q.now(), Time(10));
+    }
+
+    #[test]
+    fn backend_conversion_preserves_order() {
+        let mut wheel = EventQueue::new();
+        let mut heap = EventQueue::with_backend(QueueBackend::Heap);
+        assert_eq!(wheel.backend(), QueueBackend::Wheel);
+        assert_eq!(heap.backend(), QueueBackend::Heap);
+        for q in [&mut wheel, &mut heap] {
+            for i in 0..50u64 {
+                q.schedule_at(Time((i * 37) % 11), i);
+            }
+            let tok = q.schedule_cancellable_at(Time(4), 999);
+            q.cancel(tok);
+        }
+        // Flip the wheel-seeded queue onto the heap mid-flight.
+        wheel.set_backend(QueueBackend::Heap);
+        assert_eq!(wheel.backend(), QueueBackend::Heap);
+        loop {
+            let a = wheel.pop().map(|e| (e.at, e.event));
+            let b = heap.pop().map(|e| (e.at, e.event));
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_and_peak_counters() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time(1), ());
+        q.schedule_at(Time(2), ());
+        q.schedule_at(Time(3), ());
+        assert_eq!(q.peak_pending(), 3);
+        q.pop();
+        q.pop();
+        assert_eq!(q.dispatched_total(), 2);
+        assert_eq!(q.peak_pending(), 3);
+        q.schedule_at(Time(9), ());
+        assert_eq!(q.peak_pending(), 3);
     }
 }

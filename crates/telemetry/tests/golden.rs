@@ -80,6 +80,21 @@ fn fixture_snapshot() -> ceio_telemetry::Snapshot {
         360,
     );
     b.gauge("ceio_llc_miss_rate", "LLC miss rate over the run.", 0.0625);
+    b.counter(
+        "ceio_sim_events_total",
+        "Events dispatched by the simulation engine.",
+        48_000,
+    );
+    b.gauge(
+        "ceio_sim_queue_peak",
+        "High-water mark of pending events in the engine queue.",
+        1536.0,
+    );
+    b.counter(
+        "ceio_sim_timers_cancelled_total",
+        "Timers cancelled before dispatch via their TimerToken.",
+        230,
+    );
     b.gauge_with(
         "ceio_credit_assigned",
         "Credits currently assigned to a flow.",

@@ -136,6 +136,20 @@ grep -q "<svg" "$smoke_dir/ceio-report.html" \
     || { echo "scope smoke: report carries no inline SVG charts"; exit 1; }
 echo "scope smoke passed"
 
+echo "==> perf smoke (engine events/sec, wheel vs heap)"
+# Runs the `engine` experiment in quick mode and archives its
+# BENCH_engine.json. Non-gating on absolute numbers: shared CI runners
+# make wall-clock throughput (and even the wheel/heap ratio) too noisy to
+# fail the build on, so the gate is only that the experiment runs and the
+# JSON artifact is well-formed. The trajectory lives in the archived
+# artifacts; EXPERIMENTS.md records numbers from a quiet machine.
+(cd "$smoke_dir" && "$OLDPWD/target/release/ceio-experiments" --quick --jobs 2 engine \
+    > engine-stdout.txt)
+grep -q '"min_speedup"' "$smoke_dir/BENCH_engine.json" \
+    || { echo "perf smoke: BENCH_engine.json missing or malformed"; exit 1; }
+cp "$smoke_dir/BENCH_engine.json" BENCH_engine.json
+echo "perf smoke passed ($(grep -o '"min_speedup": [0-9.]*' BENCH_engine.json))"
+
 echo "==> failover smoke (queue-flap plan, 4 queues)"
 # Reuses the trace+chaos ceio-inspect built above. The canned queue-flap
 # plan must kill at least one RSS queue, the watchdog must fail it over
