@@ -131,7 +131,10 @@ impl IoPolicy for HostCcPolicy {
 
     fn on_controller_poll(&mut self, st: &mut HostState, _now: Time) {
         let occ = st.iio_fraction();
-        // Sample the LLC miss rate over the last detection window.
+        // Sample the LLC miss rate over the last detection window. The
+        // stats surface is the `LlcModel` trait's, so the signal is
+        // model-agnostic: pool and set-associative runs feed HostCC the
+        // same windowed hit/miss deltas.
         let s = st.memctrl.llc.stats();
         let (dh, dm) = (s.hits - self.last_hits, s.misses - self.last_misses);
         self.last_hits = s.hits;

@@ -17,6 +17,7 @@
 //!              [--millis N] [--warmup-ms N] [--ring N] \
 //!              [--trace-out FILE] [--prom-out FILE]    \
 //!              [--seed N] [--fault-plan SPEC] [--queues N] \
+//!              [--llc-model pool|setassoc] [--ddio-ways N] \
 //!              [--scope-interval DUR] [--slo SPEC] [--out FILE]
 //! ```
 //!
@@ -30,6 +31,12 @@
 //! threshold+duration rules, e.g.
 //! `alert=over,when=llc_occupancy_bytes,above=ddio_capacity_bytes,for=50us`;
 //! a malformed spec or duration exits 2.
+//!
+//! `--llc-model pool|setassoc` selects the LLC model and `--ddio-ways N`
+//! the DDIO-reachable way count (§4.1: 6 of 12); under `setassoc` the
+//! credit pool re-derives from the way slice, and the export grows
+//! per-way occupancy gauges. Impossible geometry (e.g. more DDIO ways
+//! than total ways) exits 2.
 //!
 //! `--fault-plan` arms a deterministic fault-injection schedule (canned
 //! name or `key=value` spec; see `ceio-chaos`) seeded by `--seed`, so a
@@ -51,6 +58,7 @@ use ceio_bench::runner::{PolicyKind, CHAOS_COMPILED};
 use ceio_bench::workloads::{self, AppKind, Transport};
 use ceio_chaos::FaultPlan;
 use ceio_host::Machine;
+use ceio_mem::LlcModelKind;
 use ceio_sim::{Duration, Time};
 use ceio_telemetry::{chrome_trace_json, json, render_html, scope, SloRule};
 #[cfg(feature = "trace")]
@@ -80,6 +88,8 @@ struct Args {
     plan: Option<FaultPlan>,
     plan_label: String,
     queues: usize,
+    ddio_ways: Option<u32>,
+    llc_model: Option<LlcModelKind>,
     seed: u64,
     scope_interval: Option<Duration>,
     slos: Vec<SloRule>,
@@ -138,6 +148,64 @@ fn resolve_fault_plan(spec: Option<&String>, seed: u64) -> Option<FaultPlan> {
     }
 }
 
+/// Parse `--ddio-ways`: a positive DDIO way count; exit(2) on zero (a
+/// zero-way partition leaves DMA nowhere to land) or a non-numeric value.
+/// Geometry bounds (ways <= total ways) are checked by `validate` after
+/// all flags are applied.
+fn parse_ddio_ways(value: Option<&String>) -> u32 {
+    match value.map(|s| s.parse::<u32>()) {
+        Some(Ok(v)) if v >= 1 => v,
+        Some(Ok(_)) => {
+            eprintln!("--ddio-ways must be >= 1 (a zero-way DDIO partition leaves DMA nowhere)");
+            std::process::exit(2);
+        }
+        Some(Err(_)) | None => {
+            eprintln!(
+                "--ddio-ways requires a positive integer, got {:?}",
+                value.map(String::as_str).unwrap_or("<missing>")
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parse `--llc-model`: `pool` (seed default) or `setassoc`; exit(2) on
+/// anything else.
+fn parse_llc_model(value: Option<&String>) -> LlcModelKind {
+    match value.map(String::as_str) {
+        Some("pool") => LlcModelKind::Pool,
+        Some("setassoc") => LlcModelKind::SetAssoc,
+        Some(other) => {
+            eprintln!("--llc-model must be pool or setassoc, got {other:?}");
+            std::process::exit(2);
+        }
+        None => {
+            eprintln!("--llc-model requires a model name (pool|setassoc)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Apply the LLC flags to the host config and re-validate the combined
+/// geometry; exit(2) when the flags describe a cache the models cannot
+/// represent (e.g. more DDIO ways than total ways).
+fn apply_llc_flags(
+    host: &mut ceio_host::HostConfig,
+    ddio_ways: Option<u32>,
+    llc_model: Option<LlcModelKind>,
+) {
+    if let Some(w) = ddio_ways {
+        host.mem.ddio_ways = w;
+    }
+    if let Some(m) = llc_model {
+        host.mem.llc_model = m;
+    }
+    if let Err(e) = host.validate() {
+        eprintln!("--ddio-ways/--llc-model: {e}");
+        std::process::exit(2);
+    }
+}
+
 /// Parse `--scope-interval`/`--slo for=` durations (ns/us/ms or bare ns),
 /// exiting 2 on a malformed literal.
 fn parse_scope_duration(flag: &str, value: Option<&String>) -> Duration {
@@ -172,6 +240,8 @@ fn parse_args() -> Args {
         plan: None,
         plan_label: "none".to_string(),
         queues: 1,
+        ddio_ways: None,
+        llc_model: None,
         seed: 0,
         scope_interval: None,
         slos: Vec::new(),
@@ -262,6 +332,14 @@ fn parse_args() -> Args {
                 i += 1;
                 a.queues = parse_queues(args.get(i));
             }
+            "--ddio-ways" => {
+                i += 1;
+                a.ddio_ways = Some(parse_ddio_ways(args.get(i)));
+            }
+            "--llc-model" => {
+                i += 1;
+                a.llc_model = Some(parse_llc_model(args.get(i)));
+            }
             "--out" => {
                 i += 1;
                 a.out = match args.get(i) {
@@ -347,6 +425,7 @@ fn main() {
     let mut host = workloads::contended_host(Transport::Dpdk);
     host.sample_window = Duration::micros(100);
     host.num_queues = a.queues;
+    apply_llc_flags(&mut host, a.ddio_ways, a.llc_model);
     let link = host.net.link_bandwidth;
     let phase = Duration::millis((a.millis / 4).max(1));
     let (scen, app) = match a.scenario.as_str() {

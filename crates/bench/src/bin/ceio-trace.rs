@@ -6,6 +6,7 @@
 //!            [--scenario kv|mixed|dynamic|burst]    \
 //!            [--millis N] [--warmup-ms N] [--out FILE] \
 //!            [--seed N] [--fault-plan SPEC] [--queues N] \
+//!            [--llc-model pool|setassoc] [--ddio-ways N] \
 //!            [--scope-interval DUR] [--slo SPEC] [--scope-out FILE]
 //! ```
 //!
@@ -19,6 +20,12 @@
 //! byte-identical CSV. A malformed spec exits 2, as does requesting a
 //! plan from a binary built without the `chaos` feature (silently
 //! ignoring a requested fault schedule would misreport the experiment).
+//!
+//! `--llc-model` selects the LLC model backing the memory controller
+//! (`pool` is the seed default; `setassoc` is the way-partitioned
+//! set-associative model). `--ddio-ways` sets the DDIO-reachable way
+//! count (§4.1: 6 of 12) — the credit pool re-derives from it under
+//! `setassoc`. A way count the geometry cannot hold exits 2.
 //!
 //! `--scope-interval` (a sim duration such as `50us`) arms the flight
 //! recorder at that sampling epoch; `--slo` arms SLO rules
@@ -39,6 +46,7 @@ use ceio_bench::runner::{run_one_scoped, series_csv, PolicyKind, ScopeOptions, C
 use ceio_bench::workloads::{self, AppKind, Transport};
 use ceio_chaos::FaultPlan;
 use ceio_host::DEFAULT_SCOPE_CAP;
+use ceio_mem::LlcModelKind;
 use ceio_sim::Duration;
 use ceio_telemetry::{scope, SloRule};
 use std::io::Write;
@@ -74,6 +82,64 @@ fn parse_queues(value: Option<&String>) -> usize {
             );
             std::process::exit(2);
         }
+    }
+}
+
+/// Parse `--ddio-ways`: a positive DDIO way count; exit(2) on zero (a
+/// zero-way partition leaves DMA nowhere to land) or a non-numeric value.
+/// Geometry bounds (ways <= total ways) are checked by `validate` after
+/// all flags are applied.
+fn parse_ddio_ways(value: Option<&String>) -> u32 {
+    match value.map(|s| s.parse::<u32>()) {
+        Some(Ok(v)) if v >= 1 => v,
+        Some(Ok(_)) => {
+            eprintln!("--ddio-ways must be >= 1 (a zero-way DDIO partition leaves DMA nowhere)");
+            std::process::exit(2);
+        }
+        Some(Err(_)) | None => {
+            eprintln!(
+                "--ddio-ways requires a positive integer, got {:?}",
+                value.map(String::as_str).unwrap_or("<missing>")
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parse `--llc-model`: `pool` (seed default) or `setassoc`; exit(2) on
+/// anything else.
+fn parse_llc_model(value: Option<&String>) -> LlcModelKind {
+    match value.map(String::as_str) {
+        Some("pool") => LlcModelKind::Pool,
+        Some("setassoc") => LlcModelKind::SetAssoc,
+        Some(other) => {
+            eprintln!("--llc-model must be pool or setassoc, got {other:?}");
+            std::process::exit(2);
+        }
+        None => {
+            eprintln!("--llc-model requires a model name (pool|setassoc)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Apply the LLC flags to the host config and re-validate the combined
+/// geometry; exit(2) when the flags describe a cache the models cannot
+/// represent (e.g. more DDIO ways than total ways).
+fn apply_llc_flags(
+    host: &mut ceio_host::HostConfig,
+    ddio_ways: Option<u32>,
+    llc_model: Option<LlcModelKind>,
+) {
+    if let Some(w) = ddio_ways {
+        host.mem.ddio_ways = w;
+    }
+    if let Some(m) = llc_model {
+        host.mem.llc_model = m;
+    }
+    if let Err(e) = host.validate() {
+        eprintln!("--ddio-ways/--llc-model: {e}");
+        std::process::exit(2);
     }
 }
 
@@ -126,6 +192,8 @@ struct Args {
     plan: Option<FaultPlan>,
     plan_label: String,
     queues: usize,
+    ddio_ways: Option<u32>,
+    llc_model: Option<LlcModelKind>,
     scope_interval: Option<Duration>,
     slos: Vec<SloRule>,
     scope_out: String,
@@ -140,6 +208,8 @@ fn parse_args() -> Args {
     let mut seed = 0u64;
     let mut plan_spec: Option<String> = None;
     let mut queues = 1usize;
+    let mut ddio_ways: Option<u32> = None;
+    let mut llc_model: Option<LlcModelKind> = None;
     let mut scope_interval: Option<Duration> = None;
     let mut slos: Vec<SloRule> = Vec::new();
     let mut scope_out = "ceio-scope.csv".to_string();
@@ -194,6 +264,14 @@ fn parse_args() -> Args {
                 i += 1;
                 queues = parse_queues(args.get(i));
             }
+            "--ddio-ways" => {
+                i += 1;
+                ddio_ways = Some(parse_ddio_ways(args.get(i)));
+            }
+            "--llc-model" => {
+                i += 1;
+                llc_model = Some(parse_llc_model(args.get(i)));
+            }
             "--scope-interval" => {
                 i += 1;
                 scope_interval = Some(parse_scope_duration("--scope-interval", args.get(i)));
@@ -240,6 +318,8 @@ fn parse_args() -> Args {
         plan,
         plan_label,
         queues,
+        ddio_ways,
+        llc_model,
         scope_interval,
         slos,
         scope_out,
@@ -251,6 +331,7 @@ fn main() {
     let mut host = workloads::contended_host(Transport::Dpdk);
     host.sample_window = Duration::micros(100);
     host.num_queues = a.queues;
+    apply_llc_flags(&mut host, a.ddio_ways, a.llc_model);
     let link = host.net.link_bandwidth;
     let phase = Duration::millis((a.millis / 4).max(1));
     let (scen, app) = match a.scenario.as_str() {

@@ -1,6 +1,7 @@
 //! One module per table/figure of the paper's evaluation.
 
 pub mod ablations;
+pub mod ddio;
 pub mod engine;
 pub mod failover;
 pub mod fig04;
@@ -31,6 +32,7 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("table4", table4::run),
         ("limited", limited::run),
         ("queues", queues::run),
+        ("ddio", ddio::run),
         ("failover", failover::run),
         ("ablations", ablations::run),
         ("sensitivity", sensitivity::run),

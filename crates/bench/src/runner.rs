@@ -68,8 +68,9 @@ impl PolicyKind {
             PolicyKind::Baseline => AnyPolicy::Baseline(UnmanagedPolicy),
             PolicyKind::HostCc => AnyPolicy::HostCc(HostCcPolicy::new(HostCcConfig::default())),
             PolicyKind::ShRing => {
-                // ShRing sizes its ring below the DDIO partition (§2.3).
-                let entries = (host.mem.ddio_bytes / host.buf_bytes)
+                // ShRing sizes its ring below the DDIO partition (§2.3) —
+                // the model-aware partition, so way sweeps resize it too.
+                let entries = (host.mem.ddio_partition_bytes() / host.buf_bytes)
                     .saturating_sub(512)
                     .max(64);
                 AnyPolicy::ShRing(ShRingPolicy::new(ShRingConfig {

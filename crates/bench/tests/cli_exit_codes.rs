@@ -1,5 +1,6 @@
 //! Exit-code contract of the operator-facing CLIs: every malformed-spec
-//! path (`--slo`, `--fault-plan`, `--queues`, `--scope-interval`, plus
+//! path (`--slo`, `--fault-plan`, `--queues`, `--scope-interval`,
+//! `--ddio-ways`, `--llc-model`, plus
 //! missing values and unknown flags) must exit 2 with a one-line reason
 //! on stderr naming the offending flag — never a panic, never a silent
 //! fallback into a multi-second simulation with the wrong config.
@@ -52,6 +53,32 @@ fn cases() -> Vec<(&'static str, Vec<&'static str>, &'static str)> {
             "missing fault plan value",
             vec!["--fault-plan"],
             "--fault-plan",
+        ),
+        ("zero ddio ways", vec!["--ddio-ways", "0"], "--ddio-ways"),
+        (
+            "non-numeric ddio ways",
+            vec!["--ddio-ways", "six"],
+            "--ddio-ways",
+        ),
+        (
+            "missing ddio ways value",
+            vec!["--ddio-ways"],
+            "--ddio-ways",
+        ),
+        (
+            "more ddio ways than the cache has",
+            vec!["--ddio-ways", "13"],
+            "--ddio-ways",
+        ),
+        (
+            "unknown llc model",
+            vec!["--llc-model", "fully-assoc"],
+            "--llc-model",
+        ),
+        (
+            "missing llc model value",
+            vec!["--llc-model"],
+            "--llc-model",
         ),
         ("unknown policy", vec!["--policy", "bogus"], "bogus"),
         ("unknown flag", vec!["--no-such-flag"], "--no-such-flag"),

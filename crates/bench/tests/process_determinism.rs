@@ -100,6 +100,77 @@ fn queue_flap_same_bytes_across_processes() {
     );
 }
 
+/// The way-partitioned LLC pin: a *default-config* run (pool model) must
+/// emit byte-for-byte the CSV stored in the golden file — from a separate
+/// process, so the set-associative refactor cannot have perturbed the
+/// default path through any in-process side channel either. The golden
+/// flags mirror `queue_determinism::kv_trace_csv` exactly (contended DPDK
+/// host, 8 KV flows, 1 ms warmup, 2 ms measured).
+#[test]
+fn default_config_matches_golden_csv_across_processes() {
+    let out = trace_stdout(&[
+        "--policy",
+        "ceio",
+        "--scenario",
+        "kv",
+        "--millis",
+        "2",
+        "--warmup-ms",
+        "1",
+    ]);
+    let golden = std::fs::read(
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/golden/queue1_kv_ceio.csv"),
+    )
+    .expect("read golden CSV");
+    assert_eq!(
+        out, golden,
+        "a default-config (pool-model) ceio-trace run no longer matches \
+         the golden CSV — the set-associative LLC work must leave the \
+         default path byte-identical"
+    );
+}
+
+/// The set-associative model must be exactly as deterministic as the
+/// pool: two processes with the same `--llc-model setassoc --ddio-ways`
+/// flags emit identical bytes — and those bytes must differ from the
+/// pool run, so the flag demonstrably reaches the data path.
+#[test]
+fn setassoc_same_bytes_across_processes() {
+    let common = [
+        "--policy",
+        "ceio",
+        "--scenario",
+        "kv",
+        "--millis",
+        "3",
+        "--warmup-ms",
+        "1",
+        "--seed",
+        "7",
+    ];
+    let mut setassoc = common.to_vec();
+    setassoc.extend(["--llc-model", "setassoc", "--ddio-ways", "4"]);
+    let a = trace_stdout(&setassoc);
+    let b = trace_stdout(&setassoc);
+    assert!(
+        a.lines_count() > 1,
+        "expected a CSV header plus samples, got {} bytes",
+        a.len()
+    );
+    assert_eq!(
+        a, b,
+        "two set-associative runs with identical flags diverged — the \
+         way-partitioned model leaked ambient non-determinism"
+    );
+    let pool = trace_stdout(&common);
+    assert_ne!(
+        a, pool,
+        "setassoc at 4 DDIO ways is identical to the pool run — the \
+         --llc-model flag never reached the memory model"
+    );
+}
+
 #[test]
 fn different_scenarios_actually_differ() {
     // Guards the test above against vacuous success (e.g. an empty or

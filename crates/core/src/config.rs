@@ -6,8 +6,12 @@ use serde::{Deserialize, Serialize};
 /// Configuration of the CEIO runtime.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CeioConfig {
-    /// Total credits, `C_total = Size_LLC / Size_buf` (Eq. 1). Use
-    /// `HostConfig::credit_total()` unless deliberately mis-sizing.
+    /// Total credits, `C_total = Size_LLC / Size_buf` (Eq. 1), where
+    /// `Size_LLC` is the *DDIO partition* of the selected LLC model: the
+    /// raw byte slice for the pool, or `llc_total * ddio_ways/total_ways`
+    /// for the way-partitioned model — so changing `ddio_ways` re-derives
+    /// the credit pool (6 of 12 ways at 12 MiB and 2 KB buffers = 3072).
+    /// Use `HostConfig::credit_total()` unless deliberately mis-sizing.
     pub credit_total: u64,
     /// Maximum slow-path packets fetched per driver poll (one DMA read).
     pub drain_batch: u32,

@@ -113,6 +113,7 @@ impl HostConfig {
         if self.buf_bytes == 0 {
             return Err("buf_bytes must be >= 1".into());
         }
+        self.mem.validate()?;
         Ok(())
     }
 }
@@ -146,6 +147,17 @@ mod tests {
             ..HostConfig::default()
         };
         assert!(bad_buf.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_way_geometry() {
+        let mut bad = HostConfig::default();
+        bad.mem.ddio_ways = bad.mem.total_ways + 1;
+        let err = bad.validate().expect_err("13 of 12 ways is nonsense");
+        assert!(err.contains("ddio_ways"), "message names the field: {err}");
+        let mut zero = HostConfig::default();
+        zero.mem.ddio_ways = 0;
+        assert!(zero.validate().is_err());
     }
 
     #[test]

@@ -225,7 +225,17 @@ impl<P: IoPolicy> Machine<P> {
         let done = if pd.via_slow {
             self.st.memctrl.retire_uncached(now, pd.pkt.bytes)
         } else {
-            self.st.memctrl.retire(now, pd.buf, pd.pkt.bytes).0
+            let over_before = self.st.memctrl.llc.stats().over_capacity_events;
+            let done = self.st.memctrl.retire(now, pd.buf, pd.pkt.bytes).0;
+            if self.st.memctrl.llc.stats().over_capacity_events > over_before {
+                self.st.trace_event(
+                    now,
+                    Some(pd.pkt.flow.0),
+                    TraceKind::LlcOverCapacity,
+                    self.st.memctrl.llc.over_capacity_bytes(),
+                );
+            }
+            done
         };
         self.st
             .trace_stage(Some(pd.pkt.flow.0), Stage::Retire, done.since(now));

@@ -36,7 +36,7 @@ pub fn arm_scope<P: IoPolicy>(
     slos: Vec<SloRule>,
 ) {
     let mut rec = FlightRecorder::new(interval, cap);
-    scope_register(&mut rec, sim.model.st.rxq.len());
+    scope_register(&mut rec, &sim.model.st);
     sim.model.policy.scope_register(&mut rec);
     rec.arm_slos(slos);
     let iv = rec.interval();
@@ -64,7 +64,12 @@ impl<P: IoPolicy> Machine<P> {
 /// Declare every machine-level gauge, fixing the CSV column order. The
 /// keys registered here must each be recorded by [`scope_sample`] — the
 /// `cargo xtask analyze` telemetry rule enforces that statically.
-fn scope_register(rec: &mut FlightRecorder, num_queues: usize) {
+///
+/// Registration is state-dependent: per-way LLC series exist only when
+/// the built machine runs the set-associative model, so pool-model runs
+/// (the golden-CSV default) keep their exact column set.
+fn scope_register(rec: &mut FlightRecorder, st: &HostState) {
+    let num_queues = st.rxq.len();
     rec.register(
         "llc_occupancy_bytes",
         "I/O-resident LLC occupancy in bytes (the paper's Fig. 3 signal).",
@@ -134,6 +139,30 @@ fn scope_register(rec: &mut FlightRecorder, num_queues: usize) {
         "failover_pps",
         "Watchdog state transitions per second (suspects + failures + recoveries).",
     );
+    rec.register(
+        "llc_over_capacity_bytes",
+        "Bytes by which I/O occupancy exceeds the DDIO partition (0 when fitting).",
+    );
+    rec.register(
+        "llc_eviction_age",
+        "Mean recency age of buffers evicted this epoch (0 when none).",
+    );
+    rec.register(
+        "llc_app_eviction_share",
+        "Fraction of this epoch's evictions caused by the app antagonist (0-1).",
+    );
+    if let Some(ways) = st.memctrl.llc.way_occupancy() {
+        rec.register_queue(
+            "llc_way_io_lines",
+            "Resident I/O cache lines in this LLC way.",
+            ways.io_lines.len(),
+        );
+        rec.register_queue(
+            "llc_way_app_lines",
+            "Resident application cache lines in this LLC way.",
+            ways.app_lines.len(),
+        );
+    }
 }
 
 /// Sample every machine-level gauge at `now`. Runs once per scope epoch
@@ -199,6 +228,29 @@ pub(crate) fn scope_sample(st: &HostState, now: Time, rec: &mut FlightRecorder) 
         now,
         (st.failover.suspects + st.failover.failures + st.failover.recoveries) as f64,
     );
+    rec.record(
+        "llc_over_capacity_bytes",
+        now,
+        st.memctrl.llc.over_capacity_bytes() as f64,
+    );
+    rec.record_mean(
+        "llc_eviction_age",
+        now,
+        l.eviction_age_sum as f64,
+        l.evictions as f64,
+    );
+    rec.record_ratio(
+        "llc_app_eviction_share",
+        now,
+        l.app_evictions as f64,
+        (l.evictions - l.app_evictions) as f64,
+    );
+    if let Some(ways) = st.memctrl.llc.way_occupancy() {
+        for (way, (&io, &app)) in ways.io_lines.iter().zip(&ways.app_lines).enumerate() {
+            rec.record_queue("llc_way_io_lines", way, now, io as f64);
+            rec.record_queue("llc_way_app_lines", way, now, app as f64);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -426,6 +426,43 @@ impl<P: IoPolicy> Machine<P> {
             "Lifetime LLC miss rate of CPU I/O reads.",
             llc.miss_rate(),
         );
+        b.counter(
+            "ceio_llc_bypass_total",
+            "DMA writes routed around the LLC (DDIO disabled).",
+            llc.bypasses,
+        );
+        b.counter(
+            "ceio_llc_over_capacity_total",
+            "Insertions that left I/O occupancy above the partition capacity.",
+            llc.over_capacity_events,
+        );
+        b.counter(
+            "ceio_llc_app_evictions_total",
+            "I/O buffers evicted by the application antagonist stream.",
+            llc.app_evictions,
+        );
+        b.counter(
+            "ceio_llc_eviction_age_sum_total",
+            "Summed recency age of eviction victims (mean = sum / evictions).",
+            llc.eviction_age_sum,
+        );
+        if let Some(ways) = st.memctrl.llc.way_occupancy() {
+            for (way, (&io, &app)) in ways.io_lines.iter().zip(&ways.app_lines).enumerate() {
+                let label = [("way", way.to_string())];
+                b.gauge_with(
+                    "ceio_llc_way_io_lines",
+                    "Resident I/O cache lines in one LLC way.",
+                    &label,
+                    io as f64,
+                );
+                b.gauge_with(
+                    "ceio_llc_way_app_lines",
+                    "Resident application cache lines in one LLC way.",
+                    &label,
+                    app as f64,
+                );
+            }
+        }
         let iio = st.memctrl.iio.stats();
         b.counter(
             "ceio_iio_accepted_total",

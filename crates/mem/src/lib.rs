@@ -6,11 +6,15 @@
 //! * [`IioBuffer`] — the Integrated I/O buffer that PCIe writes land in
 //!   before the memory controller drains them (stage ②→③). Its occupancy is
 //!   the congestion signal HostCC monitors.
-//! * [`IoLlc`] — the DDIO-reachable partition of the Last-Level Cache,
-//!   modelled as an occupancy-LRU pool of I/O buffers. In-flight I/O bytes
-//!   beyond its capacity evict the least-recently-written buffers to DRAM
-//!   *before the CPU reads them* — the premature-eviction pathology that all
-//!   of §2.2 is about.
+//! * [`IoLlc`] / [`SetAssocLlc`] — two models of the DDIO-reachable LLC
+//!   partition behind the [`LlcModel`] trait. The pool ([`IoLlc`], default)
+//!   is an occupancy-LRU pool of I/O buffers: in-flight I/O bytes beyond its
+//!   capacity evict the least-recently-written buffers to DRAM *before the
+//!   CPU reads them* — the premature-eviction pathology that all of §2.2 is
+//!   about. The set-associative model ([`SetAssocLlc`]) adds the way-level
+//!   cause: S sets × W ways with a DDIO-reachable slice of `ddio_ways` ways
+//!   (§4.1: 6 of 12) and a deterministic application antagonist contending
+//!   for the rest.
 //! * [`Dram`] — a FIFO bandwidth server with a base load latency; CPU misses
 //!   and DDIO evictions contend here for the same bandwidth, reproducing the
 //!   §2.2 observation that misses burn memory bandwidth needed by CPU-bypass
@@ -25,10 +29,14 @@ pub mod dram;
 pub mod iio;
 pub mod llc;
 pub mod memctrl;
+pub mod model;
 pub mod params;
+pub mod setassoc;
 
 pub use dram::Dram;
 pub use iio::IioBuffer;
 pub use llc::{BufferId, IoLlc, LlcStats};
 pub use memctrl::{CpuReadOutcome, DmaWriteOutcome, MemoryController};
-pub use params::MemParams;
+pub use model::{Llc, LlcModel, WayOccupancy};
+pub use params::{LlcModelKind, MemParams};
+pub use setassoc::{SetAssocLlc, SetAssocParams, LINE_BYTES};

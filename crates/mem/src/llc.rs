@@ -32,6 +32,21 @@ pub struct LlcStats {
     pub evictions: u64,
     /// Bytes evicted to DRAM.
     pub evicted_bytes: u64,
+    /// DMA writes that bypassed the cache entirely (DDIO disabled): the
+    /// line went straight to DRAM without allocating in the partition.
+    pub bypasses: u64,
+    /// Insertions that left the partition above capacity: the incoming
+    /// buffer was larger than the space evictable around it, so occupancy
+    /// exceeded capacity with no victim left to evict. Previously this
+    /// state was silent; scope/SLO rules key off this counter.
+    pub over_capacity_events: u64,
+    /// Buffers evicted by the application antagonist stream rather than by
+    /// competing I/O (set-associative model only; always zero for the pool).
+    pub app_evictions: u64,
+    /// Sum over evictions of the victim's age (recency-sequence delta at
+    /// eviction time). Mean eviction age = `eviction_age_sum / evictions`;
+    /// a shrinking mean means buffers are being churned out younger.
+    pub eviction_age_sum: u64,
 }
 
 impl LlcStats {
@@ -146,7 +161,14 @@ impl IoLlc {
             self.occupancy_bytes -= e.bytes;
             self.stats.evictions += 1;
             self.stats.evicted_bytes += e.bytes;
+            self.stats.eviction_age_sum += self.next_seq - oldest_seq;
             evicted.push(victim);
+        }
+        if self.occupancy_bytes > self.capacity_bytes {
+            // Nothing left to evict around the incoming buffer: it alone
+            // exceeds the partition. Make the state visible instead of
+            // silently reporting occupancy > capacity.
+            self.stats.over_capacity_events += 1;
         }
         evicted
     }
@@ -184,9 +206,13 @@ impl IoLlc {
         }
     }
 
-    /// Insert without DDIO: models a DMA write that bypasses the cache
-    /// (DDIO disabled). Records nothing; provided for symmetry/clarity.
-    pub fn bypass(&mut self) {}
+    /// A DMA write that bypasses the cache (DDIO disabled): the buffer goes
+    /// straight to DRAM and never becomes resident. Only the counter moves;
+    /// the later CPU lookup will record the compulsory miss.
+    pub fn bypass(&mut self, bytes: u64) {
+        let _ = bytes; // pool model has no line-granular accounting
+        self.stats.bypasses += 1;
+    }
 
     /// Reset statistics (keeps contents).
     pub fn clear_stats(&mut self) {
@@ -282,6 +308,47 @@ mod tests {
         let evicted = llc.insert(BufferId(1), 4096);
         assert!(evicted.is_empty());
         assert!(llc.contains(BufferId(1)));
+    }
+
+    #[test]
+    fn over_capacity_insert_is_counted() {
+        let mut llc = IoLlc::new(1024);
+        llc.insert(BufferId(1), 4096);
+        assert_eq!(llc.stats().over_capacity_events, 1);
+        // Evicting everything else and still not fitting also counts.
+        let mut llc = IoLlc::new(4096);
+        llc.insert(BufferId(1), 2048);
+        llc.insert(BufferId(2), 8192);
+        assert_eq!(llc.stats().over_capacity_events, 1);
+        assert_eq!(llc.stats().evictions, 1);
+    }
+
+    #[test]
+    fn within_capacity_insert_is_not_over_capacity() {
+        let mut llc = IoLlc::new(4096);
+        llc.insert(BufferId(1), 2048);
+        llc.insert(BufferId(2), 2048);
+        llc.insert(BufferId(3), 2048); // evicts 1, fits fine
+        assert_eq!(llc.stats().over_capacity_events, 0);
+    }
+
+    #[test]
+    fn bypass_counts_without_residency() {
+        let mut llc = IoLlc::new(4096);
+        llc.bypass(2048);
+        llc.bypass(2048);
+        assert_eq!(llc.stats().bypasses, 2);
+        assert_eq!(llc.occupancy(), 0);
+        assert_eq!(llc.resident_count(), 0);
+    }
+
+    #[test]
+    fn eviction_age_accumulates() {
+        let mut llc = IoLlc::new(2048);
+        llc.insert(BufferId(1), 2048); // seq 0
+        llc.insert(BufferId(2), 2048); // seq 1; evicts 1 (age = 2 - 0)
+        assert_eq!(llc.stats().eviction_age_sum, 2);
+        assert_eq!(llc.stats().evictions, 1);
     }
 
     #[test]

@@ -13,7 +13,8 @@
 
 use crate::dram::Dram;
 use crate::iio::IioBuffer;
-use crate::llc::{BufferId, IoLlc};
+use crate::llc::BufferId;
+use crate::model::Llc;
 use crate::params::MemParams;
 use ceio_sim::Time;
 
@@ -42,8 +43,8 @@ pub struct CpuReadOutcome {
 #[derive(Debug)]
 pub struct MemoryController {
     params: MemParams,
-    /// DDIO-reachable LLC partition (public: policies inspect occupancy).
-    pub llc: IoLlc,
+    /// The selected LLC model (public: policies inspect occupancy).
+    pub llc: Llc,
     /// DRAM bandwidth server (public: experiments read stats).
     pub dram: Dram,
     /// IIO staging buffer (public: HostCC monitors occupancy).
@@ -54,7 +55,7 @@ impl MemoryController {
     /// Build a controller from parameters.
     pub fn new(params: MemParams) -> MemoryController {
         MemoryController {
-            llc: IoLlc::new(params.ddio_bytes),
+            llc: Llc::from_params(&params),
             dram: Dram::new(params.dram_bandwidth, params.dram_base_latency),
             iio: IioBuffer::new(params.iio_capacity_bytes),
             params,
@@ -96,6 +97,7 @@ impl MemoryController {
                 (done, evicted)
             }
         } else {
+            self.llc.bypass(bytes);
             (self.dram.request(now, bytes), Vec::new())
         }
     }
@@ -206,6 +208,23 @@ mod tests {
         });
         let out = c.dma_write(Time(0), BufferId(1), 2048);
         assert!(out.completion >= Time(0) + c.params().dram_base_latency);
+    }
+
+    #[test]
+    fn ddio_disabled_counts_bypasses_and_caches_nothing() {
+        let mut c = MemoryController::new(MemParams {
+            ddio_enabled: false,
+            ..MemParams::default()
+        });
+        c.dma_write(Time(0), BufferId(1), 2048);
+        c.dma_write(Time(1), BufferId(2), 2048);
+        assert_eq!(c.llc.stats().bypasses, 2);
+        assert_eq!(c.llc.stats().insertions, 0);
+        assert_eq!(c.llc.occupancy(), 0);
+        // The later CPU read records the compulsory miss.
+        let r = c.cpu_read(Time(100), BufferId(1), 2048);
+        assert!(!r.hit);
+        assert_eq!(c.llc.stats().misses, 1);
     }
 
     #[test]

@@ -132,6 +132,10 @@ pub enum TraceKind {
     /// One flow's RSS steering was rewritten off a failed queue (or back
     /// home on recovery); `value` = the target queue index.
     FlowResteer,
+    /// A DMA retire left LLC I/O occupancy above the DDIO partition
+    /// capacity (the buffer exceeded what the partition can absorb;
+    /// `value` = excess bytes).
+    LlcOverCapacity,
 }
 
 /// Chrome trace-event phase for a kind: instant, span begin, or span end.
@@ -196,6 +200,7 @@ impl TraceKind {
             TraceKind::QueueRecovering => "queue-recovering",
             TraceKind::QueueRecovered => "queue-recovered",
             TraceKind::FlowResteer => "flow-resteer",
+            TraceKind::LlcOverCapacity => "llc-over-capacity",
         }
     }
 

@@ -396,6 +396,25 @@ impl FlightRecorder {
         self.record(key, now, v);
     }
 
+    /// Record a windowed mean of two lifetime totals: the sampled value is
+    /// `Δsum / Δcount` over the epoch (zero when nothing happened). Used
+    /// for e.g. the per-epoch mean eviction age from lifetime
+    /// age-sum/eviction totals.
+    pub fn record_mean(&mut self, key: &str, now: Time, sum_total: f64, count_total: f64) {
+        let last = self
+            .last_totals
+            .insert(key.to_string(), (sum_total, count_total));
+        let (ds, dc) = match last {
+            Some((ps, pc)) if sum_total >= ps && count_total >= pc => {
+                (sum_total - ps, count_total - pc)
+            }
+            Some(_) => (sum_total, count_total), // counter reset
+            None => (0.0, 0.0),
+        };
+        let v = if dc > 0.0 { ds / dc } else { 0.0 };
+        self.record(key, now, v);
+    }
+
     fn latest_of(&self, key: &str) -> Option<f64> {
         self.index
             .get(key)

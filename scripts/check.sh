@@ -150,6 +150,27 @@ grep -q '"min_speedup"' "$smoke_dir/BENCH_engine.json" \
 cp "$smoke_dir/BENCH_engine.json" BENCH_engine.json
 echo "perf smoke passed ($(grep -o '"min_speedup": [0-9.]*' BENCH_engine.json))"
 
+echo "==> ddio smoke (way sweep + set-associative telemetry)"
+# The sweep's shapes (baseline monotonicity, CEIO flatness) are gated by
+# in-module tests above; here we check the operator surface: the
+# experiment emits a well-formed BENCH_ddio.json (archived like the
+# engine numbers), and a set-associative ceio-inspect run exports the
+# per-way occupancy gauges and the DDIO-disabled bypass counter.
+(cd "$smoke_dir" && "$OLDPWD/target/release/ceio-experiments" --quick --jobs 2 ddio \
+    > ddio-stdout.txt)
+grep -q '"cold_start_rows"' "$smoke_dir/BENCH_ddio.json" \
+    || { echo "ddio smoke: BENCH_ddio.json missing or malformed"; exit 1; }
+cp "$smoke_dir/BENCH_ddio.json" BENCH_ddio.json
+target/debug/ceio-inspect --scenario kv --millis 3 \
+    --llc-model setassoc --ddio-ways 4 \
+    --trace-out "$smoke_dir/ddio-trace.json" \
+    --prom-out "$smoke_dir/ddio-metrics.prom" > "$smoke_dir/ddio-stdout2.txt"
+grep -Eq '^ceio_llc_way_io_lines\{way="0"\} [0-9]' "$smoke_dir/ddio-metrics.prom" \
+    || { echo "ddio smoke: set-associative run exports no per-way occupancy"; exit 1; }
+grep -q '^# TYPE ceio_llc_bypass_total counter' "$smoke_dir/ddio-metrics.prom" \
+    || { echo "ddio smoke: bypass counter missing from export"; exit 1; }
+echo "ddio smoke passed"
+
 echo "==> failover smoke (queue-flap plan, 4 queues)"
 # Reuses the trace+chaos ceio-inspect built above. The canned queue-flap
 # plan must kill at least one RSS queue, the watchdog must fail it over
